@@ -1,0 +1,285 @@
+//! The algorithm trait and the local view a particle gets during an atomic
+//! activation.
+//!
+//! An activated particle executes three steps in order (Section 2.2): it
+//! reads the memories of its neighbours, performs bounded computation and
+//! updates its own and its neighbours' memories, and finally executes at most
+//! one movement operation. [`ActivationContext`] exposes exactly these
+//! capabilities; algorithms never see the global configuration.
+
+use crate::particle::ParticleId;
+use crate::system::{MoveError, ParticleSystem};
+use pm_grid::{Direction, Point, DIRECTIONS};
+
+/// The information available to a particle when its memory is initialized in
+/// the initial (connected, contracted) configuration.
+///
+/// `outer[i]` tells whether the adjacent point in direction `i` is empty and
+/// belongs to the outer face of the initial shape. This is the read-only
+/// input `p.outer[0..5]` of Algorithm DLE (the "boundary detection initially"
+/// assumption of Table 1); algorithms that do not assume it simply ignore the
+/// field, and the OBD primitive recomputes it from scratch.
+#[derive(Clone, Copy, Debug)]
+pub struct InitContext {
+    /// The point the particle initially occupies.
+    pub point: Point,
+    /// For each clockwise direction index, whether the adjacent point is
+    /// occupied in the initial configuration.
+    pub occupied: [bool; 6],
+    /// For each clockwise direction index, whether the adjacent point is
+    /// empty and lies on the outer face of the initial configuration.
+    pub outer: [bool; 6],
+    /// Whether the particle initially lies on some boundary of the shape.
+    pub is_boundary: bool,
+}
+
+/// A distributed algorithm in the amoebot model.
+///
+/// Implementations provide a per-particle memory type, an initializer run
+/// once per particle on the initial configuration, and the atomic activation
+/// handler.
+pub trait Algorithm {
+    /// The constant-size per-particle memory.
+    type Memory: Clone + std::fmt::Debug;
+
+    /// Computes the initial memory of a particle.
+    fn init(&self, ctx: &InitContext) -> Self::Memory;
+
+    /// Executes one atomic activation of a particle.
+    fn activate(&self, ctx: &mut ActivationContext<'_, Self::Memory>);
+
+    /// Whether the algorithm has globally completed. The default — all
+    /// particles have reached a final state — matches the paper's definition
+    /// of termination.
+    fn is_complete(&self, system: &ParticleSystem<Self::Memory>) -> bool {
+        system.all_terminated()
+    }
+}
+
+/// The local view and action interface of the particle being activated.
+///
+/// All queries are relative to the activated particle: its own memory and
+/// expansion state, the occupancy of the six points around its head (and
+/// tail), and read/write access to the memories of neighbouring particles.
+/// At most one movement operation should be performed per activation (this
+/// mirrors the model; it is the algorithm's responsibility, as in the paper's
+/// pseudocode).
+pub struct ActivationContext<'a, M> {
+    system: &'a mut ParticleSystem<M>,
+    id: ParticleId,
+    moved: bool,
+}
+
+impl<'a, M> ActivationContext<'a, M> {
+    /// Creates the activation context for particle `id`.
+    pub fn new(system: &'a mut ParticleSystem<M>, id: ParticleId) -> ActivationContext<'a, M> {
+        ActivationContext {
+            system,
+            id,
+            moved: false,
+        }
+    }
+
+    /// The id of the activated particle (an opaque simulator handle).
+    pub fn id(&self) -> ParticleId {
+        self.id
+    }
+
+    /// The activated particle's own memory.
+    pub fn memory(&self) -> &M {
+        self.system.particle(self.id).memory()
+    }
+
+    /// Mutable access to the activated particle's own memory.
+    pub fn memory_mut(&mut self) -> &mut M {
+        self.system.particle_mut(self.id).memory_mut()
+    }
+
+    /// Whether the activated particle is expanded.
+    pub fn is_expanded(&self) -> bool {
+        self.system.particle(self.id).is_expanded()
+    }
+
+    /// The head point of the activated particle.
+    pub fn head(&self) -> Point {
+        self.system.particle(self.id).head()
+    }
+
+    /// The tail point of the activated particle.
+    pub fn tail(&self) -> Point {
+        self.system.particle(self.id).tail()
+    }
+
+    /// Whether the point adjacent to the head in direction `dir` is occupied.
+    pub fn occupied_at_head(&self, dir: Direction) -> bool {
+        self.system.is_occupied(self.head().neighbor(dir))
+    }
+
+    /// The particle occupying the point adjacent to the head in direction
+    /// `dir`, if any (excluding the activated particle itself).
+    pub fn neighbor_at_head(&self, dir: Direction) -> Option<ParticleId> {
+        let p = self.head().neighbor(dir);
+        self.system.particle_at(p).filter(|other| *other != self.id)
+    }
+
+    /// The particle occupying the point adjacent to the tail in direction
+    /// `dir`, if any (excluding the activated particle itself).
+    pub fn neighbor_at_tail(&self, dir: Direction) -> Option<ParticleId> {
+        let p = self.tail().neighbor(dir);
+        self.system.particle_at(p).filter(|other| *other != self.id)
+    }
+
+    /// The occupancy mask around the head: entry `i` is `true` iff the point
+    /// in clockwise direction `i` from the head is occupied.
+    pub fn head_occupancy_mask(&self) -> [bool; 6] {
+        let mut mask = [false; 6];
+        for (i, d) in DIRECTIONS.iter().enumerate() {
+            mask[i] = self.occupied_at_head(*d);
+        }
+        mask
+    }
+
+    /// All distinct neighbouring particles (`N(p)`), in deterministic order.
+    pub fn neighbors(&self) -> Vec<ParticleId> {
+        self.system.neighbors_of(self.id)
+    }
+
+    /// The head point of a neighbouring particle.
+    pub fn neighbor_head(&self, id: ParticleId) -> Point {
+        self.system.particle(id).head()
+    }
+
+    /// Whether a neighbouring particle is expanded.
+    pub fn neighbor_is_expanded(&self, id: ParticleId) -> bool {
+        self.system.particle(id).is_expanded()
+    }
+
+    /// Reads a neighbouring particle's memory.
+    pub fn neighbor_memory(&self, id: ParticleId) -> &M {
+        self.system.particle(id).memory()
+    }
+
+    /// Writes a neighbouring particle's memory.
+    ///
+    /// In the amoebot model a particle may write to the memories of its
+    /// neighbours during its activation; this is how Algorithm DLE clears the
+    /// `eligible` flags of the particles around an eroded point.
+    pub fn neighbor_memory_mut(&mut self, id: ParticleId) -> &mut M {
+        self.system.particle_mut(id).memory_mut()
+    }
+
+    /// Expands the (contracted) activated particle in direction `dir` from
+    /// its current point; performs a handover automatically if the target is
+    /// occupied by an expanded particle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MoveError`] from the underlying system operation.
+    pub fn expand(&mut self, dir: Direction) -> Result<(), MoveError> {
+        self.moved = true;
+        self.system.expand(self.id, dir)
+    }
+
+    /// Contracts the (expanded) activated particle into its head.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MoveError`] from the underlying system operation.
+    pub fn contract_to_head(&mut self) -> Result<(), MoveError> {
+        self.moved = true;
+        self.system.contract_to_head(self.id)
+    }
+
+    /// Contracts the (expanded) activated particle into its tail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MoveError`] from the underlying system operation.
+    pub fn contract_to_tail(&mut self) -> Result<(), MoveError> {
+        self.moved = true;
+        self.system.contract_to_tail(self.id)
+    }
+
+    /// Marks the activated particle as having reached a final state.
+    pub fn terminate(&mut self) {
+        self.system.particle_mut(self.id).terminated = true;
+    }
+
+    /// Whether a movement operation was performed during this activation.
+    pub fn has_moved(&self) -> bool {
+        self.moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_grid::builder::line;
+
+    #[derive(Clone, Debug, Default)]
+    struct Mem {
+        flag: bool,
+    }
+
+    struct Flagger;
+    impl Algorithm for Flagger {
+        type Memory = Mem;
+        fn init(&self, _ctx: &InitContext) -> Mem {
+            Mem::default()
+        }
+        fn activate(&self, ctx: &mut ActivationContext<'_, Mem>) {
+            // Set every neighbour's flag, then terminate.
+            for n in ctx.neighbors() {
+                ctx.neighbor_memory_mut(n).flag = true;
+            }
+            ctx.terminate();
+        }
+    }
+
+    #[test]
+    fn context_reads_and_writes_neighbors() {
+        let mut sys = ParticleSystem::from_shape(&line(3), &Flagger);
+        let middle = sys.particle_at(Point::new(1, 0)).unwrap();
+        {
+            let mut ctx = ActivationContext::new(&mut sys, middle);
+            assert!(!ctx.is_expanded());
+            assert_eq!(ctx.head(), Point::new(1, 0));
+            assert_eq!(ctx.neighbors().len(), 2);
+            assert!(ctx.occupied_at_head(Direction::E));
+            assert!(!ctx.occupied_at_head(Direction::SE));
+            assert!(ctx.neighbor_at_head(Direction::W).is_some());
+            Flagger.activate(&mut ctx);
+            assert!(!ctx.has_moved());
+        }
+        let left = sys.particle_at(Point::new(0, 0)).unwrap();
+        let right = sys.particle_at(Point::new(2, 0)).unwrap();
+        assert!(sys.particle(left).memory().flag);
+        assert!(sys.particle(right).memory().flag);
+        assert!(!sys.particle(middle).memory().flag);
+        assert!(sys.particle(middle).is_terminated());
+        assert!(!Flagger.is_complete(&sys));
+    }
+
+    #[test]
+    fn context_movement_is_tracked() {
+        let mut sys = ParticleSystem::from_shape(&line(1), &Flagger);
+        let id = sys.particle_at(Point::new(0, 0)).unwrap();
+        let mut ctx = ActivationContext::new(&mut sys, id);
+        ctx.expand(Direction::NE).unwrap();
+        assert!(ctx.has_moved());
+        assert!(ctx.is_expanded());
+        assert_eq!(ctx.tail(), Point::new(0, 0));
+        ctx.contract_to_head().unwrap();
+        assert!(!ctx.is_expanded());
+    }
+
+    #[test]
+    fn head_occupancy_mask_matches_queries() {
+        let mut sys = ParticleSystem::from_shape(&line(2), &Flagger);
+        let id = sys.particle_at(Point::new(0, 0)).unwrap();
+        let ctx = ActivationContext::new(&mut sys, id);
+        let mask = ctx.head_occupancy_mask();
+        assert_eq!(mask[Direction::E.index()], true);
+        assert_eq!(mask.iter().filter(|m| **m).count(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! ASCII rendering of particle configurations, in the spirit of the paper's
+//! figures (occupied points, holes, expanded particles).
+
+use crate::particle::Particle;
+use crate::system::ParticleSystem;
+use pm_grid::{Point, Shape};
+
+/// Renders the occupied shape of the system: `#` for a point occupied by a
+/// contracted particle, `H`/`T` for the head/tail of an expanded particle,
+/// `o` for hole points of the occupied shape, and `.` elsewhere.
+pub fn render<M>(system: &ParticleSystem<M>) -> String {
+    render_with(system, |particle, point| {
+        if particle.is_contracted() {
+            '#'
+        } else if particle.head() == point {
+            'H'
+        } else {
+            'T'
+        }
+    })
+}
+
+/// Renders the system with a caller-provided glyph function, which receives
+/// the particle occupying each point and the point itself. Hole points render
+/// as `o` and empty points as `.`.
+pub fn render_with<M>(
+    system: &ParticleSystem<M>,
+    glyph: impl Fn(&Particle<M>, Point) -> char,
+) -> String {
+    let shape = system.shape();
+    let Some((min, max)) = shape.bounding_box() else {
+        return String::new();
+    };
+    let analysis = shape.analyze();
+    let mut out = String::new();
+    for r in min.r..=max.r {
+        // Indent rows so that the axial shear is visually suggested.
+        for _ in 0..(r - min.r) {
+            out.push(' ');
+        }
+        for q in min.q..=max.q {
+            let p = Point::new(q, r);
+            let ch = match system.particle_at(p) {
+                Some(id) => glyph(system.particle(id), p),
+                None if analysis.is_hole_point(p) => 'o',
+                None => '.',
+            };
+            out.push(ch);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a bare shape with the same conventions (`#`, `o`, `.`), useful for
+/// documenting workloads.
+pub fn render_shape(shape: &Shape) -> String {
+    let Some((min, max)) = shape.bounding_box() else {
+        return String::new();
+    };
+    let analysis = shape.analyze();
+    let mut out = String::new();
+    for r in min.r..=max.r {
+        for _ in 0..(r - min.r) {
+            out.push(' ');
+        }
+        for q in min.q..=max.q {
+            let p = Point::new(q, r);
+            let ch = if shape.contains(p) {
+                '#'
+            } else if analysis.is_hole_point(p) {
+                'o'
+            } else {
+                '.'
+            };
+            out.push(ch);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{ActivationContext, Algorithm, InitContext};
+    use pm_grid::builder::annulus;
+    use pm_grid::Direction;
+
+    struct Dummy;
+    impl Algorithm for Dummy {
+        type Memory = ();
+        fn init(&self, _ctx: &InitContext) {}
+        fn activate(&self, ctx: &mut ActivationContext<'_, ()>) {
+            ctx.terminate();
+        }
+    }
+
+    #[test]
+    fn render_marks_holes_and_particles() {
+        let system = ParticleSystem::from_shape(&annulus(2, 0), &Dummy);
+        let art = render(&system);
+        assert!(art.contains('#'));
+        assert!(art.contains('o'));
+        assert!(!art.contains('H'));
+    }
+
+    #[test]
+    fn render_shows_expanded_particles() {
+        let mut system = ParticleSystem::from_shape(&pm_grid::builder::line(2), &Dummy);
+        let id = system.particle_at(Point::new(1, 0)).unwrap();
+        system.expand(id, Direction::E).unwrap();
+        let art = render(&system);
+        assert!(art.contains('H'));
+        assert!(art.contains('T'));
+    }
+
+    #[test]
+    fn render_shape_matches_shape() {
+        let s = annulus(2, 0);
+        let art = render_shape(&s);
+        assert_eq!(art.matches('#').count(), s.len());
+        assert_eq!(art.matches('o').count(), 1);
+    }
+
+    #[test]
+    fn render_empty_system_is_empty() {
+        let system = ParticleSystem::from_shape(&Shape::new(), &Dummy);
+        assert!(render(&system).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Workload shape generators.
+//!
+//! The deterministic parametric families (line, hexagon, annulus, comb,
+//! spiral, Swiss cheese, parallelogram) are re-exported from
+//! [`pm_grid::builder`]; this module adds the random families used by the
+//! experiments: random connected blobs, their hole-free variants, and
+//! hexagons with randomly punched holes.
+
+pub use pm_grid::builder::{
+    annulus, comb, hexagon, line, parallelogram, spiral, swiss_cheese,
+};
+
+use pm_grid::{Point, Shape};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A random connected "blob" of exactly `n` points, grown by repeatedly
+/// attaching a uniformly random empty neighbour of the current shape
+/// (Eden-model growth). May contain holes.
+///
+/// Deterministic given `(n, seed)`.
+pub fn random_blob(n: usize, seed: u64) -> Shape {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shape = Shape::from_points([Point::ORIGIN]);
+    let mut frontier: Vec<Point> = Point::ORIGIN.neighbors().collect();
+    while shape.len() < n {
+        let idx = rng.gen_range(0..frontier.len());
+        let p = frontier.swap_remove(idx);
+        if shape.contains(p) {
+            continue;
+        }
+        shape.insert(p);
+        frontier.extend(p.neighbors().filter(|q| !shape.contains(*q)));
+    }
+    shape
+}
+
+/// A random connected, **simply-connected** blob of at least `n` points: a
+/// [`random_blob`] whose holes are filled in afterwards (so the point count
+/// may slightly exceed `n`).
+pub fn random_simply_connected_blob(n: usize, seed: u64) -> Shape {
+    let blob = random_blob(n, seed);
+    let filled = blob.area();
+    debug_assert!(filled.is_simply_connected());
+    filled
+}
+
+/// A hexagonal ball of the given radius with approximately
+/// `hole_fraction · n` interior points removed as single-point holes.
+///
+/// Holes are only punched at points whose entire 2-hop neighbourhood is
+/// occupied and hole-free, so every hole is a single point, holes never merge
+/// with each other or with the outer face, and the shape stays connected.
+/// Deterministic given `(radius, hole_fraction, seed)`.
+pub fn random_holey_hexagon(radius: u32, hole_fraction: f64, seed: u64) -> Shape {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shape = hexagon(radius);
+    if radius < 2 {
+        return shape;
+    }
+    let budget = ((shape.len() as f64) * hole_fraction.clamp(0.0, 0.4)) as usize;
+    let mut candidates: Vec<Point> = Point::ORIGIN.ball(radius.saturating_sub(2));
+    candidates.shuffle(&mut rng);
+    let mut punched = 0;
+    for p in candidates {
+        if punched >= budget {
+            break;
+        }
+        let safe = p.neighbors().all(|q| {
+            shape.contains(q) && q.neighbors().all(|r| r == p || shape.contains(r))
+        });
+        if safe {
+            shape.remove(p);
+            punched += 1;
+        }
+    }
+    shape
+}
+
+/// A connected "dumbbell": two hexagonal balls of the given radius joined by
+/// a thin corridor of the given length. Its diameter is much larger than the
+/// diameter suggested by its point count, stressing diameter-sensitive
+/// algorithms.
+pub fn dumbbell(radius: u32, corridor: u32) -> Shape {
+    let left = hexagon(radius);
+    let offset = Point::new((2 * radius + corridor + 1) as i32, 0);
+    let mut shape = left;
+    for p in Point::ORIGIN.ball(radius) {
+        shape.insert(p + offset);
+    }
+    for i in 0..=(2 * radius + corridor) as i32 {
+        shape.insert(Point::new(i, 0));
+    }
+    shape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_blob_is_connected_and_deterministic() {
+        let a = random_blob(100, 7);
+        let b = random_blob(100, 7);
+        let c = random_blob(100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 100);
+        assert!(a.is_connected());
+    }
+
+    #[test]
+    fn simply_connected_blob_has_no_holes() {
+        for seed in 0..5 {
+            let s = random_simply_connected_blob(200, seed);
+            assert!(s.len() >= 200);
+            assert!(s.is_connected());
+            assert!(s.is_simply_connected());
+        }
+    }
+
+    #[test]
+    fn holey_hexagon_properties() {
+        let s = random_holey_hexagon(8, 0.1, 3);
+        assert!(s.is_connected());
+        let analysis = s.analyze();
+        assert!(analysis.hole_count() >= 1);
+        for hole in analysis.holes() {
+            assert_eq!(hole.len(), 1, "holes must be single points");
+        }
+    }
+
+    #[test]
+    fn holey_hexagon_small_radius_is_plain() {
+        assert_eq!(random_holey_hexagon(1, 0.3, 1), hexagon(1));
+    }
+
+    #[test]
+    fn dumbbell_is_connected_with_large_diameter() {
+        let s = dumbbell(3, 10);
+        assert!(s.is_connected());
+        assert!(s.is_simply_connected());
+        let metric = pm_grid::Metric::new(&s);
+        let d = metric.grid_diameter();
+        assert!(d as usize >= 20, "diameter {d} should exceed the corridor");
+    }
+}

@@ -1,0 +1,346 @@
+//! Fair strong schedulers and the execution runner.
+//!
+//! The paper assumes a *strong* scheduler: particles are activated one at a
+//! time, atomically, and every particle is activated infinitely often (fair
+//! executions). An *asynchronous round* is a minimal execution fragment in
+//! which every particle is activated at least once; the runner counts rounds
+//! by letting the scheduler emit, for each round, an activation order in
+//! which every live particle appears at least once.
+
+use crate::algorithm::{ActivationContext, Algorithm};
+use crate::particle::ParticleId;
+use crate::system::ParticleSystem;
+use crate::trace::RunStats;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A fair strong scheduler: produces, for every round, a sequence of
+/// activations in which each provided particle appears at least once.
+pub trait Scheduler {
+    /// The activation order for one asynchronous round.
+    ///
+    /// `ids` lists the particles that have not yet reached a final state;
+    /// each of them must appear at least once in the returned order (the
+    /// runner checks this in debug builds). Particles may appear more than
+    /// once — that only makes the adversary stronger.
+    fn round_order(&mut self, ids: &[ParticleId], round: u64) -> Vec<ParticleId>;
+
+    /// A short human-readable name used in experiment reports.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn round_order(&mut self, ids: &[ParticleId], round: u64) -> Vec<ParticleId> {
+        (**self).round_order(ids, round)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Activates particles in creation order, once per round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobin;
+
+impl Scheduler for RoundRobin {
+    fn round_order(&mut self, ids: &[ParticleId], _round: u64) -> Vec<ParticleId> {
+        ids.to_vec()
+    }
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Activates particles in reverse creation order, once per round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReverseRoundRobin;
+
+impl Scheduler for ReverseRoundRobin {
+    fn round_order(&mut self, ids: &[ParticleId], _round: u64) -> Vec<ParticleId> {
+        let mut v = ids.to_vec();
+        v.reverse();
+        v
+    }
+    fn name(&self) -> &'static str {
+        "reverse-round-robin"
+    }
+}
+
+/// Activates particles in a fresh uniformly random order each round
+/// (deterministic given the seed).
+#[derive(Clone, Debug)]
+pub struct SeededRandom {
+    rng: StdRng,
+}
+
+impl SeededRandom {
+    /// Creates a random scheduler with the given seed.
+    pub fn new(seed: u64) -> SeededRandom {
+        SeededRandom {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Default for SeededRandom {
+    fn default() -> SeededRandom {
+        SeededRandom::new(0x5eed)
+    }
+}
+
+impl Scheduler for SeededRandom {
+    fn round_order(&mut self, ids: &[ParticleId], _round: u64) -> Vec<ParticleId> {
+        let mut v = ids.to_vec();
+        v.shuffle(&mut self.rng);
+        v
+    }
+    fn name(&self) -> &'static str {
+        "seeded-random"
+    }
+}
+
+/// An adversarial-flavoured scheduler that activates every particle twice per
+/// round: once in creation order and once in reverse order. Rounds therefore
+/// contain `2n` activations, exercising algorithms under denser interleaving
+/// while still being a legal fair strong scheduler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DoubleActivation;
+
+impl Scheduler for DoubleActivation {
+    fn round_order(&mut self, ids: &[ParticleId], _round: u64) -> Vec<ParticleId> {
+        let mut v = ids.to_vec();
+        let mut rev = ids.to_vec();
+        rev.reverse();
+        v.extend(rev);
+        v
+    }
+    fn name(&self) -> &'static str {
+        "double-activation"
+    }
+}
+
+/// An error from running an algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The algorithm did not complete within the round budget.
+    RoundLimitExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// The system contained no particles.
+    EmptySystem,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::RoundLimitExceeded { limit } => {
+                write!(f, "algorithm did not terminate within {limit} rounds")
+            }
+            RunError::EmptySystem => write!(f, "the particle system is empty"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Executes an [`Algorithm`] on a [`ParticleSystem`] under a [`Scheduler`],
+/// counting asynchronous rounds and movement operations.
+pub struct Runner<A: Algorithm, S: Scheduler> {
+    system: ParticleSystem<A::Memory>,
+    algorithm: A,
+    scheduler: S,
+    /// When set, connectivity of the occupied shape is checked after every
+    /// round and the results are reported in [`RunStats`]. Costs one BFS per
+    /// round.
+    pub track_connectivity: bool,
+}
+
+impl<A: Algorithm, S: Scheduler> Runner<A, S> {
+    /// Creates a runner.
+    pub fn new(system: ParticleSystem<A::Memory>, algorithm: A, scheduler: S) -> Runner<A, S> {
+        Runner {
+            system,
+            algorithm,
+            scheduler,
+            track_connectivity: false,
+        }
+    }
+
+    /// Enables per-round connectivity tracking (see
+    /// [`RunStats::ever_disconnected`]).
+    pub fn with_connectivity_tracking(mut self) -> Runner<A, S> {
+        self.track_connectivity = true;
+        self
+    }
+
+    /// The current system (before or after running).
+    pub fn system(&self) -> &ParticleSystem<A::Memory> {
+        &self.system
+    }
+
+    /// The algorithm instance.
+    pub fn algorithm(&self) -> &A {
+        &self.algorithm
+    }
+
+    /// Consumes the runner and returns the system.
+    pub fn into_system(self) -> ParticleSystem<A::Memory> {
+        self.system
+    }
+
+    /// Runs the algorithm until it reports completion, or fails after
+    /// `max_rounds` rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::EmptySystem`] if the system has no particles, and
+    /// [`RunError::RoundLimitExceeded`] if the round budget is exhausted
+    /// before the algorithm completes.
+    pub fn run(&mut self, max_rounds: u64) -> Result<RunStats, RunError> {
+        if self.system.is_empty() {
+            return Err(RunError::EmptySystem);
+        }
+        let mut stats = RunStats::default();
+        while !self.algorithm.is_complete(&self.system) {
+            if stats.rounds >= max_rounds {
+                return Err(RunError::RoundLimitExceeded { limit: max_rounds });
+            }
+            self.run_round(&mut stats);
+        }
+        let (e, c, h) = self.system.move_counts();
+        stats.expansions = e;
+        stats.contractions = c;
+        stats.handovers = h;
+        stats.final_connected = Some(self.system.is_connected());
+        Ok(stats)
+    }
+
+    /// Executes a single asynchronous round and updates `stats`.
+    pub fn run_round(&mut self, stats: &mut RunStats) {
+        let live: Vec<ParticleId> = self
+            .system
+            .ids()
+            .filter(|id| !self.system.particle(*id).is_terminated())
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        let order = self.scheduler.round_order(&live, stats.rounds);
+        debug_assert!(
+            live.iter().all(|id| order.contains(id)),
+            "scheduler must activate every live particle at least once per round"
+        );
+        for id in order {
+            // A particle in a final state does nothing when activated.
+            if self.system.particle(id).is_terminated() {
+                continue;
+            }
+            let mut ctx = ActivationContext::new(&mut self.system, id);
+            self.algorithm.activate(&mut ctx);
+            stats.activations += 1;
+        }
+        stats.rounds += 1;
+        if self.track_connectivity && !self.system.is_connected() {
+            stats.ever_disconnected = true;
+            stats.disconnected_rounds += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::InitContext;
+    use pm_grid::builder::{hexagon, line};
+
+    /// Each particle counts its activations in memory and terminates after
+    /// three of them.
+    struct CountToThree;
+    impl Algorithm for CountToThree {
+        type Memory = u8;
+        fn init(&self, _ctx: &InitContext) -> u8 {
+            0
+        }
+        fn activate(&self, ctx: &mut ActivationContext<'_, u8>) {
+            *ctx.memory_mut() += 1;
+            if *ctx.memory() >= 3 {
+                ctx.terminate();
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_counts_three_rounds() {
+        let sys = ParticleSystem::from_shape(&line(5), &CountToThree);
+        let mut runner = Runner::new(sys, CountToThree, RoundRobin);
+        let stats = runner.run(10).unwrap();
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.activations, 15);
+        assert_eq!(stats.final_connected, Some(true));
+        assert!(!stats.ever_disconnected);
+    }
+
+    #[test]
+    fn double_activation_halves_round_count() {
+        let sys = ParticleSystem::from_shape(&line(5), &CountToThree);
+        let mut runner = Runner::new(sys, CountToThree, DoubleActivation);
+        let stats = runner.run(10).unwrap();
+        assert_eq!(stats.rounds, 2);
+    }
+
+    #[test]
+    fn random_scheduler_is_deterministic_given_seed() {
+        let run = |seed| {
+            let sys = ParticleSystem::from_shape(&hexagon(2), &CountToThree);
+            let mut runner = Runner::new(sys, CountToThree, SeededRandom::new(seed));
+            runner.run(10).unwrap()
+        };
+        assert_eq!(run(1).activations, run(1).activations);
+        assert_eq!(run(1).rounds, 3);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        /// Never terminates.
+        struct Forever;
+        impl Algorithm for Forever {
+            type Memory = ();
+            fn init(&self, _ctx: &InitContext) {}
+            fn activate(&self, _ctx: &mut ActivationContext<'_, ()>) {}
+        }
+        let sys = ParticleSystem::from_shape(&line(3), &Forever);
+        let mut runner = Runner::new(sys, Forever, RoundRobin);
+        assert_eq!(
+            runner.run(5),
+            Err(RunError::RoundLimitExceeded { limit: 5 })
+        );
+    }
+
+    #[test]
+    fn empty_system_is_an_error() {
+        let sys = ParticleSystem::from_shape(&pm_grid::Shape::new(), &CountToThree);
+        let mut runner = Runner::new(sys, CountToThree, RoundRobin);
+        assert_eq!(runner.run(5), Err(RunError::EmptySystem));
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(RoundRobin.name(), "round-robin");
+        assert_eq!(ReverseRoundRobin.name(), "reverse-round-robin");
+        assert_eq!(SeededRandom::default().name(), "seeded-random");
+        assert_eq!(DoubleActivation.name(), "double-activation");
+    }
+
+    #[test]
+    fn reverse_round_robin_reverses() {
+        let ids: Vec<ParticleId> = (0..4).map(ParticleId).collect();
+        let order = ReverseRoundRobin.round_order(&ids, 0);
+        assert_eq!(order.first(), Some(&ParticleId(3)));
+        assert_eq!(order.last(), Some(&ParticleId(0)));
+    }
+}

@@ -1,0 +1,454 @@
+//! The particle system: configuration and movement operations (Section 2.2).
+
+use crate::algorithm::{Algorithm, InitContext};
+use crate::particle::{Particle, ParticleId};
+use pm_grid::{Direction, Point, Shape, DIRECTIONS};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error returned by a movement operation that violates the amoebot
+/// model's rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoveError {
+    /// The particle attempted to expand while already expanded.
+    AlreadyExpanded,
+    /// The particle attempted to contract while contracted.
+    NotExpanded,
+    /// The expansion target is occupied by a contracted particle (no
+    /// handover is possible).
+    TargetOccupied,
+    /// The handover partner is not in a state that permits the handover.
+    InvalidHandover,
+    /// The referenced particle id does not exist.
+    NoSuchParticle,
+}
+
+impl fmt::Display for MoveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            MoveError::AlreadyExpanded => "particle is already expanded",
+            MoveError::NotExpanded => "particle is not expanded",
+            MoveError::TargetOccupied => "target point is occupied by a contracted particle",
+            MoveError::InvalidHandover => "handover partner is not in a valid state",
+            MoveError::NoSuchParticle => "no such particle",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for MoveError {}
+
+/// The particle system: a set of particles on the triangular grid together
+/// with the occupancy map, movement operations and movement counters.
+///
+/// The generic parameter `M` is the algorithm-specific per-particle memory.
+///
+/// Unlike most of the amoebot literature (and following this paper), the
+/// system does **not** enforce connectivity after every move: temporary
+/// disconnection is allowed, and only the initial and final configurations of
+/// an algorithm are required to be connected.
+#[derive(Clone, Debug)]
+pub struct ParticleSystem<M> {
+    particles: Vec<Particle<M>>,
+    occupancy: HashMap<Point, ParticleId>,
+    expansions: u64,
+    contractions: u64,
+    handovers: u64,
+}
+
+impl<M> ParticleSystem<M> {
+    /// Creates a system of contracted particles, one per point of `shape`,
+    /// with memories produced by the algorithm's initializer.
+    ///
+    /// This corresponds to the paper's permitted initial configurations:
+    /// connected (not enforced here — generators produce connected shapes and
+    /// the election pipeline checks it), non-empty, contracted.
+    pub fn from_shape<A>(shape: &Shape, algorithm: &A) -> ParticleSystem<M>
+    where
+        A: Algorithm<Memory = M> + ?Sized,
+    {
+        let analysis = shape.analyze();
+        let mut particles = Vec::with_capacity(shape.len());
+        let mut occupancy = HashMap::with_capacity(shape.len());
+        for point in shape.iter() {
+            let mut occupied = [false; 6];
+            let mut outer = [false; 6];
+            for (i, d) in DIRECTIONS.iter().enumerate() {
+                let n = point.neighbor(*d);
+                occupied[i] = shape.contains(n);
+                outer[i] = !shape.contains(n) && analysis.is_outer_face_point(n);
+            }
+            let ctx = InitContext {
+                point,
+                occupied,
+                outer,
+                is_boundary: occupied.iter().any(|o| !o),
+            };
+            let memory = algorithm.init(&ctx);
+            let id = ParticleId(particles.len());
+            occupancy.insert(point, id);
+            particles.push(Particle::contracted(point, memory));
+        }
+        ParticleSystem {
+            particles,
+            occupancy,
+            expansions: 0,
+            contractions: 0,
+            handovers: 0,
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Whether the system has no particles.
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// All particle ids, in creation order.
+    pub fn ids(&self) -> impl Iterator<Item = ParticleId> {
+        (0..self.particles.len()).map(ParticleId)
+    }
+
+    /// The particle with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn particle(&self, id: ParticleId) -> &Particle<M> {
+        &self.particles[id.0]
+    }
+
+    /// Mutable access to the particle with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn particle_mut(&mut self, id: ParticleId) -> &mut Particle<M> {
+        &mut self.particles[id.0]
+    }
+
+    /// The particle occupying `point` (as head or tail), if any.
+    pub fn particle_at(&self, point: Point) -> Option<ParticleId> {
+        self.occupancy.get(&point).copied()
+    }
+
+    /// Whether `point` is occupied by some particle.
+    pub fn is_occupied(&self, point: Point) -> bool {
+        self.occupancy.contains_key(&point)
+    }
+
+    /// The current shape of the particle system: the set of occupied points.
+    pub fn shape(&self) -> Shape {
+        Shape::from_points(self.occupancy.keys().copied())
+    }
+
+    /// Whether the particle system's shape is currently connected.
+    pub fn is_connected(&self) -> bool {
+        self.shape().is_connected()
+    }
+
+    /// Whether every particle is contracted.
+    pub fn all_contracted(&self) -> bool {
+        self.particles.iter().all(|p| p.is_contracted())
+    }
+
+    /// Whether every particle has reached a final state.
+    pub fn all_terminated(&self) -> bool {
+        self.particles.iter().all(|p| p.is_terminated())
+    }
+
+    /// The distinct particles adjacent to any point occupied by `id`
+    /// (the paper's `N(p)`), in deterministic order.
+    pub fn neighbors_of(&self, id: ParticleId) -> Vec<ParticleId> {
+        let particle = self.particle(id);
+        let mut out: Vec<ParticleId> = particle
+            .occupied_points()
+            .flat_map(|p| p.neighbors())
+            .filter_map(|n| self.particle_at(n))
+            .filter(|other| *other != id)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Movement counters: `(expansions, contractions, handovers)`.
+    pub fn move_counts(&self) -> (u64, u64, u64) {
+        (self.expansions, self.contractions, self.handovers)
+    }
+
+    /// Expands the contracted particle `id` from its point into the adjacent
+    /// point in direction `dir`.
+    ///
+    /// If the target point is empty this is a plain expansion. If the target
+    /// point is occupied by an **expanded** particle, the move is performed
+    /// as a handover: the occupying particle contracts out of the target
+    /// point and `id` expands into it, atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoveError::AlreadyExpanded`] if `id` is expanded, and
+    /// [`MoveError::TargetOccupied`] if the target is occupied by a
+    /// contracted particle.
+    pub fn expand(&mut self, id: ParticleId, dir: Direction) -> Result<(), MoveError> {
+        if id.0 >= self.particles.len() {
+            return Err(MoveError::NoSuchParticle);
+        }
+        if self.particles[id.0].is_expanded() {
+            return Err(MoveError::AlreadyExpanded);
+        }
+        let origin = self.particles[id.0].head;
+        let target = origin.neighbor(dir);
+        match self.particle_at(target) {
+            None => {
+                self.particles[id.0].head = target;
+                // Tail stays at `origin`.
+                self.occupancy.insert(target, id);
+                self.expansions += 1;
+                Ok(())
+            }
+            Some(other_id) => {
+                let other = &self.particles[other_id.0];
+                if other.is_contracted() {
+                    return Err(MoveError::TargetOccupied);
+                }
+                // Handover: `other` contracts out of `target`, `id` expands
+                // into it.
+                if other.tail == target {
+                    self.particles[other_id.0].tail = self.particles[other_id.0].head;
+                } else {
+                    debug_assert_eq!(other.head, target);
+                    self.particles[other_id.0].head = self.particles[other_id.0].tail;
+                }
+                self.particles[id.0].head = target;
+                self.occupancy.insert(target, id);
+                self.handovers += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Contracts the expanded particle `id` into its head point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoveError::NotExpanded`] if the particle is contracted.
+    pub fn contract_to_head(&mut self, id: ParticleId) -> Result<(), MoveError> {
+        if id.0 >= self.particles.len() {
+            return Err(MoveError::NoSuchParticle);
+        }
+        let particle = &self.particles[id.0];
+        if particle.is_contracted() {
+            return Err(MoveError::NotExpanded);
+        }
+        let tail = particle.tail;
+        // The tail slot is released only if it still belongs to this
+        // particle (it always does: handovers update occupancy eagerly).
+        if self.occupancy.get(&tail) == Some(&id) {
+            self.occupancy.remove(&tail);
+        }
+        self.particles[id.0].tail = self.particles[id.0].head;
+        self.contractions += 1;
+        Ok(())
+    }
+
+    /// Contracts the expanded particle `id` into its tail point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoveError::NotExpanded`] if the particle is contracted.
+    pub fn contract_to_tail(&mut self, id: ParticleId) -> Result<(), MoveError> {
+        if id.0 >= self.particles.len() {
+            return Err(MoveError::NoSuchParticle);
+        }
+        let particle = &self.particles[id.0];
+        if particle.is_contracted() {
+            return Err(MoveError::NotExpanded);
+        }
+        let head = particle.head;
+        if self.occupancy.get(&head) == Some(&id) {
+            self.occupancy.remove(&head);
+        }
+        self.particles[id.0].head = self.particles[id.0].tail;
+        self.contractions += 1;
+        Ok(())
+    }
+
+    /// Consumes the system and returns the particles.
+    pub fn into_particles(self) -> Vec<Particle<M>> {
+        self.particles
+    }
+
+    /// Iterates over `(id, particle)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParticleId, &Particle<M>)> {
+        self.particles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ParticleId(i), p))
+    }
+
+    /// Checks the internal occupancy invariants (every occupied point maps to
+    /// the particle occupying it, and vice versa); used by tests and debug
+    /// assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut expected: HashMap<Point, ParticleId> = HashMap::new();
+        for (i, p) in self.particles.iter().enumerate() {
+            for pt in p.occupied_points() {
+                if let Some(prev) = expected.insert(pt, ParticleId(i)) {
+                    return Err(format!("point {pt} occupied by both {prev} and P{i}"));
+                }
+            }
+            if p.is_expanded() && !p.head.is_adjacent(p.tail) {
+                return Err(format!("particle P{i} occupies non-adjacent points"));
+            }
+        }
+        if expected.len() != self.occupancy.len() {
+            return Err(format!(
+                "occupancy size mismatch: map has {} entries, particles occupy {}",
+                self.occupancy.len(),
+                expected.len()
+            ));
+        }
+        for (pt, id) in &expected {
+            if self.occupancy.get(pt) != Some(id) {
+                return Err(format!("occupancy map disagrees at {pt}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{ActivationContext, Algorithm};
+    use pm_grid::builder::line;
+
+    struct Dummy;
+    impl Algorithm for Dummy {
+        type Memory = u32;
+        fn init(&self, ctx: &InitContext) -> u32 {
+            // Record the number of occupied neighbours at init time.
+            ctx.occupied.iter().filter(|o| **o).count() as u32
+        }
+        fn activate(&self, ctx: &mut ActivationContext<'_, u32>) {
+            ctx.terminate();
+        }
+    }
+
+    fn system_on_line(n: u32) -> ParticleSystem<u32> {
+        ParticleSystem::from_shape(&line(n), &Dummy)
+    }
+
+    #[test]
+    fn from_shape_creates_contracted_particles() {
+        let sys = system_on_line(4);
+        assert_eq!(sys.len(), 4);
+        assert!(sys.all_contracted());
+        assert!(!sys.all_terminated());
+        assert!(sys.is_connected());
+        assert_eq!(sys.shape(), line(4));
+        sys.check_invariants().unwrap();
+        // Endpoint particles saw one occupied neighbour, midpoints two.
+        let endpoint = sys.particle_at(Point::new(0, 0)).unwrap();
+        let midpoint = sys.particle_at(Point::new(1, 0)).unwrap();
+        assert_eq!(*sys.particle(endpoint).memory(), 1);
+        assert_eq!(*sys.particle(midpoint).memory(), 2);
+    }
+
+    #[test]
+    fn expand_and_contract() {
+        let mut sys = system_on_line(2);
+        let id = sys.particle_at(Point::new(1, 0)).unwrap();
+        // Expand east into an empty point.
+        sys.expand(id, Direction::E).unwrap();
+        assert!(sys.particle(id).is_expanded());
+        assert_eq!(sys.particle(id).head(), Point::new(2, 0));
+        assert_eq!(sys.particle(id).tail(), Point::new(1, 0));
+        assert!(sys.is_occupied(Point::new(2, 0)));
+        sys.check_invariants().unwrap();
+        // Cannot expand again while expanded.
+        assert_eq!(sys.expand(id, Direction::E), Err(MoveError::AlreadyExpanded));
+        // Contract to head frees the tail point.
+        sys.contract_to_head(id).unwrap();
+        assert!(sys.particle(id).is_contracted());
+        assert!(!sys.is_occupied(Point::new(1, 0)));
+        sys.check_invariants().unwrap();
+        assert_eq!(sys.move_counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn contract_to_tail_frees_head() {
+        let mut sys = system_on_line(1);
+        let id = sys.particle_at(Point::new(0, 0)).unwrap();
+        sys.expand(id, Direction::SE).unwrap();
+        sys.contract_to_tail(id).unwrap();
+        assert_eq!(sys.particle(id).head(), Point::new(0, 0));
+        assert!(!sys.is_occupied(Point::new(0, 1)));
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn expansion_into_contracted_particle_fails() {
+        let mut sys = system_on_line(2);
+        let id = sys.particle_at(Point::new(0, 0)).unwrap();
+        assert_eq!(sys.expand(id, Direction::E), Err(MoveError::TargetOccupied));
+    }
+
+    #[test]
+    fn handover_transfers_the_point() {
+        let mut sys = system_on_line(2);
+        let left = sys.particle_at(Point::new(0, 0)).unwrap();
+        let right = sys.particle_at(Point::new(1, 0)).unwrap();
+        // Right expands east, then left performs a handover into right's tail.
+        sys.expand(right, Direction::E).unwrap();
+        sys.expand(left, Direction::E).unwrap();
+        assert!(sys.particle(left).is_expanded());
+        assert!(sys.particle(right).is_contracted());
+        assert_eq!(sys.particle(right).head(), Point::new(2, 0));
+        assert_eq!(sys.particle(left).head(), Point::new(1, 0));
+        assert_eq!(sys.particle(left).tail(), Point::new(0, 0));
+        sys.check_invariants().unwrap();
+        let (expansions, _, handovers) = sys.move_counts();
+        assert_eq!(expansions, 1);
+        assert_eq!(handovers, 1);
+    }
+
+    #[test]
+    fn contracting_a_contracted_particle_fails() {
+        let mut sys = system_on_line(1);
+        let id = sys.particle_at(Point::new(0, 0)).unwrap();
+        assert_eq!(sys.contract_to_head(id), Err(MoveError::NotExpanded));
+        assert_eq!(sys.contract_to_tail(id), Err(MoveError::NotExpanded));
+    }
+
+    #[test]
+    fn neighbors_of_reports_distinct_adjacent_particles() {
+        let sys = ParticleSystem::from_shape(&pm_grid::builder::hexagon(1), &Dummy);
+        let center = sys.particle_at(Point::new(0, 0)).unwrap();
+        assert_eq!(sys.neighbors_of(center).len(), 6);
+        let rim = sys.particle_at(Point::new(1, 0)).unwrap();
+        assert_eq!(sys.neighbors_of(rim).len(), 3);
+    }
+
+    #[test]
+    fn disconnection_is_permitted_and_detected() {
+        let mut sys = system_on_line(3);
+        let middle = sys.particle_at(Point::new(1, 0)).unwrap();
+        // The middle particle walks away to the south: the system disconnects.
+        sys.expand(middle, Direction::SE).unwrap();
+        sys.contract_to_head(middle).unwrap();
+        assert!(!sys.is_connected());
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn move_error_display() {
+        assert_eq!(MoveError::NotExpanded.to_string(), "particle is not expanded");
+        assert!(MoveError::TargetOccupied.to_string().contains("occupied"));
+    }
+}

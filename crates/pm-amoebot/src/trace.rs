@@ -1,0 +1,101 @@
+//! Execution statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Statistics of one algorithm execution, as counted by
+/// [`crate::scheduler::Runner`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Number of asynchronous rounds until completion.
+    pub rounds: u64,
+    /// Total number of particle activations.
+    pub activations: u64,
+    /// Number of plain expansions performed.
+    pub expansions: u64,
+    /// Number of contractions performed.
+    pub contractions: u64,
+    /// Number of handovers performed.
+    pub handovers: u64,
+    /// Whether the occupied shape was ever observed disconnected at a round
+    /// boundary (only meaningful when connectivity tracking is enabled).
+    pub ever_disconnected: bool,
+    /// Number of round boundaries at which the shape was disconnected (only
+    /// meaningful when connectivity tracking is enabled).
+    pub disconnected_rounds: u64,
+    /// Whether the final configuration is connected (`None` before a run).
+    pub final_connected: Option<bool>,
+}
+
+impl RunStats {
+    /// Total number of movement operations.
+    pub fn moves(&self) -> u64 {
+        self.expansions + self.contractions + self.handovers
+    }
+
+    /// Merges another run's counters into this one (used when composing
+    /// algorithm phases, e.g. OBD → DLE → Collect).
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.rounds += other.rounds;
+        self.activations += other.activations;
+        self.expansions += other.expansions;
+        self.contractions += other.contractions;
+        self.handovers += other.handovers;
+        self.ever_disconnected |= other.ever_disconnected;
+        self.disconnected_rounds += other.disconnected_rounds;
+        self.final_connected = other.final_connected.or(self.final_connected);
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds={} activations={} moves={} disconnected={}",
+            self.rounds,
+            self.activations,
+            self.moves(),
+            self.ever_disconnected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = RunStats {
+            rounds: 3,
+            activations: 10,
+            expansions: 2,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            rounds: 4,
+            activations: 5,
+            contractions: 1,
+            ever_disconnected: true,
+            final_connected: Some(true),
+            ..RunStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.rounds, 7);
+        assert_eq!(a.activations, 15);
+        assert_eq!(a.moves(), 3);
+        assert!(a.ever_disconnected);
+        assert_eq!(a.final_connected, Some(true));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = RunStats {
+            rounds: 2,
+            ..RunStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("rounds=2"));
+        assert!(text.contains("moves=0"));
+    }
+}

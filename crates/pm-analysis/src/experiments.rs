@@ -1,0 +1,511 @@
+//! One function per experiment of the reproduction (see DESIGN.md §5 and
+//! EXPERIMENTS.md).
+//!
+//! Every function returns a [`Table`] whose rows are the measured series and
+//! whose notes record the derived quantities (scaling exponents, ratios) that
+//! are compared against the paper's claims.
+
+use crate::fit::loglog_slope;
+use crate::stats::ShapeStats;
+use crate::table::Table;
+use crate::workloads;
+use pm_amoebot::scheduler::{DoubleActivation, ReverseRoundRobin, RoundRobin, SeededRandom};
+use pm_baselines::{run_erosion_le, run_quadratic_boundary, run_randomized_boundary, BaselineError};
+use pm_core::collect::CollectSimulator;
+use pm_core::dle::run_dle;
+use pm_core::obd::run_obd;
+use pm_core::pipeline::{elect_leader, ElectionConfig};
+use pm_grid::{Point, Shape};
+
+fn format_ratio(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// The scheduler used for every DLE-based measurement in the experiments.
+///
+/// A fixed-seed random activation order is used instead of plain round robin:
+/// a lexicographic sweep lets a whole erosion front cascade within a single
+/// asynchronous round (a legal but degenerate fair execution that makes every
+/// instance look like `O(1)` rounds), whereas random orders exhibit the
+/// generic behaviour the paper's worst-case bounds describe. Experiment F8
+/// compares the schedulers explicitly.
+fn measurement_scheduler() -> SeededRandom {
+    SeededRandom::new(7)
+}
+
+/// **T1 — empirical Table 1.** Round counts of the paper's two variants and
+/// of the baseline families on a mixed shape family, next to the workload
+/// parameters each bound is stated in.
+pub fn experiment_table1(scale: u32) -> Table {
+    let mut table = Table::new(
+        format!("T1: empirical Table 1 (scale {scale})"),
+        &[
+            "shape",
+            "n",
+            "D_A",
+            "L_out+D",
+            "DLE+Collect [this, O(D_A)]",
+            "OBD+DLE+Collect [this, O(L_out+D)]",
+            "erosion [22], O(n)",
+            "randomized [10], O(L_out+D)",
+            "quadratic [3], O(n^2)",
+        ],
+    );
+    for (label, shape) in workloads::table1_family(scale) {
+        let stats = ShapeStats::compute(&shape);
+        let with_knowledge = elect_leader(
+            &shape,
+            &ElectionConfig::with_boundary_knowledge(),
+            &mut measurement_scheduler(),
+        )
+        .expect("election succeeds");
+        let without = elect_leader(
+            &shape,
+            &ElectionConfig::default(),
+            &mut measurement_scheduler(),
+        )
+        .expect("election succeeds");
+        let erosion = match run_erosion_le(&shape, measurement_scheduler()) {
+            Ok(o) => o.rounds.to_string(),
+            Err(BaselineError::Stuck { .. }) => "stuck (holes)".to_string(),
+            Err(e) => format!("error: {e}"),
+        };
+        let randomized = run_randomized_boundary(&shape, 7)
+            .map(|o| o.rounds.to_string())
+            .unwrap_or_else(|e| format!("error: {e}"));
+        let quadratic = run_quadratic_boundary(&shape)
+            .map(|o| o.rounds.to_string())
+            .unwrap_or_else(|e| format!("error: {e}"));
+        table.push_row([
+            label,
+            stats.n.to_string(),
+            stats.d_a.to_string(),
+            stats.lout_plus_d().to_string(),
+            with_knowledge.total_rounds.to_string(),
+            without.total_rounds.to_string(),
+            erosion,
+            randomized,
+            quadratic,
+        ]);
+    }
+    table.push_note(
+        "Paper's claim: both variants of this paper are linear (in D_A resp. L_out+D); \
+         the deterministic baselines are Omega(n) / O(n^2) and the erosion family \
+         requires hole-free shapes.",
+    );
+    table
+}
+
+/// **F2 — Theorem 18.** DLE round counts against `D_A` on hexagons and
+/// randomly perforated hexagons; the log–log slope should be ≈ 1.
+pub fn experiment_dle_scaling(radii: &[u32]) -> Table {
+    let mut table = Table::new(
+        "F2: DLE rounds vs area diameter D_A (Theorem 18)",
+        &["shape", "n", "D_A", "DLE rounds", "rounds / D_A"],
+    );
+    let mut hex_points = Vec::new();
+    let mut holey_points = Vec::new();
+    for (label, shape) in workloads::hexagons(radii)
+        .into_iter()
+        .chain(workloads::holey_hexagons(radii, 5))
+    {
+        let stats = ShapeStats::compute(&shape);
+        let outcome = run_dle(&shape, measurement_scheduler(), false).expect("DLE terminates");
+        assert!(outcome.predicate_holds(), "unique leader required");
+        let ratio = outcome.stats.rounds as f64 / stats.d_a.max(1) as f64;
+        if label.starts_with("hexagon") {
+            hex_points.push((stats.d_a as f64, outcome.stats.rounds as f64));
+        } else {
+            holey_points.push((stats.d_a as f64, outcome.stats.rounds as f64));
+        }
+        table.push_row([
+            label,
+            stats.n.to_string(),
+            stats.d_a.to_string(),
+            outcome.stats.rounds.to_string(),
+            format_ratio(ratio),
+        ]);
+    }
+    if let Some(slope) = loglog_slope(&hex_points) {
+        table.push_note(format!(
+            "hexagons: empirical exponent rounds ~ D_A^{slope:.2} (paper: 1.0)"
+        ));
+    }
+    if let Some(slope) = loglog_slope(&holey_points) {
+        table.push_note(format!(
+            "perforated hexagons: empirical exponent rounds ~ D_A^{slope:.2} (paper: 1.0)"
+        ));
+    }
+    table
+}
+
+/// **F3 — ablation: the power of movement and disconnection.** DLE against
+/// the no-movement erosion baseline on erosion-hostile simply-connected
+/// shapes (spirals), and on a shape with a hole where erosion stalls
+/// entirely.
+pub fn experiment_erosion_ablation() -> Table {
+    let mut table = Table::new(
+        "F3: DLE vs no-movement erosion (ablation)",
+        &["shape", "n", "D_A", "DLE rounds", "erosion rounds"],
+    );
+    let mut dle_points = Vec::new();
+    let mut erosion_points = Vec::new();
+    // Hole-free shapes first: both approaches are diameter-bounded there.
+    for (label, shape) in workloads::simply_connected_blobs(&[64, 128, 256, 512], 3) {
+        let stats = ShapeStats::compute(&shape);
+        let dle = run_dle(&shape, measurement_scheduler(), false).expect("DLE terminates");
+        let erosion =
+            run_erosion_le(&shape, measurement_scheduler()).expect("simply connected");
+        dle_points.push((stats.d_a as f64, dle.stats.rounds as f64));
+        erosion_points.push((stats.d_a as f64, erosion.rounds as f64));
+        table.push_row([
+            label,
+            stats.n.to_string(),
+            stats.d_a.to_string(),
+            dle.stats.rounds.to_string(),
+            erosion.rounds.to_string(),
+        ]);
+    }
+    // Shapes with holes: erosion cannot finish at all, DLE stays linear.
+    for (label, shape) in workloads::annuli(&[6, 10]).into_iter().chain(workloads::swiss(&[8])) {
+        let stats = ShapeStats::compute(&shape);
+        let dle = run_dle(&shape, measurement_scheduler(), false).expect("DLE terminates");
+        let erosion = match run_erosion_le(&shape, measurement_scheduler()) {
+            Err(BaselineError::Stuck { .. }) => "stuck (hole)".to_string(),
+            Ok(o) => o.rounds.to_string(),
+            Err(e) => format!("error: {e}"),
+        };
+        table.push_row([
+            label,
+            stats.n.to_string(),
+            stats.d_a.to_string(),
+            dle.stats.rounds.to_string(),
+            erosion,
+        ]);
+    }
+    if let (Some(d), Some(e)) = (loglog_slope(&dle_points), loglog_slope(&erosion_points)) {
+        table.push_note(format!(
+            "hole-free blobs: DLE rounds ~ D_A^{d:.2}, erosion rounds ~ D_A^{e:.2}; \
+             the qualitative separation is the hole rows, where erosion-style election \
+             (the [22]/[27] family) cannot make progress while DLE stays linear in D_A."
+        ));
+    }
+    table
+}
+
+/// **F4 — Theorem 23 / Corollary 22.** Collect round counts against the grid
+/// eccentricity of the leader, on post-DLE configurations of thin annuli (the
+/// sparsest breadcrumb trails) and on synthetic breadcrumb lines.
+pub fn experiment_collect_scaling(eccentricities: &[u32]) -> Table {
+    let mut table = Table::new(
+        "F4: Collect rounds vs eps_G(l) (Theorem 23)",
+        &[
+            "input",
+            "eps_G(l)",
+            "collect rounds",
+            "rounds / eps",
+            "phases",
+            "final connected",
+        ],
+    );
+    let mut points = Vec::new();
+    for &eps in eccentricities {
+        let positions: Vec<Point> = (0..=eps as i32).map(|i| Point::new(i, 0)).collect();
+        let mut sim = CollectSimulator::new(Point::ORIGIN, &positions);
+        let outcome = sim.run();
+        points.push((eps as f64, outcome.rounds as f64));
+        table.push_row([
+            format!("breadcrumb-line({eps})"),
+            eps.to_string(),
+            outcome.rounds.to_string(),
+            format_ratio(outcome.rounds as f64 / eps.max(1) as f64),
+            outcome.phases.len().to_string(),
+            outcome.final_connected.to_string(),
+        ]);
+    }
+    for (label, shape) in workloads::thin_annuli(&[6, 10, 14]) {
+        let dle = run_dle(&shape, SeededRandom::new(0), false).expect("DLE terminates");
+        let mut sim = CollectSimulator::new(dle.leader_point, &dle.final_positions);
+        let outcome = sim.run();
+        points.push((outcome.eccentricity as f64, outcome.rounds as f64));
+        table.push_row([
+            format!("post-DLE {label}"),
+            outcome.eccentricity.to_string(),
+            outcome.rounds.to_string(),
+            format_ratio(outcome.rounds as f64 / outcome.eccentricity.max(1) as f64),
+            outcome.phases.len().to_string(),
+            outcome.final_connected.to_string(),
+        ]);
+    }
+    if let Some(slope) = loglog_slope(&points) {
+        table.push_note(format!(
+            "empirical exponent rounds ~ eps^{slope:.2} (paper: 1.0, Theorem 23)"
+        ));
+    }
+    table
+}
+
+/// **F5 — Lemma 19.** The breadcrumb property of post-DLE configurations: a
+/// contracted particle at every grid distance up to `ε_G(l)` and none beyond.
+pub fn experiment_breadcrumbs() -> Table {
+    let mut table = Table::new(
+        "F5: breadcrumbs after DLE (Lemma 19)",
+        &[
+            "shape",
+            "n",
+            "eps_G(l)",
+            "missing distances",
+            "particles beyond eps",
+            "DLE final connected",
+            "after Collect connected",
+        ],
+    );
+    let shapes: Vec<(String, Shape)> = workloads::hexagons(&[4])
+        .into_iter()
+        .chain(workloads::annuli(&[6]))
+        .chain(workloads::thin_annuli(&[8]))
+        .chain(workloads::swiss(&[6]))
+        .chain(workloads::blobs(&[150], 9))
+        .collect();
+    for (label, shape) in shapes {
+        let dle = run_dle(&shape, SeededRandom::new(1), true).expect("DLE terminates");
+        let l = dle.leader_point;
+        let eps = dle
+            .final_positions
+            .iter()
+            .map(|p| l.grid_distance(*p))
+            .max()
+            .unwrap_or(0);
+        let missing = (0..=eps)
+            .filter(|d| !dle.final_positions.iter().any(|p| l.grid_distance(*p) == *d))
+            .count();
+        let initial_eps = shape.iter().map(|p| l.grid_distance(p)).max().unwrap_or(0);
+        let beyond = dle
+            .final_positions
+            .iter()
+            .filter(|p| l.grid_distance(**p) > initial_eps)
+            .count();
+        let mut sim = CollectSimulator::new(l, &dle.final_positions);
+        let collect = sim.run();
+        table.push_row([
+            label,
+            shape.len().to_string(),
+            eps.to_string(),
+            missing.to_string(),
+            beyond.to_string(),
+            dle.stats.final_connected.unwrap_or(false).to_string(),
+            collect.final_connected.to_string(),
+        ]);
+    }
+    table.push_note("Lemma 19 predicts 0 missing distances and 0 particles beyond eps_G(l).");
+    table
+}
+
+/// **F6 — Theorem 41.** OBD round counts against `L_out + D`, with the
+/// unpipelined quadratic baseline for contrast.
+pub fn experiment_obd_scaling(radii: &[u32]) -> Table {
+    let mut table = Table::new(
+        "F6: OBD rounds vs L_out + D (Theorem 41)",
+        &[
+            "shape",
+            "L_out+D",
+            "OBD rounds",
+            "rounds / (L_out+D)",
+            "quadratic [3] rounds",
+        ],
+    );
+    let mut pipelined = Vec::new();
+    let mut sequential = Vec::new();
+    for (label, shape) in workloads::hexagons(radii)
+        .into_iter()
+        .chain(workloads::annuli(radii))
+    {
+        let stats = ShapeStats::compute(&shape);
+        let obd = run_obd(&shape);
+        assert!(obd.unique_outer());
+        let quad = run_quadratic_boundary(&shape).expect("baseline runs");
+        let denom = stats.lout_plus_d() as f64;
+        pipelined.push((denom, obd.rounds as f64));
+        sequential.push((denom, quad.rounds as f64));
+        table.push_row([
+            label,
+            stats.lout_plus_d().to_string(),
+            obd.rounds.to_string(),
+            format_ratio(obd.rounds as f64 / denom),
+            quad.rounds.to_string(),
+        ]);
+    }
+    if let (Some(p), Some(s)) = (loglog_slope(&pipelined), loglog_slope(&sequential)) {
+        table.push_note(format!(
+            "empirical exponents: OBD ~ (L_out+D)^{p:.2} (paper: 1.0); \
+             unpipelined baseline ~ (L_out+D)^{s:.2} (paper: ~2.0)"
+        ));
+    }
+    table
+}
+
+/// **F7 — the assumption-free pipeline.** Per-phase and total round counts of
+/// `OBD → DLE → Collect` against `L_out + D`.
+pub fn experiment_full_pipeline(radii: &[u32]) -> Table {
+    let mut table = Table::new(
+        "F7: full pipeline OBD -> DLE -> Collect (Table 1, last row)",
+        &[
+            "shape",
+            "n",
+            "L_out+D",
+            "OBD",
+            "DLE",
+            "Collect",
+            "total",
+            "total / (L_out+D)",
+            "unique leader & connected",
+        ],
+    );
+    let mut points = Vec::new();
+    for (label, shape) in workloads::hexagons(radii)
+        .into_iter()
+        .chain(workloads::holey_hexagons(radii, 11))
+    {
+        let stats = ShapeStats::compute(&shape);
+        let outcome = elect_leader(
+            &shape,
+            &ElectionConfig::default(),
+            &mut measurement_scheduler(),
+        )
+        .expect("election succeeds");
+        let (obd, dle, collect) = outcome.phase_rounds();
+        let denom = stats.lout_plus_d() as f64;
+        points.push((denom, outcome.total_rounds as f64));
+        table.push_row([
+            label,
+            stats.n.to_string(),
+            stats.lout_plus_d().to_string(),
+            obd.to_string(),
+            dle.to_string(),
+            collect.to_string(),
+            outcome.total_rounds.to_string(),
+            format_ratio(outcome.total_rounds as f64 / denom),
+            outcome.predicate_holds().to_string(),
+        ]);
+    }
+    if let Some(slope) = loglog_slope(&points) {
+        table.push_note(format!(
+            "empirical exponent total ~ (L_out+D)^{slope:.2} (paper: 1.0)"
+        ));
+    }
+    table
+}
+
+/// **F8 — scheduler robustness.** DLE round counts on fixed shapes under the
+/// four fair strong schedulers; the counts must stay `O(D_A)` (the bound is
+/// worst-case over all fair executions).
+pub fn experiment_scheduler_robustness() -> Table {
+    let mut table = Table::new(
+        "F8: DLE rounds under different fair strong schedulers",
+        &[
+            "shape",
+            "D_A",
+            "round-robin",
+            "reverse",
+            "random(0)",
+            "random(1)",
+            "double-activation",
+        ],
+    );
+    let shapes: Vec<(String, Shape)> = workloads::hexagons(&[6])
+        .into_iter()
+        .chain(workloads::annuli(&[8]))
+        .chain(workloads::swiss(&[6]))
+        .collect();
+    for (label, shape) in shapes {
+        let stats = ShapeStats::compute(&shape);
+        let rr = run_dle(&shape, RoundRobin, false).unwrap();
+        let rev = run_dle(&shape, ReverseRoundRobin, false).unwrap();
+        let r0 = run_dle(&shape, SeededRandom::new(0), false).unwrap();
+        let r1 = run_dle(&shape, SeededRandom::new(1), false).unwrap();
+        let da = run_dle(&shape, DoubleActivation, false).unwrap();
+        for outcome in [&rr, &rev, &r0, &r1, &da] {
+            assert!(outcome.predicate_holds());
+        }
+        table.push_row([
+            label,
+            stats.d_a.to_string(),
+            rr.stats.rounds.to_string(),
+            rev.stats.rounds.to_string(),
+            r0.stats.rounds.to_string(),
+            r1.stats.rounds.to_string(),
+            da.stats.rounds.to_string(),
+        ]);
+    }
+    table.push_note(
+        "All counts stay within a small constant factor of D_A: the O(D_A) bound is \
+         scheduler-independent (worst case over fair executions).",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_runs_and_orders_algorithms() {
+        let table = experiment_table1(4);
+        assert_eq!(table.rows.len(), 6);
+        assert!(table.to_string().contains("hexagon(4)"));
+        // The erosion baseline must report being stuck on the holey rows.
+        let text = table.to_string();
+        assert!(text.contains("stuck"));
+    }
+
+    #[test]
+    fn dle_scaling_slope_is_close_to_linear() {
+        let table = experiment_dle_scaling(&[3, 5, 7, 9]);
+        let note = table.notes.join(" ");
+        // Extract no numbers here; just assert the note exists and rows are
+        // populated. The numeric check lives in the integration tests.
+        assert!(note.contains("empirical exponent"));
+        assert_eq!(table.rows.len(), 8);
+    }
+
+    #[test]
+    fn erosion_ablation_reports_stuck_on_holes() {
+        let table = experiment_erosion_ablation();
+        assert!(table.to_string().contains("stuck (hole)"));
+    }
+
+    #[test]
+    fn collect_scaling_has_connected_outputs() {
+        let table = experiment_collect_scaling(&[8, 16, 32]);
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "true");
+        }
+    }
+
+    #[test]
+    fn breadcrumbs_table_reports_no_violations() {
+        let table = experiment_breadcrumbs();
+        for row in &table.rows {
+            assert_eq!(row[3], "0", "missing distances in {row:?}");
+            assert_eq!(row[4], "0", "particles beyond eps in {row:?}");
+            assert_eq!(row.last().unwrap(), "true");
+        }
+    }
+
+    #[test]
+    fn obd_scaling_and_pipeline_tables_run() {
+        let obd = experiment_obd_scaling(&[3, 5, 7]);
+        assert_eq!(obd.rows.len(), 6);
+        let pipeline = experiment_full_pipeline(&[3, 5]);
+        assert_eq!(pipeline.rows.len(), 4);
+        for row in &pipeline.rows {
+            assert_eq!(row.last().unwrap(), "true");
+        }
+    }
+
+    #[test]
+    fn scheduler_robustness_runs() {
+        let table = experiment_scheduler_robustness();
+        assert_eq!(table.rows.len(), 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Least-squares fits used to check the scaling claims (linear in `D_A`,
+//! linear in `L_out + D`, quadratic for the unpipelined baseline, …).
+
+use serde::{Deserialize, Serialize};
+
+/// A least-squares line `y = slope · x + intercept` with its coefficient of
+/// determination.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Fit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination `R²` (1.0 for a perfect fit, `NaN` when
+    /// the variance of `y` is zero).
+    pub r2: f64,
+}
+
+/// Ordinary least-squares fit of `y` against `x`.
+///
+/// Returns `None` when fewer than two points are given or all `x` values are
+/// identical.
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<Fit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot.abs() < f64::EPSILON {
+        f64::NAN
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(Fit {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+/// The slope of the least-squares fit of `log y` against `log x`: the
+/// empirical polynomial exponent of the scaling `y ~ x^slope`.
+///
+/// Points with non-positive coordinates are skipped. Returns `None` when
+/// fewer than two usable points remain.
+pub fn loglog_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    linear_fit(&logs).map(|f| f.slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_perfect_line() {
+        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let fit = linear_fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 2.0).abs() < 1e-9);
+        assert!((fit.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_recovers_exponents() {
+        let linear: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 7.0 * i as f64)).collect();
+        let quadratic: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 0.5 * (i * i) as f64)).collect();
+        assert!((loglog_slope(&linear).unwrap() - 1.0).abs() < 0.01);
+        assert!((loglog_slope(&quadratic).unwrap() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+        assert!(loglog_slope(&[(0.0, 1.0), (-1.0, 2.0)]).is_none());
+    }
+}

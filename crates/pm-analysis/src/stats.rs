@@ -1,0 +1,87 @@
+//! Per-shape workload statistics.
+
+use pm_grid::{Metric, Shape};
+use serde::{Deserialize, Serialize};
+
+/// The parameters the paper's bounds are stated in, computed for one shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShapeStats {
+    /// Number of particles `n`.
+    pub n: usize,
+    /// Number of points of the area `n_A` (particles plus hole points).
+    pub n_area: usize,
+    /// Diameter `D` of the shape with respect to itself.
+    pub d: u32,
+    /// Diameter `D_A` of the shape with respect to its area.
+    pub d_a: u32,
+    /// Diameter `D_G` of the shape with respect to the full grid.
+    pub d_g: u32,
+    /// Length `L_out` of the outer boundary (number of points).
+    pub l_out: usize,
+    /// Maximum boundary length `L_max`.
+    pub l_max: usize,
+    /// Number of holes.
+    pub holes: usize,
+}
+
+impl ShapeStats {
+    /// Computes the statistics of a connected shape (exact diameters; runs
+    /// one BFS per particle, which is fine up to a few thousand particles).
+    pub fn compute(shape: &Shape) -> ShapeStats {
+        let metric = Metric::new(shape);
+        let analysis = shape.analyze();
+        ShapeStats {
+            n: shape.len(),
+            n_area: metric.area().len(),
+            d: metric.diameter().unwrap_or(0),
+            d_a: metric.area_diameter().unwrap_or(0),
+            d_g: metric.grid_diameter(),
+            l_out: analysis.outer_boundary_len(),
+            l_max: analysis.max_boundary_len(),
+            holes: analysis.hole_count(),
+        }
+    }
+
+    /// `L_out + D`, the bound of the assumption-free variant (Table 1, last
+    /// row).
+    pub fn lout_plus_d(&self) -> usize {
+        self.l_out + self.d as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_grid::builder::{annulus, hexagon, line};
+
+    #[test]
+    fn hexagon_stats() {
+        let s = ShapeStats::compute(&hexagon(3));
+        assert_eq!(s.n, 37);
+        assert_eq!(s.n_area, 37);
+        assert_eq!(s.d, 6);
+        assert_eq!(s.d_a, 6);
+        assert_eq!(s.d_g, 6);
+        assert_eq!(s.l_out, 18);
+        assert_eq!(s.holes, 0);
+        assert_eq!(s.lout_plus_d(), 24);
+    }
+
+    #[test]
+    fn annulus_stats_separate_d_and_da() {
+        let s = ShapeStats::compute(&annulus(4, 1));
+        assert_eq!(s.holes, 1);
+        assert!(s.n_area > s.n);
+        assert!(s.d >= s.d_a);
+        assert!(s.d_a >= s.d_g);
+        assert_eq!(s.l_max, s.l_out.max(s.l_max));
+    }
+
+    #[test]
+    fn line_stats() {
+        let s = ShapeStats::compute(&line(10));
+        assert_eq!(s.n, 10);
+        assert_eq!(s.d, 9);
+        assert_eq!(s.l_out, 10);
+    }
+}

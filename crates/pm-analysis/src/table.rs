@@ -1,0 +1,126 @@
+//! Plain-text result tables printed by the benchmark binaries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple column-aligned table with a title and optional footnotes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row should have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes printed below the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are converted with `ToString`).
+    pub fn push_row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: ToString,
+    {
+        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Appends a footnote.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| " --- |").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let widths = self.column_widths();
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders() {
+        let mut t = Table::new("demo", &["shape", "rounds"]);
+        t.push_row(["hexagon(3)", "12"]);
+        t.push_row(["annulus(4,1)", "17"]);
+        t.push_note("rounds are asynchronous rounds");
+        let text = t.to_string();
+        assert!(text.contains("demo"));
+        assert!(text.contains("hexagon(3)"));
+        assert!(text.contains("note:"));
+        let md = t.to_markdown();
+        assert!(md.contains("| shape | rounds |"));
+        assert!(md.contains("| annulus(4,1) | 17 |"));
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = Table::new("ragged", &["a"]);
+        t.push_row(["x", "extra"]);
+        let text = t.to_string();
+        assert!(text.contains("extra"));
+    }
+}

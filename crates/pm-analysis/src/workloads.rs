@@ -1,0 +1,159 @@
+//! Named workload families used by the experiments.
+//!
+//! Each family is a list of `(label, shape)` pairs whose instances grow along
+//! the parameter the corresponding experiment sweeps (diameter, boundary
+//! length, eccentricity, …).
+
+use pm_amoebot::generators::{
+    annulus, comb, dumbbell, hexagon, random_blob, random_holey_hexagon,
+    random_simply_connected_blob, spiral, swiss_cheese,
+};
+use pm_grid::Shape;
+
+/// A named workload instance.
+pub type Workload = (String, Shape);
+
+/// Hexagonal balls of the given radii (hole-free, `n = Θ(D²)`).
+pub fn hexagons(radii: &[u32]) -> Vec<Workload> {
+    radii
+        .iter()
+        .map(|r| (format!("hexagon({r})"), hexagon(*r)))
+        .collect()
+}
+
+/// Annuli with a hole of half the outer radius (`D_A < D`, one large hole).
+pub fn annuli(outer_radii: &[u32]) -> Vec<Workload> {
+    outer_radii
+        .iter()
+        .map(|r| (format!("annulus({r},{})", r / 2), annulus(*r, r / 2)))
+        .collect()
+}
+
+/// Thin annuli of width one (worst case for reconnection: DLE leaves sparse
+/// breadcrumbs across the hole).
+pub fn thin_annuli(outer_radii: &[u32]) -> Vec<Workload> {
+    outer_radii
+        .iter()
+        .map(|r| (format!("annulus({r},{})", r - 1), annulus(*r, r - 1)))
+        .collect()
+}
+
+/// Swiss-cheese hexagons (many small holes).
+pub fn swiss(radii: &[u32]) -> Vec<Workload> {
+    radii
+        .iter()
+        .map(|r| (format!("swiss({r})"), swiss_cheese(*r, 3)))
+        .collect()
+}
+
+/// Random Eden-growth blobs of the given sizes (may contain holes).
+pub fn blobs(sizes: &[usize], seed: u64) -> Vec<Workload> {
+    sizes
+        .iter()
+        .map(|n| (format!("blob({n})"), random_blob(*n, seed ^ *n as u64)))
+        .collect()
+}
+
+/// Random simply-connected blobs (holes filled).
+pub fn simply_connected_blobs(sizes: &[usize], seed: u64) -> Vec<Workload> {
+    sizes
+        .iter()
+        .map(|n| {
+            (
+                format!("sc-blob({n})"),
+                random_simply_connected_blob(*n, seed ^ *n as u64),
+            )
+        })
+        .collect()
+}
+
+/// Randomly perforated hexagons (a fixed fraction of single-point holes).
+pub fn holey_hexagons(radii: &[u32], seed: u64) -> Vec<Workload> {
+    radii
+        .iter()
+        .map(|r| {
+            (
+                format!("holey({r})"),
+                random_holey_hexagon(*r, 0.08, seed ^ *r as u64),
+            )
+        })
+        .collect()
+}
+
+/// Spirals (simply-connected, erosion-hostile: few SCE points at any time).
+pub fn spirals(sizes: &[u32]) -> Vec<Workload> {
+    sizes
+        .iter()
+        .map(|n| (format!("spiral({n})"), spiral(*n)))
+        .collect()
+}
+
+/// Combs (long thin teeth; diameter close to `n`).
+pub fn combs(teeth: &[u32]) -> Vec<Workload> {
+    teeth
+        .iter()
+        .map(|t| (format!("comb({t},{t})"), comb(*t, *t)))
+        .collect()
+}
+
+/// Dumbbells (two balls joined by a corridor; very large diameter for their
+/// size).
+pub fn dumbbells(radii: &[u32]) -> Vec<Workload> {
+    radii
+        .iter()
+        .map(|r| (format!("dumbbell({r},{})", 4 * r), dumbbell(*r, 4 * r)))
+        .collect()
+}
+
+/// The mixed family used by the empirical Table 1: one representative of each
+/// structural class at a comparable particle count.
+pub fn table1_family(scale: u32) -> Vec<Workload> {
+    let mut out = Vec::new();
+    out.extend(hexagons(&[scale]));
+    out.extend(annuli(&[scale + scale / 2]));
+    out.extend(thin_annuli(&[scale + 2]));
+    out.extend(swiss(&[scale]));
+    out.extend(combs(&[scale]));
+    out.extend(blobs(&[(3 * scale * (scale + 1) + 1) as usize], 17));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_are_nonempty_connected_and_labelled() {
+        let families: Vec<Vec<Workload>> = vec![
+            hexagons(&[2, 4]),
+            annuli(&[4, 6]),
+            thin_annuli(&[5]),
+            swiss(&[5]),
+            blobs(&[80], 1),
+            simply_connected_blobs(&[80], 1),
+            holey_hexagons(&[5], 2),
+            spirals(&[30]),
+            combs(&[4]),
+            dumbbells(&[2]),
+            table1_family(4),
+        ];
+        for family in families {
+            assert!(!family.is_empty());
+            for (label, shape) in family {
+                assert!(!label.is_empty());
+                assert!(!shape.is_empty(), "{label} is empty");
+                assert!(shape.is_connected(), "{label} is disconnected");
+            }
+        }
+    }
+
+    #[test]
+    fn annuli_have_holes_and_spirals_do_not() {
+        for (label, shape) in annuli(&[5]) {
+            assert!(shape.analyze().hole_count() >= 1, "{label}");
+        }
+        for (label, shape) in spirals(&[40]) {
+            assert!(shape.is_simply_connected(), "{label}");
+        }
+    }
+}

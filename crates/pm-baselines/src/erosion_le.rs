@@ -1,0 +1,190 @@
+//! The no-movement erosion baseline (the Di Luna et al. [22] / Gastineau et
+//! al. [27] family).
+//!
+//! Candidates erode themselves from the *particle shape* (not the area):
+//! a contracted, undecided particle whose undecided neighbourhood makes it a
+//! strictly convex erodable point of the remaining candidate set becomes a
+//! follower; the last candidate becomes the leader. No particle ever moves.
+//!
+//! On simply-connected shapes this elects a unique leader in `O(n)` rounds
+//! (each round erodes at least the convex corners of the candidate set, but a
+//! snake-like shape erodes only a constant number of particles per round).
+//! On shapes with holes the candidate set can never pierce the hole and the
+//! erosion stalls — which is exactly why this family of algorithms assumes
+//! hole-free initial shapes.
+
+use crate::{BaselineError, BaselineOutcome};
+use pm_amoebot::algorithm::{ActivationContext, Algorithm, InitContext};
+use pm_amoebot::scheduler::{RunError, Runner, Scheduler};
+use pm_amoebot::system::ParticleSystem;
+use pm_core::dle::Status;
+use pm_grid::{local_sce, Shape, DIRECTIONS};
+use serde::{Deserialize, Serialize};
+
+/// Memory of a particle running the erosion baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErosionMemory {
+    /// The election output.
+    pub status: Status,
+}
+
+/// The erosion-only leader-election algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ErosionLeaderElection;
+
+impl Algorithm for ErosionLeaderElection {
+    type Memory = ErosionMemory;
+
+    fn init(&self, _ctx: &InitContext) -> ErosionMemory {
+        ErosionMemory {
+            status: Status::Undecided,
+        }
+    }
+
+    fn activate(&self, ctx: &mut ActivationContext<'_, ErosionMemory>) {
+        let status = ctx.memory().status;
+        if status != Status::Undecided {
+            // Terminate once the whole neighbourhood has decided.
+            let all_decided = ctx
+                .neighbors()
+                .into_iter()
+                .all(|q| ctx.neighbor_memory(q).status != Status::Undecided);
+            if all_decided {
+                ctx.terminate();
+            }
+            return;
+        }
+
+        // Build the candidate mask: neighbours that are still undecided.
+        let mut candidate = [false; 6];
+        for (i, d) in DIRECTIONS.iter().enumerate() {
+            if let Some(q) = ctx.neighbor_at_head(*d) {
+                candidate[i] = ctx.neighbor_memory(q).status == Status::Undecided;
+            }
+        }
+
+        if candidate.iter().all(|c| !c) {
+            // Last remaining candidate in its neighbourhood: on a
+            // simply-connected candidate set this means it is the last
+            // candidate overall.
+            ctx.memory_mut().status = Status::Leader;
+        } else if local_sce(&candidate) {
+            ctx.memory_mut().status = Status::Follower;
+        }
+    }
+}
+
+/// Runs the erosion baseline.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::Stuck`] when the erosion makes no progress within
+/// the round budget — this reliably happens on shapes with holes — and
+/// [`BaselineError::InvalidInput`] for empty or disconnected shapes.
+pub fn run_erosion_le<S: Scheduler>(
+    shape: &Shape,
+    scheduler: S,
+) -> Result<BaselineOutcome, BaselineError> {
+    if shape.is_empty() {
+        return Err(BaselineError::InvalidInput("empty shape"));
+    }
+    if !shape.is_connected() {
+        return Err(BaselineError::InvalidInput("shape must be connected"));
+    }
+    let system = ParticleSystem::from_shape(shape, &ErosionLeaderElection);
+    let mut runner = Runner::new(system, ErosionLeaderElection, scheduler);
+    let budget = 8 * (shape.len() as u64 + 8);
+    match runner.run(budget) {
+        Ok(stats) => {
+            let system = runner.into_system();
+            let mut leaders = 0;
+            let mut leader = None;
+            for (_, p) in system.iter() {
+                if p.memory().status == Status::Leader {
+                    leaders += 1;
+                    leader = Some(p.head());
+                }
+            }
+            Ok(BaselineOutcome {
+                algorithm: "erosion-le",
+                rounds: stats.rounds,
+                leaders,
+                leader,
+            })
+        }
+        Err(RunError::RoundLimitExceeded { limit }) => {
+            Err(BaselineError::Stuck {
+                after_rounds: limit,
+            })
+        }
+        Err(RunError::EmptySystem) => Err(BaselineError::InvalidInput("empty shape")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_amoebot::scheduler::{RoundRobin, SeededRandom};
+    use pm_grid::builder::{annulus, comb, hexagon, line, spiral};
+
+    #[test]
+    fn elects_unique_leader_on_simply_connected_shapes() {
+        for shape in [hexagon(3), line(12), comb(4, 3), spiral(40)] {
+            let outcome = run_erosion_le(&shape, RoundRobin).unwrap();
+            assert_eq!(outcome.leaders, 1, "shape {shape:?}");
+            assert!(outcome.leader.is_some());
+            assert_eq!(outcome.algorithm, "erosion-le");
+        }
+    }
+
+    #[test]
+    fn stalls_on_shapes_with_holes() {
+        let result = run_erosion_le(&annulus(4, 1), RoundRobin);
+        assert!(matches!(result, Err(BaselineError::Stuck { .. })));
+    }
+
+    #[test]
+    fn random_scheduler_also_elects_one_leader() {
+        for seed in 0..3 {
+            let outcome = run_erosion_le(&hexagon(4), SeededRandom::new(seed)).unwrap();
+            assert_eq!(outcome.leaders, 1);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(matches!(
+            run_erosion_le(&Shape::new(), RoundRobin),
+            Err(BaselineError::InvalidInput(_))
+        ));
+        let mut disconnected = hexagon(1);
+        disconnected.insert(pm_grid::Point::new(40, 0));
+        assert!(matches!(
+            run_erosion_le(&disconnected, RoundRobin),
+            Err(BaselineError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn line_takes_linearly_many_rounds_under_random_schedules() {
+        // A line of n particles erodes from its two candidate endpoints only.
+        // Under a scheduler aligned with the line (plain round robin) a whole
+        // prefix can cascade within one asynchronous round, but under random
+        // activation orders the expected progress per round is constant, so
+        // the round count grows linearly in n.
+        let avg = |n: u32| -> f64 {
+            (0..5u64)
+                .map(|s| {
+                    run_erosion_le(&line(n), SeededRandom::new(s)).unwrap().rounds as f64
+                })
+                .sum::<f64>()
+                / 5.0
+        };
+        let r16 = avg(16);
+        let r64 = avg(64);
+        assert!(
+            r64 >= 2.0 * r16,
+            "expected roughly linear growth: {r16} vs {r64}"
+        );
+    }
+}

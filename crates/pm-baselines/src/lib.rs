@@ -1,0 +1,70 @@
+//! Baseline leader-election algorithms for the amoebot model.
+//!
+//! These are the comparison points of the paper's Table 1, implemented at the
+//! fidelity needed to reproduce the table's *ordering* (who wins, by roughly
+//! what factor, and under which assumptions):
+//!
+//! * [`erosion_le`] — the no-movement erosion family (Di Luna et al. [22],
+//!   Gastineau et al. [27]): deterministic, per-activation, `O(n)` rounds,
+//!   **requires a hole-free shape** (it stalls on shapes with holes, which is
+//!   exactly why those papers assume simple connectivity).
+//! * [`randomized_boundary`] — the randomized boundary-election family
+//!   (Derakhshandeh et al. [19], Daymude et al. [10, 11]): coin-flip
+//!   tournament over the outer boundary, `O(L_out + D)` rounds with high
+//!   probability, handles holes, but is randomized.
+//! * [`quadratic_boundary`] — the unpipelined deterministic boundary
+//!   election (Bazzi–Briones [3] style): deterministic, handles holes, elects
+//!   up to six leaders, but pays `O(|s|·|s1|)` per segment comparison and is
+//!   therefore quadratic overall.
+//!
+//! Each baseline returns a [`BaselineOutcome`] so the analysis crate can
+//! tabulate them next to the paper's algorithm.
+
+pub mod erosion_le;
+pub mod quadratic_boundary;
+pub mod randomized_boundary;
+
+use pm_grid::Point;
+use serde::{Deserialize, Serialize};
+
+pub use erosion_le::{run_erosion_le, ErosionLeaderElection, ErosionMemory};
+pub use quadratic_boundary::run_quadratic_boundary;
+pub use randomized_boundary::run_randomized_boundary;
+
+/// The uniform result type of all baselines.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaselineOutcome {
+    /// A short identifier of the algorithm (used in tables).
+    pub algorithm: &'static str,
+    /// Rounds until termination.
+    pub rounds: u64,
+    /// Number of leaders elected (1 except for the multi-leader baselines).
+    pub leaders: usize,
+    /// A representative leader position, if any.
+    pub leader: Option<Point>,
+}
+
+/// Why a baseline failed on a given instance.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaselineError {
+    /// The algorithm made no progress (e.g. erosion on a shape with holes).
+    Stuck {
+        /// Rounds executed before declaring the run stuck.
+        after_rounds: u64,
+    },
+    /// The initial configuration is not supported (empty or disconnected).
+    InvalidInput(&'static str),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Stuck { after_rounds } => {
+                write!(f, "baseline made no progress after {after_rounds} rounds")
+            }
+            BaselineError::InvalidInput(why) => write!(f, "invalid input: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}

@@ -1,0 +1,85 @@
+//! The quadratic deterministic boundary-election baseline (Bazzi–Briones [3]
+//! style).
+//!
+//! This is the same segment competition over boundary v-node rings that the
+//! paper's OBD primitive uses, but with *unpipelined* comparisons: two
+//! segments are compared element by element while frozen, so a comparison
+//! between segments of sizes `|s|` and `|s1|` costs `Θ(|s|·|s1|)` rounds.
+//! That is precisely the bottleneck the paper removes with pipelining
+//! (Section 5.2), and it is what makes this family `O(n²)` overall. The
+//! baseline elects the heads of the surviving outer-boundary segments — up to
+//! six leaders, exactly as in [3].
+
+use crate::{BaselineError, BaselineOutcome};
+use pm_core::obd::{CompetitionCostModel, ObdSimulator};
+use pm_grid::{outer_boundary_ring, Shape};
+
+/// Runs the quadratic boundary-election baseline.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::InvalidInput`] for empty or disconnected shapes.
+pub fn run_quadratic_boundary(shape: &Shape) -> Result<BaselineOutcome, BaselineError> {
+    if shape.is_empty() {
+        return Err(BaselineError::InvalidInput("empty shape"));
+    }
+    if !shape.is_connected() {
+        return Err(BaselineError::InvalidInput("shape must be connected"));
+    }
+    let outcome = ObdSimulator::new(shape).run_with_cost_model(CompetitionCostModel::Sequential);
+    let outer = outcome
+        .decisions
+        .iter()
+        .find(|d| d.declared_outer)
+        .expect("a connected shape has an outer boundary");
+    let ring = outer_boundary_ring(shape);
+    let leader = ring.vnodes().first().map(|v| v.point);
+    Ok(BaselineOutcome {
+        algorithm: "quadratic-boundary",
+        rounds: outcome.rounds,
+        leaders: outer.stable_segments.clamp(1, 6),
+        leader,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_core::obd::run_obd;
+    use pm_grid::builder::{annulus, hexagon, parallelogram};
+
+    #[test]
+    fn elects_at_most_six_leaders_and_handles_holes() {
+        for shape in [hexagon(3), annulus(5, 2), parallelogram(6, 4)] {
+            let outcome = run_quadratic_boundary(&shape).unwrap();
+            assert!(outcome.leaders >= 1 && outcome.leaders <= 6);
+            assert!(outcome.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn slower_than_pipelined_obd() {
+        // The whole point of the paper's pipelining: on the same shape the
+        // sequential comparison model pays substantially more rounds, and the
+        // gap widens with the boundary length.
+        let small = hexagon(4);
+        let large = hexagon(10);
+        let ratio = |shape: &Shape| {
+            let quad = run_quadratic_boundary(shape).unwrap().rounds as f64;
+            let pipe = run_obd(shape).rounds as f64;
+            quad / pipe
+        };
+        let small_ratio = ratio(&small);
+        let large_ratio = ratio(&large);
+        assert!(small_ratio > 1.0, "sequential must be slower ({small_ratio})");
+        assert!(
+            large_ratio > small_ratio,
+            "the gap must widen with size ({small_ratio} -> {large_ratio})"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(run_quadratic_boundary(&Shape::new()).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! The randomized boundary-election baseline (the Derakhshandeh et al. [19] /
+//! Daymude et al. [10, 11] family).
+//!
+//! Candidates sit on the outer boundary and play a coin-flip tournament: in
+//! every phase each surviving candidate flips a fair coin; if at least one
+//! candidate flips heads, the tails candidates retire. A phase costs as many
+//! rounds as the largest gap (in boundary hops) between surviving candidates,
+//! because that is how far the "you lost / you survived" tokens must travel
+//! along the boundary. Once a single candidate remains, the result is flooded
+//! through the shape (one additional `O(D)` term). The expected total is
+//! `O(L_out + D)` rounds, matching the bounds reported in Table 1 for the
+//! randomized algorithms.
+
+use crate::{BaselineError, BaselineOutcome};
+use pm_grid::{outer_boundary_ring, DistanceMap, Shape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs the randomized boundary-election baseline with the given seed.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::InvalidInput`] for empty or disconnected shapes.
+pub fn run_randomized_boundary(shape: &Shape, seed: u64) -> Result<BaselineOutcome, BaselineError> {
+    if shape.is_empty() {
+        return Err(BaselineError::InvalidInput("empty shape"));
+    }
+    if !shape.is_connected() {
+        return Err(BaselineError::InvalidInput("shape must be connected"));
+    }
+    let ring = outer_boundary_ring(shape);
+    let ring_len = ring.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Candidate v-node indices along the outer boundary ring.
+    let mut candidates: Vec<usize> = (0..ring_len).collect();
+    let mut rounds: u64 = 0;
+
+    while candidates.len() > 1 {
+        // Each surviving candidate flips a fair coin.
+        let flips: Vec<bool> = candidates.iter().map(|_| rng.gen_bool(0.5)).collect();
+        let any_heads = flips.iter().any(|h| *h);
+        // The phase costs the largest gap between surviving candidates: the
+        // retirement tokens travel along the boundary between consecutive
+        // candidates, in parallel.
+        let survivors: Vec<usize> = if any_heads {
+            candidates
+                .iter()
+                .zip(&flips)
+                .filter(|(_, heads)| **heads)
+                .map(|(c, _)| *c)
+                .collect()
+        } else {
+            candidates.clone()
+        };
+        let max_gap = if survivors.len() <= 1 {
+            ring_len as u64
+        } else {
+            let mut gap = 0u64;
+            for (i, &c) in survivors.iter().enumerate() {
+                let next = survivors[(i + 1) % survivors.len()];
+                let hops = (next + ring_len - c) % ring_len;
+                gap = gap.max(hops as u64);
+            }
+            gap.max(1)
+        };
+        rounds += max_gap;
+        candidates = survivors;
+    }
+
+    // Termination announcement: flood from the winner through the shape.
+    let winner_vnode = ring.vnodes()[candidates[0]];
+    let winner = winner_vnode.point;
+    let flood = DistanceMap::within_shape(shape, winner)
+        .eccentricity_over(shape.iter())
+        .unwrap_or(0) as u64;
+    rounds += flood;
+
+    Ok(BaselineOutcome {
+        algorithm: "randomized-boundary",
+        rounds,
+        leaders: 1,
+        leader: Some(winner),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_grid::builder::{annulus, hexagon, line};
+    use pm_grid::Metric;
+
+    #[test]
+    fn always_elects_exactly_one_leader() {
+        for seed in 0..5 {
+            for shape in [hexagon(3), annulus(4, 1), line(9)] {
+                let outcome = run_randomized_boundary(&shape, seed).unwrap();
+                assert_eq!(outcome.leaders, 1);
+                assert!(shape.contains(outcome.leader.unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_randomized_boundary(&hexagon(4), 11).unwrap();
+        let b = run_randomized_boundary(&hexagon(4), 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_holes() {
+        let outcome = run_randomized_boundary(&annulus(5, 2), 3).unwrap();
+        assert_eq!(outcome.leaders, 1);
+    }
+
+    #[test]
+    fn rounds_are_of_order_lout_plus_d() {
+        // Average over seeds to smooth the randomness, then compare against
+        // the O(L_out + D) budget with a generous constant.
+        for radius in [4u32, 8] {
+            let shape = hexagon(radius);
+            let metric = Metric::new(&shape);
+            let budget = (shape.outer_boundary_len() + metric.grid_diameter() as usize) as f64;
+            let avg: f64 = (0..10)
+                .map(|s| run_randomized_boundary(&shape, s).unwrap().rounds as f64)
+                .sum::<f64>()
+                / 10.0;
+            assert!(avg < 12.0 * budget, "avg {avg} vs budget {budget}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(run_randomized_boundary(&Shape::new(), 0).is_err());
+    }
+
+    #[test]
+    fn single_particle() {
+        let outcome = run_randomized_boundary(&line(1), 0).unwrap();
+        assert_eq!(outcome.leaders, 1);
+        assert_eq!(outcome.rounds, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of Algorithm Collect (experiment F4's engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_amoebot::scheduler::SeededRandom;
+use pm_core::collect::CollectSimulator;
+use pm_core::dle::run_dle;
+use pm_grid::builder::annulus;
+use pm_grid::Point;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_breadcrumb_lines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collect-breadcrumb-line");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for eps in [64u32, 256, 1024] {
+        let positions: Vec<Point> = (0..=eps as i32).map(|i| Point::new(i, 0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &positions, |b, pos| {
+            b.iter(|| {
+                let mut sim = CollectSimulator::new(Point::ORIGIN, pos);
+                black_box(sim.run().rounds)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_post_dle_collect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collect-post-dle");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for radius in [8u32, 12] {
+        let shape = annulus(radius, radius - 1);
+        let dle = run_dle(&shape, SeededRandom::new(0), false).expect("terminates");
+        let input = (dle.leader_point, dle.final_positions);
+        group.bench_with_input(
+            BenchmarkId::new("thin-annulus", radius),
+            &input,
+            |b, (l, pos)| {
+                b.iter(|| {
+                    let mut sim = CollectSimulator::new(*l, pos);
+                    black_box(sim.run().rounds)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_breadcrumb_lines, bench_post_dle_collect);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks of Algorithm DLE (experiment F2's engine): wall-clock
+//! cost of the per-activation simulation across shape families and sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_amoebot::generators::random_blob;
+use pm_amoebot::scheduler::RoundRobin;
+use pm_core::dle::run_dle;
+use pm_grid::builder::{annulus, hexagon};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_dle_hexagons(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dle-hexagon");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for radius in [4u32, 8, 12] {
+        let shape = hexagon(radius);
+        group.bench_with_input(BenchmarkId::from_parameter(radius), &shape, |b, s| {
+            b.iter(|| {
+                let outcome = run_dle(s, RoundRobin, false).expect("terminates");
+                black_box(outcome.stats.rounds)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dle_annuli(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dle-annulus");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for radius in [6u32, 10] {
+        let shape = annulus(radius, radius / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(radius), &shape, |b, s| {
+            b.iter(|| {
+                let outcome = run_dle(s, RoundRobin, false).expect("terminates");
+                black_box(outcome.stats.rounds)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dle_blobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dle-blob");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [128usize, 512] {
+        let shape = random_blob(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &shape, |b, s| {
+            b.iter(|| {
+                let outcome = run_dle(s, RoundRobin, false).expect("terminates");
+                black_box(outcome.stats.rounds)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dle_hexagons, bench_dle_annuli, bench_dle_blobs);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the geometric substrate: face analysis, boundary
+//! rings and diameter computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_grid::builder::{annulus, hexagon, swiss_cheese};
+use pm_grid::{boundary_rings, Metric};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shape-analysis");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for radius in [4u32, 8, 12] {
+        let shape = swiss_cheese(radius, 3);
+        group.bench_with_input(BenchmarkId::new("swiss", radius), &shape, |b, s| {
+            b.iter(|| black_box(s.analyze().hole_count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_boundary_rings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boundary-rings");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for radius in [4u32, 8, 12] {
+        let shape = annulus(radius, radius / 2);
+        group.bench_with_input(BenchmarkId::new("annulus", radius), &shape, |b, s| {
+            b.iter(|| black_box(boundary_rings(s).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_diameters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diameters");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for radius in [4u32, 8] {
+        let shape = hexagon(radius);
+        group.bench_with_input(BenchmarkId::new("area-diameter", radius), &shape, |b, s| {
+            b.iter(|| {
+                let metric = Metric::new(s);
+                black_box(metric.area_diameter())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_boundary_rings, bench_diameters);
+criterion_main!(benches);

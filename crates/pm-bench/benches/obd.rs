@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the OBD primitive and its unpipelined baseline
+//! (experiment F6's engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_baselines::run_quadratic_boundary;
+use pm_core::obd::run_obd;
+use pm_grid::builder::{hexagon, swiss_cheese};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_obd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obd-pipelined");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for radius in [6u32, 10, 14] {
+        let shape = hexagon(radius);
+        group.bench_with_input(BenchmarkId::new("hexagon", radius), &shape, |b, s| {
+            b.iter(|| black_box(run_obd(s).rounds));
+        });
+    }
+    let holey = swiss_cheese(10, 3);
+    group.bench_with_input(BenchmarkId::new("swiss", 10u32), &holey, |b, s| {
+        b.iter(|| black_box(run_obd(s).rounds));
+    });
+    group.finish();
+}
+
+fn bench_quadratic_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obd-unpipelined-baseline");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for radius in [6u32, 10] {
+        let shape = hexagon(radius);
+        group.bench_with_input(BenchmarkId::new("hexagon", radius), &shape, |b, s| {
+            b.iter(|| black_box(run_quadratic_boundary(s).expect("runs").rounds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obd, bench_quadratic_baseline);
+criterion_main!(benches);

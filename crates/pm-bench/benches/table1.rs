@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the end-to-end election pipelines compared in
+//! Table 1 (experiment T1's engine): the paper's two variants and the
+//! baselines, on a fixed representative shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_amoebot::scheduler::RoundRobin;
+use pm_baselines::{run_erosion_le, run_quadratic_boundary, run_randomized_boundary};
+use pm_core::pipeline::{elect_leader, ElectionConfig};
+use pm_grid::builder::{hexagon, swiss_cheese};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table1_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1-hexagon6");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let shape = hexagon(6);
+
+    group.bench_function("this-paper-O(D_A)", |b| {
+        b.iter(|| {
+            let outcome = elect_leader(
+                &shape,
+                &ElectionConfig::with_boundary_knowledge(),
+                &mut RoundRobin,
+            )
+            .expect("succeeds");
+            black_box(outcome.total_rounds)
+        });
+    });
+    group.bench_function("this-paper-O(Lout+D)", |b| {
+        b.iter(|| {
+            let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin)
+                .expect("succeeds");
+            black_box(outcome.total_rounds)
+        });
+    });
+    group.bench_function("erosion-baseline", |b| {
+        b.iter(|| black_box(run_erosion_le(&shape, RoundRobin).expect("succeeds").rounds));
+    });
+    group.bench_function("randomized-baseline", |b| {
+        b.iter(|| black_box(run_randomized_boundary(&shape, 7).expect("succeeds").rounds));
+    });
+    group.bench_function("quadratic-baseline", |b| {
+        b.iter(|| black_box(run_quadratic_boundary(&shape).expect("succeeds").rounds));
+    });
+    group.finish();
+}
+
+fn bench_table1_holey_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1-swiss6");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let shape = swiss_cheese(6, 3);
+    group.bench_function("this-paper-O(Lout+D)", |b| {
+        b.iter(|| {
+            let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin)
+                .expect("succeeds");
+            black_box(outcome.total_rounds)
+        });
+    });
+    group.bench_function("quadratic-baseline", |b| {
+        b.iter(|| black_box(run_quadratic_boundary(&shape).expect("succeeds").rounds));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_row, bench_table1_holey_row);
+criterion_main!(benches);

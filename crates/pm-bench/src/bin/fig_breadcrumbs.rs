@@ -1,0 +1,9 @@
+//! Regenerates experiment F5: the breadcrumb property of post-DLE
+//! configurations (Lemma 19).
+//!
+//! Usage: `cargo run --release -p pm-bench --bin fig_breadcrumbs`
+
+fn main() {
+    let table = pm_analysis::experiment_breadcrumbs();
+    pm_bench::print_table(&table);
+}

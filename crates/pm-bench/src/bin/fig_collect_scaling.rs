@@ -1,0 +1,16 @@
+//! Regenerates experiment F4: Collect rounds against the leader's grid
+//! eccentricity (Theorem 23 / Corollary 22).
+//!
+//! Usage: `cargo run --release -p pm-bench --bin fig_collect_scaling [max_eps]`
+
+fn main() {
+    let max = pm_bench::arg_or(256).max(8);
+    let mut eccs = Vec::new();
+    let mut e = 8;
+    while e <= max {
+        eccs.push(e);
+        e *= 2;
+    }
+    let table = pm_analysis::experiment_collect_scaling(&eccs);
+    pm_bench::print_table(&table);
+}

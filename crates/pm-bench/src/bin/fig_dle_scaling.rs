@@ -1,0 +1,11 @@
+//! Regenerates experiment F2: DLE rounds against the area diameter `D_A`
+//! (Theorem 18).
+//!
+//! Usage: `cargo run --release -p pm-bench --bin fig_dle_scaling [max_radius]`
+
+fn main() {
+    let max = pm_bench::arg_or(12).max(4);
+    let radii: Vec<u32> = (3..=max).step_by(2).collect();
+    let table = pm_analysis::experiment_dle_scaling(&radii);
+    pm_bench::print_table(&table);
+}

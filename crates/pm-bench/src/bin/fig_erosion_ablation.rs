@@ -1,0 +1,9 @@
+//! Regenerates experiment F3: DLE against the no-movement erosion baseline
+//! (the ablation demonstrating the value of movement and disconnection).
+//!
+//! Usage: `cargo run --release -p pm-bench --bin fig_erosion_ablation`
+
+fn main() {
+    let table = pm_analysis::experiment_erosion_ablation();
+    pm_bench::print_table(&table);
+}

@@ -1,0 +1,11 @@
+//! Regenerates experiment F7: per-phase round counts of the assumption-free
+//! pipeline OBD → DLE → Collect (Table 1, last row).
+//!
+//! Usage: `cargo run --release -p pm-bench --bin fig_full_pipeline [max_radius]`
+
+fn main() {
+    let max = pm_bench::arg_or(11).max(4);
+    let radii: Vec<u32> = (3..=max).step_by(2).collect();
+    let table = pm_analysis::experiment_full_pipeline(&radii);
+    pm_bench::print_table(&table);
+}

@@ -1,0 +1,11 @@
+//! Regenerates experiment F6: OBD rounds against `L_out + D` (Theorem 41),
+//! with the unpipelined quadratic baseline for contrast.
+//!
+//! Usage: `cargo run --release -p pm-bench --bin fig_obd_scaling [max_radius]`
+
+fn main() {
+    let max = pm_bench::arg_or(13).max(5);
+    let radii: Vec<u32> = (3..=max).step_by(2).collect();
+    let table = pm_analysis::experiment_obd_scaling(&radii);
+    pm_bench::print_table(&table);
+}

@@ -1,0 +1,9 @@
+//! Regenerates experiment F8: DLE round counts under different fair strong
+//! schedulers (the `O(D_A)` bound is worst-case over all fair executions).
+//!
+//! Usage: `cargo run --release -p pm-bench --bin fig_scheduler_adversary`
+
+fn main() {
+    let table = pm_analysis::experiment_scheduler_robustness();
+    pm_bench::print_table(&table);
+}

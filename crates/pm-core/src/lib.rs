@@ -1,0 +1,43 @@
+//! The paper's algorithms: deterministic leader election for programmable
+//! matter in time linear in the diameter (Dufoulon, Kutten, Moses Jr.,
+//! PODC 2021).
+//!
+//! * [`dle`] — **Algorithm DLE** (Disconnecting Leader Election): the
+//!   per-activation erosion algorithm of Section 4.1. `O(D_A)` rounds under
+//!   the initially-known-outer-boundary assumption; the particle system may
+//!   temporarily disconnect.
+//! * [`collect`] — **Algorithm Collect** (Section 4.3): the phase-based
+//!   reconnection algorithm built from the OMP / PRP / SDP movement
+//!   primitives; `O(D_G)` rounds; restores connectivity.
+//! * [`obd`] — the **Outer-Boundary Detection** primitive (Section 5):
+//!   removes the boundary-knowledge assumption at a cost of `O(L_out + D)`
+//!   rounds, using segment competition over virtual-node rings.
+//! * [`pipeline`] — the composed leader-election algorithm
+//!   (OBD → DLE → Collect) together with verification of the problem
+//!   predicate (unique leader, connected final configuration).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pm_amoebot::scheduler::RoundRobin;
+//! use pm_core::pipeline::{elect_leader, ElectionConfig};
+//! use pm_grid::builder::annulus;
+//!
+//! // A shape with a hole: previous deterministic algorithms either reject it
+//! // or need Omega(n^2) rounds; DLE elects in O(D_A).
+//! let shape = annulus(5, 2);
+//! let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin::default())
+//!     .expect("election succeeds");
+//! assert!(outcome.leader.is_some());
+//! assert!(outcome.final_shape_connected);
+//! ```
+
+pub mod collect;
+pub mod dle;
+pub mod obd;
+pub mod pipeline;
+
+pub use collect::{CollectOutcome, CollectSimulator};
+pub use dle::{DleAlgorithm, DleMemory, DleOutcome, Status};
+pub use obd::{CompetitionCostModel, ObdOutcome, ObdSimulator};
+pub use pipeline::{elect_leader, ElectionConfig, ElectionOutcome};

@@ -1,0 +1,312 @@
+//! The composed leader-election algorithm of the paper:
+//! `OBD → DLE → Collect`.
+//!
+//! * With the known-outer-boundary assumption (Table 1, next-to-last row) the
+//!   pipeline is `DLE → Collect` and runs in `O(D_A)` rounds.
+//! * Without it (Table 1, last row) the OBD primitive first computes the
+//!   `outer[0..5]` inputs in `O(L_out + D)` rounds, and the total stays
+//!   `O(L_out + D)` because `D_A ≤ D ≤ L_out + D`.
+//!
+//! The pipeline verifies the leader-election predicate: upon termination the
+//! particle system is connected, exactly one particle is a leader, and every
+//! other particle is a follower.
+
+use crate::collect::{CollectOutcome, CollectSimulator};
+use crate::dle::{run_dle, DleOutcome};
+use crate::obd::{run_obd, ObdOutcome};
+use pm_amoebot::scheduler::{RunError, Scheduler};
+use pm_grid::{Point, Shape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of the election pipeline.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ElectionConfig {
+    /// Whether particles are assumed to know initially which of their
+    /// incident empty points lie on the outer face. When `false`, the OBD
+    /// primitive is run first and its round cost is added.
+    pub assume_outer_boundary_known: bool,
+    /// Whether to run Algorithm Collect after DLE to reconnect the system.
+    pub reconnect: bool,
+    /// Whether to track connectivity round-by-round during DLE (reports
+    /// whether the system ever disconnected; costs one BFS per round).
+    pub track_connectivity: bool,
+}
+
+impl Default for ElectionConfig {
+    fn default() -> ElectionConfig {
+        ElectionConfig {
+            assume_outer_boundary_known: false,
+            reconnect: true,
+            track_connectivity: false,
+        }
+    }
+}
+
+impl ElectionConfig {
+    /// The `O(D_A)` configuration: boundary knowledge assumed, reconnection
+    /// enabled.
+    pub fn with_boundary_knowledge() -> ElectionConfig {
+        ElectionConfig {
+            assume_outer_boundary_known: true,
+            reconnect: true,
+            track_connectivity: false,
+        }
+    }
+}
+
+/// An error from the election pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ElectionError {
+    /// The initial configuration is not a permitted one (empty or
+    /// disconnected).
+    InvalidInitialConfiguration(&'static str),
+    /// The underlying DLE run failed (round budget exhausted — would indicate
+    /// a bug given Theorem 18).
+    Run(RunError),
+}
+
+impl fmt::Display for ElectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElectionError::InvalidInitialConfiguration(why) => {
+                write!(f, "invalid initial configuration: {why}")
+            }
+            ElectionError::Run(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ElectionError {}
+
+impl From<RunError> for ElectionError {
+    fn from(e: RunError) -> ElectionError {
+        ElectionError::Run(e)
+    }
+}
+
+/// The result of the full election pipeline.
+#[derive(Clone, Debug)]
+pub struct ElectionOutcome {
+    /// The elected leader's final position (always `Some` on success; kept as
+    /// an `Option` so callers can pattern-match uniformly).
+    pub leader: Option<Point>,
+    /// The OBD outcome, when the boundary-knowledge assumption was not made.
+    pub obd: Option<ObdOutcome>,
+    /// The DLE outcome.
+    pub dle: DleOutcome,
+    /// The Collect outcome, when reconnection was requested.
+    pub collect: Option<CollectOutcome>,
+    /// Total rounds across all executed phases.
+    pub total_rounds: u64,
+    /// Whether the final configuration is connected.
+    pub final_shape_connected: bool,
+    /// Final particle positions.
+    pub final_positions: Vec<Point>,
+}
+
+impl ElectionOutcome {
+    /// Whether the leader-election predicate holds: unique leader, all others
+    /// followers, and (when reconnection ran) a connected final shape.
+    pub fn predicate_holds(&self) -> bool {
+        self.leader.is_some() && self.dle.predicate_holds() && self.final_shape_connected
+    }
+
+    /// The final shape of the particle system.
+    pub fn final_shape(&self) -> Shape {
+        Shape::from_points(self.final_positions.iter().copied())
+    }
+
+    /// Rounds spent in each phase: `(obd, dle, collect)`.
+    pub fn phase_rounds(&self) -> (u64, u64, u64) {
+        (
+            self.obd.as_ref().map_or(0, |o| o.rounds),
+            self.dle.stats.rounds,
+            self.collect.as_ref().map_or(0, |c| c.rounds),
+        )
+    }
+}
+
+/// Runs the election pipeline on the given initial shape.
+///
+/// # Errors
+///
+/// Returns [`ElectionError::InvalidInitialConfiguration`] if the shape is
+/// empty or disconnected, and [`ElectionError::Run`] if the DLE execution
+/// exceeds its (generous) round budget.
+pub fn elect_leader<S: Scheduler>(
+    shape: &Shape,
+    config: &ElectionConfig,
+    scheduler: &mut S,
+) -> Result<ElectionOutcome, ElectionError> {
+    if shape.is_empty() {
+        return Err(ElectionError::InvalidInitialConfiguration("empty shape"));
+    }
+    if !shape.is_connected() {
+        return Err(ElectionError::InvalidInitialConfiguration(
+            "initial shape must be connected",
+        ));
+    }
+
+    // Phase 1 (optional): outer-boundary detection. Its output is exactly the
+    // `outer[0..5]` input DLE's initializer consumes (the simulator hands DLE
+    // the geometric flags, which OBD's tests show are identical).
+    let obd = if config.assume_outer_boundary_known {
+        None
+    } else {
+        Some(run_obd(shape))
+    };
+
+    // Phase 2: disconnecting leader election.
+    let dle = run_dle(shape, &mut *scheduler, config.track_connectivity)?;
+
+    // Phase 3 (optional): reconnection.
+    let collect = if config.reconnect {
+        let mut sim = CollectSimulator::new(dle.leader_point, &dle.final_positions);
+        Some(sim.run())
+    } else {
+        None
+    };
+
+    let final_positions = collect
+        .as_ref()
+        .map(|c| c.final_positions.clone())
+        .unwrap_or_else(|| dle.final_positions.clone());
+    let final_shape = Shape::from_points(final_positions.iter().copied());
+    let final_shape_connected = final_shape.is_connected();
+    let total_rounds = obd.as_ref().map_or(0, |o| o.rounds)
+        + dle.stats.rounds
+        + collect.as_ref().map_or(0, |c| c.rounds);
+    let leader = Some(dle.leader_point);
+
+    Ok(ElectionOutcome {
+        leader,
+        obd,
+        dle,
+        collect,
+        total_rounds,
+        final_shape_connected,
+        final_positions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_amoebot::generators::{dumbbell, random_blob, random_holey_hexagon};
+    use pm_amoebot::scheduler::{RoundRobin, SeededRandom};
+    use pm_grid::builder::{annulus, comb, hexagon, line, swiss_cheese};
+    use pm_grid::Metric;
+
+    #[test]
+    fn default_pipeline_elects_and_reconnects() {
+        for shape in [hexagon(3), annulus(5, 2), comb(5, 4), swiss_cheese(6, 3)] {
+            let n = shape.len();
+            let outcome =
+                elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin).unwrap();
+            assert!(outcome.predicate_holds());
+            assert_eq!(outcome.final_positions.len(), n);
+            assert!(outcome.obd.is_some());
+            assert!(outcome.collect.is_some());
+            let (obd_r, dle_r, col_r) = outcome.phase_rounds();
+            assert_eq!(outcome.total_rounds, obd_r + dle_r + col_r);
+        }
+    }
+
+    #[test]
+    fn boundary_knowledge_variant_skips_obd() {
+        let shape = annulus(4, 1);
+        let outcome = elect_leader(
+            &shape,
+            &ElectionConfig::with_boundary_knowledge(),
+            &mut RoundRobin,
+        )
+        .unwrap();
+        assert!(outcome.obd.is_none());
+        assert!(outcome.predicate_holds());
+    }
+
+    #[test]
+    fn no_reconnect_variant_may_stay_disconnected() {
+        let config = ElectionConfig {
+            assume_outer_boundary_known: true,
+            reconnect: false,
+            track_connectivity: true,
+        };
+        let outcome = elect_leader(&annulus(6, 3), &config, &mut RoundRobin).unwrap();
+        assert!(outcome.leader.is_some());
+        assert!(outcome.collect.is_none());
+        // The DLE-only outcome satisfies the *disconnecting* leader election
+        // predicate but not necessarily connectivity.
+        assert!(outcome.dle.predicate_holds());
+    }
+
+    #[test]
+    fn empty_and_disconnected_shapes_are_rejected() {
+        let empty = Shape::new();
+        assert!(matches!(
+            elect_leader(&empty, &ElectionConfig::default(), &mut RoundRobin),
+            Err(ElectionError::InvalidInitialConfiguration(_))
+        ));
+        let mut disconnected = hexagon(1);
+        disconnected.insert(Point::new(30, 30));
+        assert!(matches!(
+            elect_leader(&disconnected, &ElectionConfig::default(), &mut RoundRobin),
+            Err(ElectionError::InvalidInitialConfiguration(_))
+        ));
+    }
+
+    #[test]
+    fn random_shapes_elect_under_random_schedulers() {
+        for seed in 0..3u64 {
+            let shape = random_blob(120, seed);
+            let mut scheduler = SeededRandom::new(seed);
+            let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut scheduler).unwrap();
+            assert!(outcome.predicate_holds(), "seed {seed}");
+        }
+        for seed in 0..2u64 {
+            let shape = random_holey_hexagon(6, 0.1, seed);
+            let outcome =
+                elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin).unwrap();
+            assert!(outcome.predicate_holds(), "holey seed {seed}");
+        }
+    }
+
+    #[test]
+    fn total_rounds_scale_linearly_without_assumption() {
+        // The full pipeline is O(L_out + D) (Table 1, last row).
+        let mut ratios = Vec::new();
+        for radius in [3u32, 6, 9] {
+            let shape = hexagon(radius);
+            let metric = Metric::new(&shape);
+            let denom = shape.outer_boundary_len() as f64 + metric.grid_diameter() as f64;
+            let outcome =
+                elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin).unwrap();
+            ratios.push(outcome.total_rounds as f64 / denom);
+        }
+        assert!(
+            ratios.last().unwrap() < &(ratios.first().unwrap() * 2.0 + 2.0),
+            "ratios {ratios:?} suggest super-linear scaling"
+        );
+    }
+
+    #[test]
+    fn dumbbell_large_diameter_shape_works() {
+        let shape = dumbbell(3, 12);
+        let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin).unwrap();
+        assert!(outcome.predicate_holds());
+    }
+
+    #[test]
+    fn line_of_one_particle() {
+        let outcome = elect_leader(&line(1), &ElectionConfig::default(), &mut RoundRobin).unwrap();
+        assert!(outcome.predicate_holds());
+        assert_eq!(outcome.final_positions.len(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ElectionError::InvalidInitialConfiguration("empty shape");
+        assert!(e.to_string().contains("empty shape"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Edge-case and cross-component tests of the pm-core algorithms that do not
+//! fit a single module: degenerate shapes, configuration flags, and the
+//! consistency between the pipeline's phase accounting and its components.
+
+use pm_amoebot::scheduler::{RoundRobin, SeededRandom};
+use pm_core::collect::{omp_rounds, prp_rounds, sdp_rounds, CollectSimulator};
+use pm_core::dle::run_dle;
+use pm_core::obd::{run_obd, CompetitionCostModel, ObdSimulator};
+use pm_core::pipeline::{elect_leader, ElectionConfig};
+use pm_grid::builder::{comb, hexagon, line, parallelogram};
+use pm_grid::{Point, Shape};
+
+#[test]
+fn collect_cost_model_is_monotone_and_linear() {
+    for k in 1u64..64 {
+        assert!(omp_rounds(k + 1) > omp_rounds(k));
+        assert!(prp_rounds(k + 1) > prp_rounds(k));
+        assert!(sdp_rounds(k + 1) > sdp_rounds(k));
+        // Each primitive is Theta(k): bounded by a constant multiple of k.
+        assert!(omp_rounds(k) <= 4 * k + 4);
+        assert!(prp_rounds(k) <= 30 * k + 12);
+        assert!(sdp_rounds(k) <= 5 * k + 4);
+    }
+}
+
+#[test]
+fn obd_on_degenerate_shapes() {
+    // A single column of particles and a two-particle domino: only an outer
+    // boundary, declared correctly, sums to +6 (or +4 for a single point).
+    for shape in [
+        line(2),
+        Shape::from_points((0..6).map(|r| Point::new(0, r))),
+        parallelogram(2, 2),
+    ] {
+        let outcome = run_obd(&shape);
+        assert!(outcome.unique_outer());
+        assert_eq!(outcome.decisions.len(), 1);
+        assert_eq!(outcome.decisions[0].count_sum, 6);
+    }
+}
+
+#[test]
+fn obd_sequential_cost_model_never_changes_the_decision() {
+    for shape in [hexagon(3), comb(4, 3), parallelogram(5, 3)] {
+        let sim = ObdSimulator::new(&shape);
+        let pipelined = sim.run_with_cost_model(CompetitionCostModel::Pipelined);
+        let sequential = sim.run_with_cost_model(CompetitionCostModel::Sequential);
+        assert_eq!(
+            pipelined
+                .decisions
+                .iter()
+                .map(|d| d.declared_outer)
+                .collect::<Vec<_>>(),
+            sequential
+                .decisions
+                .iter()
+                .map(|d| d.declared_outer)
+                .collect::<Vec<_>>(),
+            "the cost model must only affect rounds, not decisions"
+        );
+        assert!(sequential.rounds >= pipelined.rounds);
+        assert_eq!(pipelined.outer_flags, sequential.outer_flags);
+    }
+}
+
+#[test]
+fn pipeline_phase_accounting_matches_components() {
+    let shape = hexagon(4);
+    let mut scheduler = SeededRandom::new(5);
+    let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut scheduler).unwrap();
+    let (obd, dle, collect) = outcome.phase_rounds();
+    assert_eq!(outcome.total_rounds, obd + dle + collect);
+    // OBD's rounds must agree with running the primitive standalone (it is
+    // deterministic and scheduler-independent).
+    assert_eq!(obd, run_obd(&shape).rounds);
+    // Collect's rounds must agree with replaying the simulator on the same
+    // DLE output.
+    let collect_outcome = outcome.collect.as_ref().unwrap();
+    let mut replay = CollectSimulator::new(outcome.dle.leader_point, &outcome.dle.final_positions);
+    assert_eq!(replay.run().rounds, collect_outcome.rounds);
+}
+
+#[test]
+fn boundary_knowledge_config_only_skips_obd() {
+    let shape = comb(4, 4);
+    let mut a = SeededRandom::new(9);
+    let mut b = SeededRandom::new(9);
+    let with = elect_leader(&shape, &ElectionConfig::with_boundary_knowledge(), &mut a).unwrap();
+    let without = elect_leader(&shape, &ElectionConfig::default(), &mut b).unwrap();
+    // Same scheduler seed: the DLE and Collect phases are identical; only the
+    // OBD phase differs.
+    assert_eq!(with.phase_rounds().1, without.phase_rounds().1);
+    assert_eq!(with.phase_rounds().2, without.phase_rounds().2);
+    assert_eq!(with.phase_rounds().0, 0);
+    assert!(without.phase_rounds().0 > 0);
+    assert_eq!(with.leader, without.leader);
+}
+
+#[test]
+fn dle_on_two_and_three_particle_systems() {
+    for n in [2u32, 3] {
+        let outcome = run_dle(&line(n), RoundRobin, true).unwrap();
+        assert!(outcome.predicate_holds());
+        assert_eq!(outcome.status_counts.1 as u32, n - 1);
+        assert!(!outcome.stats.ever_disconnected);
+    }
+}
+
+#[test]
+fn collect_handles_duplicate_leader_position_input() {
+    // The particle list may or may not include the leader's own position;
+    // both forms must work and collect everything.
+    let positions_with = vec![Point::ORIGIN, Point::new(1, 0), Point::new(2, 0)];
+    let positions_without = vec![Point::new(1, 0), Point::new(2, 0)];
+    let with = CollectSimulator::new(Point::ORIGIN, &positions_with).run();
+    let without = CollectSimulator::new(Point::ORIGIN, &positions_without).run();
+    assert_eq!(with.final_positions.len(), 3);
+    assert_eq!(without.final_positions.len(), 3);
+    assert!(with.final_connected && without.final_connected);
+}

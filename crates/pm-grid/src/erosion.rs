@@ -1,0 +1,357 @@
+//! Erosion predicates and the centralized erosion process (Section 2.1).
+//!
+//! A point `v ∈ S` is *redundant* if its removal does not disconnect its
+//! one-hop neighbourhood in `S`; equivalently (Proposition 6), `v` has a
+//! single local boundary. If `v` is also on the outer boundary of `S` it is
+//! *erodable*, and if in addition it is strictly convex with respect to that
+//! local boundary it is *strictly convex and erodable* (SCE). Iteratively
+//! removing SCE points (the *erosion process*) reduces any simply-connected
+//! shape to a single point (Observation 5 and Proposition 7), which is the
+//! engine behind Algorithm DLE.
+
+use crate::boundary::LocalBoundary;
+use crate::coords::{Point, DIRECTIONS};
+use crate::shape::{Shape, ShapeAnalysis};
+
+/// Whether the six neighbour-membership flags (indexed by clockwise port
+/// order) describe a point with a **single** local boundary, i.e. a redundant
+/// boundary point, purely from local information.
+///
+/// `membership[i]` must be `true` iff the neighbour in direction `i` belongs
+/// to the point set under consideration. Returns `false` for an interior
+/// point (no empty neighbour at all) and `true` for an isolated point.
+///
+/// This is the local test a particle can evaluate from its own memory (its
+/// `eligible` flags in Algorithm DLE).
+pub fn has_single_local_boundary(membership: &[bool; 6]) -> bool {
+    let empty_runs = cyclic_runs_of_false(membership);
+    empty_runs == 1 || membership.iter().all(|m| !m)
+}
+
+/// Whether the six neighbour-membership flags describe a strictly convex and
+/// erodable (SCE) point of a **simply-connected** point set, purely from
+/// local information: exactly one cyclic run of out-of-set directions, of
+/// length at least three (boundary count ≥ 1).
+///
+/// For a simply-connected set every local boundary is a local outer boundary,
+/// so this local test coincides with the global SCE definition — this is
+/// exactly the test particles perform in Algorithm DLE against the eligible
+/// set `S_e`, which is simply-connected throughout (Lemma 11).
+pub fn local_sce(membership: &[bool; 6]) -> bool {
+    let out_count = membership.iter().filter(|m| !**m).count();
+    if out_count == 6 || out_count < 3 {
+        // An isolated point is not SCE (it is the leader case), and a point
+        // with fewer than three outside neighbours has boundary count <= 0.
+        return false;
+    }
+    cyclic_runs_of_false(membership) == 1
+}
+
+/// Number of maximal cyclic runs of `false` values in the array.
+fn cyclic_runs_of_false(membership: &[bool; 6]) -> usize {
+    let mut runs = 0;
+    for i in 0..6 {
+        let prev = (i + 5) % 6;
+        if !membership[i] && membership[prev] {
+            runs += 1;
+        }
+    }
+    if runs == 0 && membership.iter().all(|m| !*m) {
+        1
+    } else {
+        runs
+    }
+}
+
+/// Builds the neighbour-membership mask of `p` with respect to `shape`.
+pub fn membership_mask(shape: &Shape, p: Point) -> [bool; 6] {
+    let mut mask = [false; 6];
+    for (i, d) in DIRECTIONS.iter().enumerate() {
+        mask[i] = shape.contains(p.neighbor(*d));
+    }
+    mask
+}
+
+/// Whether `p` is a *redundant* point of `shape`: removing it does not
+/// disconnect its one-hop neighbourhood (equivalently, `p` has at most one
+/// local boundary — Proposition 6).
+pub fn is_redundant(shape: &Shape, p: Point) -> bool {
+    if !shape.contains(p) {
+        return false;
+    }
+    let lbs = LocalBoundary::of_point(shape, p);
+    lbs.len() <= 1
+}
+
+/// Whether `p` is an *erodable* point of `shape`: redundant and on the outer
+/// boundary (its unique local boundary leads to the outer face).
+///
+/// `analysis` must be the analysis of `shape`.
+pub fn is_erodable(shape: &Shape, analysis: &ShapeAnalysis, p: Point) -> bool {
+    if !shape.contains(p) {
+        return false;
+    }
+    let lbs = LocalBoundary::of_point(shape, p);
+    match lbs.as_slice() {
+        [only] => only
+            .outside_points()
+            .all(|out| analysis.is_outer_face_point(out)),
+        _ => false,
+    }
+}
+
+/// Whether `p` is a *strictly convex and erodable* (SCE) point of `shape`.
+pub fn is_sce(shape: &Shape, analysis: &ShapeAnalysis, p: Point) -> bool {
+    if !is_erodable(shape, analysis, p) {
+        return false;
+    }
+    let lbs = LocalBoundary::of_point(shape, p);
+    lbs.len() == 1 && lbs[0].is_strictly_convex()
+}
+
+/// All SCE points of the shape, in deterministic order.
+pub fn sce_points(shape: &Shape) -> Vec<Point> {
+    let analysis = shape.analyze();
+    shape
+        .iter()
+        .filter(|p| is_sce(shape, &analysis, *p))
+        .collect()
+}
+
+/// A centralized erosion process: repeatedly removes SCE points from a
+/// simply-connected shape until a single point remains.
+///
+/// This is the geometric core of Algorithm DLE, run by an omniscient
+/// controller; it is used to validate Proposition 7 / Observation 5, as a
+/// reference for the distributed implementation, and by the erosion-only
+/// baseline algorithm.
+///
+/// ```
+/// use pm_grid::{ErosionProcess, Point, Shape};
+/// let shape = Shape::from_points(Point::ORIGIN.ball(3));
+/// let mut erosion = ErosionProcess::new(shape);
+/// let last = erosion.run().expect("simply-connected shapes erode to a point");
+/// assert_eq!(erosion.current().len(), 1);
+/// assert!(erosion.removal_order().len() > 0);
+/// assert!(Point::ORIGIN.grid_distance(last) <= 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ErosionProcess {
+    current: Shape,
+    removal_order: Vec<Point>,
+    sweeps: usize,
+}
+
+impl ErosionProcess {
+    /// Starts an erosion process on the given shape.
+    pub fn new(shape: Shape) -> ErosionProcess {
+        ErosionProcess {
+            current: shape,
+            removal_order: Vec::new(),
+            sweeps: 0,
+        }
+    }
+
+    /// The current (partially eroded) shape.
+    pub fn current(&self) -> &Shape {
+        &self.current
+    }
+
+    /// The points removed so far, in removal order.
+    pub fn removal_order(&self) -> &[Point] {
+        &self.removal_order
+    }
+
+    /// Number of sweeps executed so far (a sweep visits every current point
+    /// once, in deterministic order, eroding it if it is SCE at that moment —
+    /// a sequential stand-in for one asynchronous round of parallel erosion).
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Removes a single SCE point (the smallest in point order), if any.
+    /// Returns the removed point.
+    pub fn step(&mut self) -> Option<Point> {
+        let analysis = self.current.analyze();
+        let candidate = self
+            .current
+            .iter()
+            .find(|p| is_sce(&self.current, &analysis, *p))?;
+        self.current.remove(candidate);
+        self.removal_order.push(candidate);
+        Some(candidate)
+    }
+
+    /// Performs one *sweep*: visits every current point in deterministic
+    /// order and erodes it if it is SCE at the moment it is visited. Returns
+    /// the number of points eroded during the sweep.
+    pub fn sweep(&mut self) -> usize {
+        self.sweeps += 1;
+        let points: Vec<Point> = self.current.iter().collect();
+        let mut removed = 0;
+        for p in points {
+            if self.current.len() <= 1 {
+                break;
+            }
+            // Re-analyse lazily: SCE only depends on the 2-hop neighbourhood,
+            // but outer-boundary membership can change globally, so we
+            // recompute the analysis when a removal happened.
+            let analysis = self.current.analyze();
+            if is_sce(&self.current, &analysis, p) {
+                self.current.remove(p);
+                self.removal_order.push(p);
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Runs the erosion until a single point remains; returns that point.
+    ///
+    /// Returns `None` if the shape was empty, or if the process gets stuck
+    /// (which happens exactly when the current shape is not simply-connected
+    /// — erosion cannot pierce holes).
+    pub fn run(&mut self) -> Option<Point> {
+        while self.current.len() > 1 {
+            if self.sweep() == 0 {
+                return None;
+            }
+        }
+        self.current.first_point()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_predicates_match_masks() {
+        // Single run of 3 empty directions -> SCE.
+        let mask = [true, true, true, false, false, false];
+        assert!(has_single_local_boundary(&mask));
+        assert!(local_sce(&mask));
+        // Two separate runs -> not redundant.
+        let mask = [false, true, false, true, true, true];
+        assert!(!has_single_local_boundary(&mask));
+        assert!(!local_sce(&mask));
+        // Single empty direction -> redundant but not strictly convex.
+        let mask = [true, true, true, true, true, false];
+        assert!(has_single_local_boundary(&mask));
+        assert!(!local_sce(&mask));
+        // Interior point.
+        let mask = [true; 6];
+        assert!(!local_sce(&mask));
+        // Isolated point: single boundary but not SCE (leader case).
+        let mask = [false; 6];
+        assert!(has_single_local_boundary(&mask));
+        assert!(!local_sce(&mask));
+    }
+
+    #[test]
+    fn global_and_local_sce_agree_on_simply_connected_shapes() {
+        let mut shape = Shape::from_points(Point::ORIGIN.ball(3));
+        // Carve a notch to make it less regular (still simply-connected).
+        shape.remove(Point::new(3, 0));
+        shape.remove(Point::new(2, 1));
+        let analysis = shape.analyze();
+        assert!(shape.is_simply_connected());
+        for p in shape.iter() {
+            let mask = membership_mask(&shape, p);
+            assert_eq!(
+                is_sce(&shape, &analysis, p),
+                local_sce(&mask),
+                "mismatch at {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn proposition_7_every_simply_connected_shape_has_an_sce_point() {
+        // Check a few representative simply-connected shapes with >= 2 points.
+        let shapes = vec![
+            Shape::from_points((0..7).map(|i| Point::new(i, 0))),
+            Shape::from_points(Point::ORIGIN.ball(2)),
+            Shape::from_points([
+                Point::new(0, 0),
+                Point::new(1, 0),
+                Point::new(1, 1),
+                Point::new(0, 2),
+            ]),
+        ];
+        for s in shapes {
+            assert!(s.is_simply_connected());
+            assert!(
+                !sce_points(&s).is_empty(),
+                "Proposition 7 violated for {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn observation_5_erosion_preserves_simple_connectivity() {
+        let shape = Shape::from_points(Point::ORIGIN.ball(3));
+        let mut erosion = ErosionProcess::new(shape);
+        while erosion.current().len() > 1 {
+            assert!(erosion.current().is_simply_connected());
+            assert!(erosion.current().is_connected());
+            erosion.step().expect("an SCE point must exist");
+        }
+        assert_eq!(erosion.current().len(), 1);
+    }
+
+    #[test]
+    fn erosion_runs_to_single_point_on_hexagon() {
+        let shape = Shape::from_points(Point::ORIGIN.ball(4));
+        let n = shape.len();
+        let mut erosion = ErosionProcess::new(shape);
+        let last = erosion.run().unwrap();
+        assert_eq!(erosion.removal_order().len(), n - 1);
+        assert!(!erosion.removal_order().contains(&last));
+    }
+
+    #[test]
+    fn erosion_gets_stuck_on_annulus() {
+        // A shape with a hole cannot be eroded to a point: erosion works on
+        // the outer boundary only and stalls once only the hole's wall
+        // remains without SCE points on it... in fact the annulus erodes its
+        // outer layers and then stalls when the remaining ring has no point
+        // with a single local boundary.
+        let mut shape = Shape::from_points(Point::ORIGIN.ball(3));
+        for p in Point::ORIGIN.ball(1) {
+            shape.remove(p);
+        }
+        let mut erosion = ErosionProcess::new(shape);
+        assert!(erosion.run().is_none());
+        assert!(erosion.current().len() > 1);
+    }
+
+    #[test]
+    fn erodable_requires_outer_boundary() {
+        // Points only adjacent to a hole are not erodable even if redundant.
+        let mut shape = Shape::from_points(Point::ORIGIN.ball(3));
+        shape.remove(Point::ORIGIN);
+        let analysis = shape.analyze();
+        // A ring-1 point is adjacent to the hole; it has one local boundary
+        // towards the hole and none towards the outer face, so it is
+        // redundant but not erodable.
+        let p = Point::new(1, 0);
+        assert!(is_redundant(&shape, p));
+        assert!(!is_erodable(&shape, &analysis, p));
+        assert!(!is_sce(&shape, &analysis, p));
+        // An outer corner is SCE.
+        let corner = Point::new(3, 0);
+        assert!(is_sce(&shape, &analysis, corner));
+    }
+
+    #[test]
+    fn sweep_counts_rounds() {
+        let shape = Shape::from_points(Point::ORIGIN.ball(3));
+        let mut erosion = ErosionProcess::new(shape);
+        erosion.run().unwrap();
+        assert!(erosion.sweeps() >= 1);
+        // A ball of radius r erodes in O(r) sweeps (each sweep peels at least
+        // the convex corners; in practice a whole layer or more).
+        assert!(erosion.sweeps() <= 16);
+    }
+}

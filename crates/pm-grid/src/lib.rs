@@ -1,0 +1,49 @@
+//! Triangular-grid geometry for programmable matter.
+//!
+//! This crate provides the geometric substrate used by the amoebot model and
+//! by the leader-election algorithms of Dufoulon, Kutten and Moses Jr.
+//! (PODC 2021): the infinite triangular grid, finite *shapes* on it, their
+//! boundaries and holes, local boundaries and boundary counts, virtual nodes
+//! (v-nodes) and oriented boundary rings, erosion predicates
+//! (redundant / erodable / strictly-convex-erodable points), and a metric
+//! toolkit (distances, eccentricities, diameters and level sets with respect
+//! to the shape, its area, or the whole grid).
+//!
+//! The grid is the standard triangular lattice: every point has exactly six
+//! neighbours. Points are represented in axial coordinates ([`Point`]) and
+//! the six incident edges are indexed clockwise by [`Direction`] in
+//! `{0, …, 5}`, matching the paper's port numbering under the common
+//! chirality assumption.
+//!
+//! # Example
+//!
+//! ```
+//! use pm_grid::{Point, Shape};
+//!
+//! // A small triangle of three mutually adjacent points.
+//! let shape = Shape::from_points([Point::new(0, 0), Point::new(1, 0), Point::new(0, 1)]);
+//! assert!(shape.is_connected());
+//! assert!(shape.is_simply_connected());
+//! assert_eq!(shape.outer_boundary_len(), 3);
+//! assert_eq!(shape.hole_points().count(), 0);
+//! ```
+
+pub mod boundary;
+pub mod builder;
+pub mod coords;
+pub mod erosion;
+pub mod metric;
+pub mod shape;
+pub mod vnode;
+
+pub use boundary::{all_local_boundaries, BoundaryCount, LocalBoundary};
+pub use coords::{Direction, Point, DIRECTIONS};
+pub use erosion::{
+    is_erodable, is_redundant, is_sce, local_sce, membership_mask, sce_points, ErosionProcess,
+};
+pub use metric::{DistanceMap, Metric};
+pub use shape::{BoundaryKind, PointClass, Shape, ShapeAnalysis};
+pub use vnode::{
+    boundary_rings, boundary_rings_with_analysis, outer_boundary_ring, BoundaryRing,
+    RingOrientation, VNode, VNodeId,
+};

@@ -1,0 +1,362 @@
+//! Distances, eccentricities, diameters and level sets (Section 2.1 and the
+//! level-set machinery of Section 4.2.2).
+//!
+//! For a shape `S` and a superset `S* ⊇ S`, the distance between two points
+//! of `S` *with respect to* `S*` is the length of the shortest path inside
+//! `S*`. The paper uses three instances: `dist_S` (within the shape itself),
+//! `dist_{S_A}` (within the area, i.e. shape plus holes) and `dist_G` (on the
+//! whole grid), giving the three diameters `D`, `D_A` and `D_G`.
+
+use crate::coords::Point;
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Single-source shortest-path distances restricted to a point set.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DistanceMap {
+    source: Point,
+    dist: HashMap<Point, u32>,
+}
+
+impl DistanceMap {
+    /// Breadth-first distances from `source` within `within` (the source must
+    /// belong to `within`; otherwise the map contains only unreachable
+    /// points).
+    pub fn within_shape(within: &Shape, source: Point) -> DistanceMap {
+        let mut dist = HashMap::new();
+        if within.contains(source) {
+            dist.insert(source, 0);
+            let mut queue = VecDeque::from([source]);
+            while let Some(p) = queue.pop_front() {
+                let d = dist[&p];
+                for n in within.neighbors_in(p) {
+                    if !dist.contains_key(&n) {
+                        dist.insert(n, d + 1);
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        DistanceMap { source, dist }
+    }
+
+    /// The source point of this map.
+    pub fn source(&self) -> Point {
+        self.source
+    }
+
+    /// The distance to `p`, if reachable.
+    pub fn get(&self, p: Point) -> Option<u32> {
+        self.dist.get(&p).copied()
+    }
+
+    /// Whether `p` is reachable from the source within the restriction set.
+    pub fn reaches(&self, p: Point) -> bool {
+        self.dist.contains_key(&p)
+    }
+
+    /// The greatest distance to any point of `targets` (the eccentricity of
+    /// the source restricted to `targets`), or `None` if some target is
+    /// unreachable or `targets` is empty.
+    pub fn eccentricity_over<I: IntoIterator<Item = Point>>(&self, targets: I) -> Option<u32> {
+        let mut max = None;
+        for t in targets {
+            let d = self.get(t)?;
+            max = Some(max.map_or(d, |m: u32| m.max(d)));
+        }
+        max
+    }
+
+    /// Iterates over `(point, distance)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Point, u32)> + '_ {
+        self.dist.iter().map(|(p, d)| (*p, *d))
+    }
+
+    /// Number of reachable points.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Whether no point is reachable (the source was outside the set).
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+}
+
+/// The metric toolkit of a shape: distances and diameters with respect to the
+/// shape, its area, and the full grid.
+///
+/// ```
+/// use pm_grid::{Metric, Point, Shape};
+/// // An annulus: the shape-distance between opposite points must go around
+/// // the hole, the area distance may cut across it.
+/// let mut s = Shape::from_points(Point::ORIGIN.ball(3));
+/// for p in Point::ORIGIN.ball(1) { s.remove(p); }
+/// let m = Metric::new(&s);
+/// assert!(m.diameter() >= m.area_diameter());   // Observation 1 (1)
+/// assert!(m.area_diameter().unwrap() >= m.grid_diameter());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Metric {
+    shape: Shape,
+    area: Shape,
+}
+
+impl Metric {
+    /// Builds the metric toolkit for `shape`.
+    pub fn new(shape: &Shape) -> Metric {
+        Metric {
+            shape: shape.clone(),
+            area: shape.area(),
+        }
+    }
+
+    /// The underlying shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The area of the shape (shape plus hole points).
+    pub fn area(&self) -> &Shape {
+        &self.area
+    }
+
+    /// Distance between two shape points within the shape (`dist_S`).
+    pub fn distance_in_shape(&self, a: Point, b: Point) -> Option<u32> {
+        DistanceMap::within_shape(&self.shape, a).get(b)
+    }
+
+    /// Distance between two shape points within the area (`dist_{S_A}`).
+    pub fn distance_in_area(&self, a: Point, b: Point) -> Option<u32> {
+        DistanceMap::within_shape(&self.area, a).get(b)
+    }
+
+    /// Grid distance (`dist_G`).
+    pub fn grid_distance(&self, a: Point, b: Point) -> u32 {
+        a.grid_distance(b)
+    }
+
+    /// Eccentricity of `v` within the shape: greatest `dist_S(v, ·)` over the
+    /// shape's points.
+    pub fn eccentricity_in_shape(&self, v: Point) -> Option<u32> {
+        DistanceMap::within_shape(&self.shape, v).eccentricity_over(self.shape.iter())
+    }
+
+    /// Eccentricity of `v` within the area, over the shape's points.
+    pub fn eccentricity_in_area(&self, v: Point) -> Option<u32> {
+        DistanceMap::within_shape(&self.area, v).eccentricity_over(self.shape.iter())
+    }
+
+    /// Grid eccentricity `ε_G(v)`: greatest grid distance from `v` to any
+    /// shape point.
+    pub fn grid_eccentricity(&self, v: Point) -> u32 {
+        self.shape
+            .iter()
+            .map(|p| v.grid_distance(p))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The diameter `D` of the shape (with respect to itself). `None` for a
+    /// disconnected or empty shape.
+    pub fn diameter(&self) -> Option<u32> {
+        self.diameter_wrt(&self.shape)
+    }
+
+    /// The diameter `D_A` of the shape with respect to its area.
+    pub fn area_diameter(&self) -> Option<u32> {
+        self.diameter_wrt(&self.area)
+    }
+
+    /// The diameter `D_G` of the shape with respect to the full grid.
+    pub fn grid_diameter(&self) -> u32 {
+        let pts: Vec<Point> = self.shape.iter().collect();
+        let mut max = 0;
+        for (i, a) in pts.iter().enumerate() {
+            for b in &pts[i + 1..] {
+                max = max.max(a.grid_distance(*b));
+            }
+        }
+        max
+    }
+
+    /// Exact diameter of the shape's points with respect to an arbitrary
+    /// superset `within` (runs one BFS per shape point).
+    pub fn diameter_wrt(&self, within: &Shape) -> Option<u32> {
+        if self.shape.is_empty() {
+            return None;
+        }
+        let mut max = 0;
+        for p in self.shape.iter() {
+            let d = DistanceMap::within_shape(within, p).eccentricity_over(self.shape.iter())?;
+            max = max.max(d);
+        }
+        Some(max)
+    }
+
+    /// A cheap lower bound on the diameter with respect to `within`, via a
+    /// double BFS sweep (exact on many "tree-like" shapes, never larger than
+    /// the true diameter). Useful for very large benchmark shapes.
+    pub fn diameter_lower_bound_wrt(&self, within: &Shape) -> Option<u32> {
+        let start = self.shape.first_point()?;
+        let first = DistanceMap::within_shape(within, start);
+        let far = self
+            .shape
+            .iter()
+            .filter(|p| first.reaches(*p))
+            .max_by_key(|p| first.get(*p).unwrap_or(0))?;
+        let second = DistanceMap::within_shape(within, far);
+        second.eccentricity_over(self.shape.iter().filter(|p| second.reaches(*p)))
+    }
+
+    /// The level sets of `center` within `within`, over the shape's points:
+    /// `levels[i]` contains the shape points at distance exactly `i` from
+    /// `center` (with respect to `within`). Unreachable points are omitted.
+    pub fn level_sets(&self, within: &Shape, center: Point) -> Vec<Vec<Point>> {
+        let dmap = DistanceMap::within_shape(within, center);
+        let mut levels: Vec<Vec<Point>> = Vec::new();
+        for p in self.shape.iter() {
+            if let Some(d) = dmap.get(p) {
+                if levels.len() <= d as usize {
+                    levels.resize(d as usize + 1, Vec::new());
+                }
+                levels[d as usize].push(p);
+            }
+        }
+        levels
+    }
+
+    /// Checks the inequalities of Observation 1 for this shape; returns an
+    /// error message describing the first violated inequality, if any.
+    ///
+    /// (1) `D >= D_A`; (2) for simply-connected shapes, `n = O(D²)`
+    /// instantiated as `n <= 3 D (D + 1) + 1` (the hexagonal-ball bound);
+    /// (3) for simply-connected shapes, `L_out >= D`.
+    pub fn check_observation_1(&self) -> Result<(), String> {
+        let (Some(d), Some(da)) = (self.diameter(), self.area_diameter()) else {
+            return Ok(()); // Disconnected / empty: nothing to check.
+        };
+        if d < da {
+            return Err(format!("diameter D={d} smaller than area diameter D_A={da}"));
+        }
+        if self.shape.is_simply_connected() {
+            let n = self.shape.len() as u64;
+            let d64 = d as u64;
+            if n > 3 * d64 * (d64 + 1) + 1 {
+                return Err(format!("n={n} exceeds hexagonal ball bound for D={d}"));
+            }
+            let lout = self.shape.outer_boundary_len() as u32;
+            if lout < d {
+                return Err(format!("L_out={lout} smaller than diameter D={d}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn annulus(outer: u32, inner: u32) -> Shape {
+        let mut s = Shape::from_points(Point::ORIGIN.ball(outer));
+        for p in Point::ORIGIN.ball(inner) {
+            s.remove(p);
+        }
+        s
+    }
+
+    #[test]
+    fn distances_on_a_line() {
+        let line = Shape::from_points((0..8).map(|i| Point::new(i, 0)));
+        let m = Metric::new(&line);
+        assert_eq!(m.distance_in_shape(Point::new(0, 0), Point::new(7, 0)), Some(7));
+        assert_eq!(m.diameter(), Some(7));
+        assert_eq!(m.area_diameter(), Some(7));
+        assert_eq!(m.grid_diameter(), 7);
+        assert_eq!(m.grid_eccentricity(Point::new(0, 0)), 7);
+        assert_eq!(m.eccentricity_in_shape(Point::new(3, 0)), Some(4));
+    }
+
+    #[test]
+    fn annulus_distances_differ_by_restriction() {
+        let s = annulus(3, 1);
+        let m = Metric::new(&s);
+        let a = Point::new(2, 0);
+        let b = Point::new(-2, 0);
+        // Inside the shape the path must go around the hole.
+        let in_shape = m.distance_in_shape(a, b).unwrap();
+        // Inside the area it can cut straight across.
+        let in_area = m.distance_in_area(a, b).unwrap();
+        assert_eq!(in_area, 4);
+        assert!(in_shape > in_area);
+        assert_eq!(m.grid_distance(a, b), 4);
+        // Observation 1 (1).
+        assert!(m.diameter().unwrap() >= m.area_diameter().unwrap());
+    }
+
+    #[test]
+    fn observation_1_holds_on_sample_shapes() {
+        let shapes = vec![
+            Shape::from_points(Point::ORIGIN.ball(4)),
+            Shape::from_points((0..12).map(|i| Point::new(i, 0))),
+            annulus(4, 2),
+            annulus(5, 1),
+        ];
+        for s in shapes {
+            let m = Metric::new(&s);
+            m.check_observation_1().expect("Observation 1 must hold");
+        }
+    }
+
+    #[test]
+    fn level_sets_partition_reachable_points() {
+        let s = annulus(3, 1);
+        let m = Metric::new(&s);
+        let area = m.area().clone();
+        let center = Point::new(3, 0);
+        let levels = m.level_sets(&area, center);
+        let total: usize = levels.iter().map(|l| l.len()).sum();
+        assert_eq!(total, s.len());
+        assert_eq!(levels[0], vec![center]);
+        for (d, level) in levels.iter().enumerate() {
+            for p in level {
+                assert_eq!(m.distance_in_area(center, *p), Some(d as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_lower_bound_is_a_lower_bound() {
+        for s in [annulus(4, 2), Shape::from_points(Point::ORIGIN.ball(3))] {
+            let m = Metric::new(&s);
+            let exact = m.diameter().unwrap();
+            let lb = m.diameter_lower_bound_wrt(m.shape()).unwrap();
+            assert!(lb <= exact);
+            assert!(lb * 2 >= exact, "double BFS is a 2-approximation");
+        }
+    }
+
+    #[test]
+    fn unreachable_points_are_reported() {
+        let mut s = Shape::from_points(Point::ORIGIN.ball(1));
+        s.insert(Point::new(20, 20));
+        let m = Metric::new(&s);
+        assert_eq!(m.distance_in_shape(Point::ORIGIN, Point::new(20, 20)), None);
+        assert_eq!(m.diameter(), None);
+        let dm = DistanceMap::within_shape(&s, Point::ORIGIN);
+        assert!(!dm.reaches(Point::new(20, 20)));
+        assert!(dm.reaches(Point::new(1, 0)));
+        assert_eq!(dm.source(), Point::ORIGIN);
+        assert_eq!(dm.len(), 7);
+    }
+
+    #[test]
+    fn distance_map_outside_source_is_empty() {
+        let s = Shape::from_points(Point::ORIGIN.ball(1));
+        let dm = DistanceMap::within_shape(&s, Point::new(9, 9));
+        assert!(dm.is_empty());
+        assert_eq!(dm.eccentricity_over(s.iter()), None);
+    }
+}

@@ -1,0 +1,623 @@
+//! Shapes: finite sets of triangular-grid points, their boundaries, holes and
+//! areas (Section 2.1 of the paper).
+
+use crate::coords::Point;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Classification of a grid point relative to a [`Shape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PointClass {
+    /// In the shape and on some (outer or inner) boundary.
+    Boundary,
+    /// In the shape with all six neighbours also in the shape.
+    Interior,
+    /// Not in the shape, inside one of the shape's holes.
+    Hole,
+    /// Not in the shape, on the outer (unbounded) face.
+    Outer,
+}
+
+/// Which global boundary a boundary point (or local boundary) belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BoundaryKind {
+    /// The unique outer boundary (bounding the unbounded face).
+    Outer,
+    /// The inner boundary of the hole with the given index (indices follow
+    /// the deterministic order of [`ShapeAnalysis::holes`]).
+    Inner(usize),
+}
+
+/// A finite set of points of the triangular grid.
+///
+/// By abuse of notation (exactly as in the paper) the shape is identified
+/// with the subgraph of the grid it induces: two shape points are connected
+/// by an edge iff they are grid-adjacent.
+///
+/// The point set is kept in a [`BTreeSet`] so that all iteration orders are
+/// deterministic, which keeps the simulator and the experiments reproducible.
+///
+/// ```
+/// use pm_grid::{Point, Shape};
+/// let shape = Shape::from_points(Point::ORIGIN.ball(2));
+/// assert_eq!(shape.len(), 19);
+/// assert!(shape.is_connected());
+/// assert!(shape.is_simply_connected());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shape {
+    points: BTreeSet<Point>,
+}
+
+impl Shape {
+    /// Creates an empty shape.
+    pub fn new() -> Shape {
+        Shape::default()
+    }
+
+    /// Creates a shape from any collection of points.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Shape {
+        Shape {
+            points: points.into_iter().collect(),
+        }
+    }
+
+    /// Number of points in the shape (the paper's `n` when the shape is the
+    /// particle system's shape).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the shape contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Whether the given point belongs to the shape.
+    pub fn contains(&self, p: Point) -> bool {
+        self.points.contains(&p)
+    }
+
+    /// Inserts a point; returns whether it was newly inserted.
+    pub fn insert(&mut self, p: Point) -> bool {
+        self.points.insert(p)
+    }
+
+    /// Removes a point; returns whether it was present.
+    pub fn remove(&mut self, p: Point) -> bool {
+        self.points.remove(&p)
+    }
+
+    /// Iterates over the points in deterministic (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// The underlying point set.
+    pub fn points(&self) -> &BTreeSet<Point> {
+        &self.points
+    }
+
+    /// The neighbours of `p` that belong to the shape, in clockwise port
+    /// order.
+    pub fn neighbors_in(&self, p: Point) -> impl Iterator<Item = Point> + '_ {
+        p.neighbors().filter(move |n| self.contains(*n))
+    }
+
+    /// The number of shape neighbours of `p`.
+    pub fn degree(&self, p: Point) -> usize {
+        self.neighbors_in(p).count()
+    }
+
+    /// An arbitrary but deterministic element (the lexicographically smallest
+    /// point), if any.
+    pub fn first_point(&self) -> Option<Point> {
+        self.points.iter().next().copied()
+    }
+
+    /// Axis-aligned bounding box `((min_q, min_r), (max_q, max_r))`, if the
+    /// shape is non-empty.
+    pub fn bounding_box(&self) -> Option<(Point, Point)> {
+        if self.is_empty() {
+            return None;
+        }
+        let min_q = self.iter().map(|p| p.q).min().unwrap();
+        let max_q = self.iter().map(|p| p.q).max().unwrap();
+        let min_r = self.iter().map(|p| p.r).min().unwrap();
+        let max_r = self.iter().map(|p| p.r).max().unwrap();
+        Some((Point::new(min_q, min_r), Point::new(max_q, max_r)))
+    }
+
+    /// Whether the induced subgraph is connected. The empty shape is
+    /// considered connected (vacuously); the paper only ever considers
+    /// non-empty shapes.
+    pub fn is_connected(&self) -> bool {
+        let Some(start) = self.first_point() else {
+            return true;
+        };
+        let mut seen = HashSet::with_capacity(self.len());
+        seen.insert(start);
+        let mut queue = VecDeque::from([start]);
+        while let Some(p) = queue.pop_front() {
+            for n in self.neighbors_in(p) {
+                if seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        seen.len() == self.len()
+    }
+
+    /// The connected components of the shape, each as its own [`Shape`], in
+    /// deterministic order of their smallest point.
+    pub fn connected_components(&self) -> Vec<Shape> {
+        let mut unvisited: BTreeSet<Point> = self.points.clone();
+        let mut components = Vec::new();
+        while let Some(start) = unvisited.iter().next().copied() {
+            let mut comp = BTreeSet::new();
+            let mut queue = VecDeque::from([start]);
+            unvisited.remove(&start);
+            comp.insert(start);
+            while let Some(p) = queue.pop_front() {
+                for n in self.neighbors_in(p) {
+                    if unvisited.remove(&n) {
+                        comp.insert(n);
+                        queue.push_back(n);
+                    }
+                }
+            }
+            components.push(Shape { points: comp });
+        }
+        components
+    }
+
+    /// Whether `p` is a boundary point of the shape (in the shape and
+    /// adjacent to at least one point not in the shape).
+    pub fn is_boundary_point(&self, p: Point) -> bool {
+        self.contains(p) && p.neighbors().any(|n| !self.contains(n))
+    }
+
+    /// Whether `p` is an interior point of the shape (in the shape with all
+    /// six neighbours in the shape).
+    pub fn is_interior_point(&self, p: Point) -> bool {
+        self.contains(p) && p.neighbors().all(|n| self.contains(n))
+    }
+
+    /// Computes the full face analysis (outer face, holes, boundaries).
+    ///
+    /// This is the potentially expensive classification; callers that need
+    /// several derived quantities should compute it once and reuse it.
+    pub fn analyze(&self) -> ShapeAnalysis {
+        ShapeAnalysis::new(self)
+    }
+
+    /// All hole points of the shape (empty points in bounded faces), in
+    /// deterministic order. Convenience wrapper over [`Shape::analyze`].
+    pub fn hole_points(&self) -> impl Iterator<Item = Point> {
+        self.analyze().hole_points().into_iter()
+    }
+
+    /// Whether the shape has no holes. A disconnected or empty shape is
+    /// simply-connected iff it has no holes, matching the paper's usage for
+    /// connected shapes.
+    pub fn is_simply_connected(&self) -> bool {
+        self.analyze().holes().is_empty()
+    }
+
+    /// The area of the shape: the shape together with all of its hole points
+    /// (Section 2.1).
+    pub fn area(&self) -> Shape {
+        let analysis = self.analyze();
+        let mut points = self.points.clone();
+        points.extend(analysis.hole_points());
+        Shape { points }
+    }
+
+    /// The number of points on the outer boundary, `L_out(S)`.
+    pub fn outer_boundary_len(&self) -> usize {
+        self.analyze().outer_boundary().len()
+    }
+
+    /// The maximum boundary length `L_max(S)` over the outer boundary and all
+    /// inner boundaries.
+    pub fn max_boundary_len(&self) -> usize {
+        self.analyze().max_boundary_len()
+    }
+
+    /// Classifies an arbitrary grid point with respect to the shape.
+    pub fn classify(&self, p: Point) -> PointClass {
+        self.analyze().classify(p)
+    }
+}
+
+impl FromIterator<Point> for Shape {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Shape {
+        Shape::from_points(iter)
+    }
+}
+
+impl Extend<Point> for Shape {
+    fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Shape {
+    type Item = Point;
+    type IntoIter = std::iter::Copied<std::collections::btree_set::Iter<'a, Point>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter().copied()
+    }
+}
+
+/// The face decomposition of a shape: which empty points lie on the outer
+/// face, which lie in holes, and the induced global boundaries.
+///
+/// All results refer to the shape at the time [`Shape::analyze`] was called.
+#[derive(Clone, Debug)]
+pub struct ShapeAnalysis {
+    shape: Shape,
+    /// Empty points (within the expanded bounding box) that belong to the
+    /// unbounded outer face.
+    outer_face: HashSet<Point>,
+    /// Hole components, each a set of empty points, ordered by smallest point.
+    holes: Vec<BTreeSet<Point>>,
+    /// For each hole point, the index of its hole component.
+    hole_index: HashMap<Point, usize>,
+    /// Shape points on the outer boundary.
+    outer_boundary: BTreeSet<Point>,
+    /// Shape points on each hole's inner boundary (same order as `holes`).
+    inner_boundaries: Vec<BTreeSet<Point>>,
+}
+
+impl ShapeAnalysis {
+    fn new(shape: &Shape) -> ShapeAnalysis {
+        let shape = shape.clone();
+        let Some((min, max)) = shape.bounding_box() else {
+            return ShapeAnalysis {
+                shape,
+                outer_face: HashSet::new(),
+                holes: Vec::new(),
+                hole_index: HashMap::new(),
+                outer_boundary: BTreeSet::new(),
+                inner_boundaries: Vec::new(),
+            };
+        };
+        // Expand the bounding box by one so the outer face is connected
+        // within it and surrounds the shape.
+        let (min_q, min_r) = (min.q - 1, min.r - 1);
+        let (max_q, max_r) = (max.q + 1, max.r + 1);
+        let in_box =
+            |p: Point| p.q >= min_q && p.q <= max_q && p.r >= min_r && p.r <= max_r;
+
+        // Flood-fill empty points from a corner of the expanded box: those
+        // are (a superset within the box of) the outer face.
+        let start = Point::new(min_q, min_r);
+        debug_assert!(!shape.contains(start));
+        let mut outer_face = HashSet::new();
+        outer_face.insert(start);
+        let mut queue = VecDeque::from([start]);
+        while let Some(p) = queue.pop_front() {
+            for n in p.neighbors() {
+                if in_box(n) && !shape.contains(n) && !outer_face.contains(&n) {
+                    outer_face.insert(n);
+                    queue.push_back(n);
+                }
+            }
+        }
+
+        // Hole points: empty points inside the box not reachable from outside.
+        let mut hole_points: BTreeSet<Point> = BTreeSet::new();
+        for q in min_q..=max_q {
+            for r in min_r..=max_r {
+                let p = Point::new(q, r);
+                if !shape.contains(p) && !outer_face.contains(&p) {
+                    hole_points.insert(p);
+                }
+            }
+        }
+
+        // Group hole points into connected components (the holes).
+        let mut holes: Vec<BTreeSet<Point>> = Vec::new();
+        let mut hole_index: HashMap<Point, usize> = HashMap::new();
+        let mut remaining = hole_points;
+        while let Some(start) = remaining.iter().next().copied() {
+            let idx = holes.len();
+            let mut comp = BTreeSet::new();
+            comp.insert(start);
+            remaining.remove(&start);
+            let mut queue = VecDeque::from([start]);
+            while let Some(p) = queue.pop_front() {
+                hole_index.insert(p, idx);
+                for n in p.neighbors() {
+                    if remaining.remove(&n) {
+                        comp.insert(n);
+                        queue.push_back(n);
+                    }
+                }
+            }
+            holes.push(comp);
+        }
+
+        // Boundary membership: a shape point is on the outer boundary iff it
+        // is adjacent to an outer-face point; it is on hole i's inner
+        // boundary iff it is adjacent to a point of hole i. A point can be on
+        // several boundaries at once.
+        let mut outer_boundary = BTreeSet::new();
+        let mut inner_boundaries = vec![BTreeSet::new(); holes.len()];
+        for p in shape.iter() {
+            for n in p.neighbors() {
+                if shape.contains(n) {
+                    continue;
+                }
+                if let Some(&idx) = hole_index.get(&n) {
+                    inner_boundaries[idx].insert(p);
+                } else {
+                    // Any empty neighbour that is not a hole point is on the
+                    // outer face (it may fall outside the expanded box only
+                    // if the shape point is on the box edge, in which case it
+                    // is still outer).
+                    outer_boundary.insert(p);
+                }
+            }
+        }
+
+        ShapeAnalysis {
+            shape,
+            outer_face,
+            holes,
+            hole_index,
+            outer_boundary,
+            inner_boundaries,
+        }
+    }
+
+    /// The analysed shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The hole components (possibly empty), each a set of empty points.
+    pub fn holes(&self) -> &[BTreeSet<Point>] {
+        &self.holes
+    }
+
+    /// All hole points in deterministic order.
+    pub fn hole_points(&self) -> Vec<Point> {
+        self.holes.iter().flat_map(|h| h.iter().copied()).collect()
+    }
+
+    /// The shape points on the outer boundary.
+    pub fn outer_boundary(&self) -> &BTreeSet<Point> {
+        &self.outer_boundary
+    }
+
+    /// The shape points on the inner boundary of hole `i`.
+    pub fn inner_boundary(&self, i: usize) -> &BTreeSet<Point> {
+        &self.inner_boundaries[i]
+    }
+
+    /// Number of holes.
+    pub fn hole_count(&self) -> usize {
+        self.holes.len()
+    }
+
+    /// `L_out`: number of points on the outer boundary.
+    pub fn outer_boundary_len(&self) -> usize {
+        self.outer_boundary.len()
+    }
+
+    /// `L_max`: maximum number of points over all global boundaries.
+    pub fn max_boundary_len(&self) -> usize {
+        self.inner_boundaries
+            .iter()
+            .map(|b| b.len())
+            .chain([self.outer_boundary.len()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The area of the shape (shape plus hole points).
+    pub fn area(&self) -> Shape {
+        let mut points = self.shape.points.clone();
+        points.extend(self.hole_points());
+        Shape { points }
+    }
+
+    /// Classifies an arbitrary grid point.
+    pub fn classify(&self, p: Point) -> PointClass {
+        if self.shape.contains(p) {
+            if self.shape.is_interior_point(p) {
+                PointClass::Interior
+            } else {
+                PointClass::Boundary
+            }
+        } else if self.hole_index.contains_key(&p) {
+            PointClass::Hole
+        } else {
+            PointClass::Outer
+        }
+    }
+
+    /// Which kind of empty face the empty point `p` belongs to, or `None` if
+    /// `p` is in the shape.
+    ///
+    /// Points far outside the analysed bounding box are reported as
+    /// [`BoundaryKind::Outer`]-adjacent, i.e. on the outer face.
+    pub fn face_of_empty_point(&self, p: Point) -> Option<BoundaryKind> {
+        if self.shape.contains(p) {
+            return None;
+        }
+        if let Some(&idx) = self.hole_index.get(&p) {
+            Some(BoundaryKind::Inner(idx))
+        } else {
+            Some(BoundaryKind::Outer)
+        }
+    }
+
+    /// Whether the empty point `p` lies on the outer (unbounded) face.
+    pub fn is_outer_face_point(&self, p: Point) -> bool {
+        !self.shape.contains(p) && !self.hole_index.contains_key(&p)
+    }
+
+    /// Whether the empty point `p` lies inside some hole.
+    pub fn is_hole_point(&self, p: Point) -> bool {
+        self.hole_index.contains_key(&p)
+    }
+
+    /// The outer face points discovered within the expanded bounding box
+    /// (useful for rendering).
+    pub fn outer_face_sample(&self) -> &HashSet<Point> {
+        &self.outer_face
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::Direction;
+
+    /// A hexagonal ball of the given radius around the origin.
+    fn ball(radius: u32) -> Shape {
+        Shape::from_points(Point::ORIGIN.ball(radius))
+    }
+
+    /// A ring (annulus of width 1) of the given radius: a shape with one hole
+    /// when radius >= 2 (radius 1 ring encloses only the origin).
+    fn ring(radius: u32) -> Shape {
+        Shape::from_points(Point::ORIGIN.ring(radius))
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Shape::new();
+        assert!(empty.is_empty());
+        assert!(empty.is_connected());
+        assert!(empty.is_simply_connected());
+        assert_eq!(empty.outer_boundary_len(), 0);
+
+        let single = Shape::from_points([Point::ORIGIN]);
+        assert_eq!(single.len(), 1);
+        assert!(single.is_connected());
+        assert!(single.is_simply_connected());
+        assert!(single.is_boundary_point(Point::ORIGIN));
+        assert!(!single.is_interior_point(Point::ORIGIN));
+        assert_eq!(single.outer_boundary_len(), 1);
+    }
+
+    #[test]
+    fn ball_classification() {
+        let s = ball(3);
+        let a = s.analyze();
+        assert_eq!(a.hole_count(), 0);
+        assert!(s.is_simply_connected());
+        // Boundary of the ball of radius 3 is exactly the ring of radius 3.
+        assert_eq!(a.outer_boundary_len(), 18);
+        assert!(s.is_interior_point(Point::ORIGIN));
+        assert_eq!(s.classify(Point::ORIGIN), PointClass::Interior);
+        assert_eq!(s.classify(Point::new(3, 0)), PointClass::Boundary);
+        assert_eq!(s.classify(Point::new(10, 10)), PointClass::Outer);
+        // Area of a hole-free shape is the shape itself.
+        assert_eq!(s.area(), s);
+    }
+
+    #[test]
+    fn annulus_has_one_hole() {
+        // Ball of radius 3 minus ball of radius 1 -> hole of 7 points.
+        let mut s = ball(3);
+        for p in Point::ORIGIN.ball(1) {
+            s.remove(p);
+        }
+        let a = s.analyze();
+        assert_eq!(a.hole_count(), 1);
+        assert_eq!(a.holes()[0].len(), 7);
+        assert!(!s.is_simply_connected());
+        assert_eq!(s.classify(Point::ORIGIN), PointClass::Hole);
+        assert_eq!(a.area().len(), s.len() + 7);
+        // Inner boundary of the hole is the ring of radius 2 (12 points).
+        assert_eq!(a.inner_boundary(0).len(), 12);
+        assert_eq!(a.outer_boundary_len(), 18);
+        assert_eq!(a.max_boundary_len(), 18);
+    }
+
+    #[test]
+    fn thin_ring_radius_one_is_a_hole() {
+        // The 6 points at distance 1 from the origin enclose the origin.
+        let s = ring(1);
+        let a = s.analyze();
+        assert_eq!(a.hole_count(), 1);
+        assert_eq!(a.holes()[0].len(), 1);
+        assert!(a.is_hole_point(Point::ORIGIN));
+        assert_eq!(s.area().len(), 7);
+    }
+
+    #[test]
+    fn two_holes_are_separated() {
+        // Two disjoint single-point holes inside a larger ball.
+        let mut s = ball(4);
+        let h1 = Point::new(2, 0);
+        let h2 = Point::new(-2, 0);
+        s.remove(h1);
+        s.remove(h2);
+        let a = s.analyze();
+        assert_eq!(a.hole_count(), 2);
+        assert!(a.is_hole_point(h1));
+        assert!(a.is_hole_point(h2));
+        assert_ne!(a.face_of_empty_point(h1), a.face_of_empty_point(h2));
+        assert_eq!(a.area(), ball(4));
+    }
+
+    #[test]
+    fn notch_is_not_a_hole() {
+        // Removing a boundary point creates a notch, not a hole.
+        let mut s = ball(2);
+        s.remove(Point::new(2, 0));
+        let a = s.analyze();
+        assert_eq!(a.hole_count(), 0);
+        assert!(s.is_simply_connected());
+        assert!(a.is_outer_face_point(Point::new(2, 0)));
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let mut s = ball(1);
+        // Add a far-away island.
+        let island = Point::new(10, 10);
+        s.insert(island);
+        assert!(!s.is_connected());
+        let comps = s.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps.iter().map(|c| c.len()).sum::<usize>(), s.len());
+        assert!(comps.iter().any(|c| c.len() == 1 && c.contains(island)));
+    }
+
+    #[test]
+    fn line_shape_boundaries() {
+        let line = Shape::from_points((0..10).map(|i| Point::new(i, 0)));
+        assert!(line.is_connected());
+        assert!(line.is_simply_connected());
+        // Every point of a line is a boundary point.
+        assert_eq!(line.outer_boundary_len(), 10);
+        for p in line.iter() {
+            assert!(line.is_boundary_point(p));
+        }
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let s = ball(1);
+        assert_eq!(s.degree(Point::ORIGIN), 6);
+        assert_eq!(s.degree(Point::new(1, 0)), 3);
+        let east = Point::ORIGIN.neighbor(Direction::E);
+        assert!(s.neighbors_in(east).any(|p| p == Point::ORIGIN));
+    }
+
+    #[test]
+    fn extend_and_from_iterator() {
+        let mut s: Shape = Point::ORIGIN.ring(1).into_iter().collect();
+        assert_eq!(s.len(), 6);
+        s.extend([Point::ORIGIN]);
+        assert_eq!(s.len(), 7);
+        assert_eq!((&s).into_iter().count(), 7);
+    }
+}

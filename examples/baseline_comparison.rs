@@ -1,0 +1,65 @@
+//! Compares the paper's algorithm against the Table 1 baselines on a single
+//! shape with holes — a one-shot, human-readable version of experiment T1.
+//!
+//! Run with `cargo run --example baseline_comparison [radius]`.
+
+use programmable_matter::amoebot::scheduler::RoundRobin;
+use programmable_matter::analysis::ShapeStats;
+use programmable_matter::baselines::{
+    run_erosion_le, run_quadratic_boundary, run_randomized_boundary, BaselineError,
+};
+use programmable_matter::grid::builder::swiss_cheese;
+use programmable_matter::leader_election::pipeline::{elect_leader, ElectionConfig};
+
+fn main() {
+    let radius = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6u32);
+    let shape = swiss_cheese(radius, 3);
+    let stats = ShapeStats::compute(&shape);
+    println!(
+        "Swiss-cheese hexagon: n = {}, holes = {}, D_A = {}, L_out + D = {}\n",
+        stats.n,
+        stats.holes,
+        stats.d_a,
+        stats.lout_plus_d()
+    );
+
+    let with_knowledge = elect_leader(
+        &shape,
+        &ElectionConfig::with_boundary_knowledge(),
+        &mut RoundRobin,
+    )
+    .expect("election succeeds");
+    let without = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin)
+        .expect("election succeeds");
+    println!(
+        "this paper, O(D_A) variant      : {:>6} rounds (unique leader: {})",
+        with_knowledge.total_rounds,
+        with_knowledge.predicate_holds()
+    );
+    println!(
+        "this paper, O(L_out+D) variant  : {:>6} rounds (unique leader: {})",
+        without.total_rounds,
+        without.predicate_holds()
+    );
+
+    match run_erosion_le(&shape, RoundRobin) {
+        Ok(o) => println!("erosion baseline [22]           : {:>6} rounds", o.rounds),
+        Err(BaselineError::Stuck { after_rounds }) => println!(
+            "erosion baseline [22]           :  stuck after {after_rounds} rounds (cannot handle holes)"
+        ),
+        Err(e) => println!("erosion baseline [22]           :  error: {e}"),
+    }
+    let randomized = run_randomized_boundary(&shape, 7).expect("runs");
+    println!(
+        "randomized boundary [10]        : {:>6} rounds (randomized)",
+        randomized.rounds
+    );
+    let quadratic = run_quadratic_boundary(&shape).expect("runs");
+    println!(
+        "quadratic boundary [3]          : {:>6} rounds ({} leaders)",
+        quadratic.rounds, quadratic.leaders
+    );
+}

@@ -1,0 +1,69 @@
+//! Walkthrough of disconnection and reconnection (Figures 1–4): run DLE on a
+//! thin annulus until the system disconnects, inspect the breadcrumb trail
+//! (Lemma 19), then run Algorithm Collect phase by phase.
+//!
+//! Run with `cargo run --example collect_walkthrough`.
+
+use programmable_matter::amoebot::ascii::render_shape;
+use programmable_matter::amoebot::scheduler::SeededRandom;
+use programmable_matter::grid::builder::annulus;
+use programmable_matter::grid::Shape;
+use programmable_matter::leader_election::collect::CollectSimulator;
+use programmable_matter::leader_election::dle::run_dle;
+
+fn main() {
+    // A thin annulus: DLE's inward march leaves a sparse, disconnected
+    // breadcrumb trail behind.
+    let shape = annulus(8, 7);
+    println!("Initial thin annulus ({} particles):", shape.len());
+    println!("{}", render_shape(&shape));
+
+    let dle = run_dle(&shape, SeededRandom::new(0), true).expect("DLE terminates");
+    println!(
+        "DLE finished in {} rounds; unique leader at {:?}; system ever disconnected: {}; \
+         final configuration connected: {:?}",
+        dle.stats.rounds,
+        dle.leader_point,
+        dle.stats.ever_disconnected,
+        dle.stats.final_connected
+    );
+    let after_dle = Shape::from_points(dle.final_positions.iter().copied());
+    println!("\nConfiguration after DLE (note the gaps — the breadcrumb trail):");
+    println!("{}", render_shape(&after_dle));
+
+    // Lemma 19: one particle at every grid distance up to eps_G(l).
+    let l = dle.leader_point;
+    let eps = dle
+        .final_positions
+        .iter()
+        .map(|p| l.grid_distance(*p))
+        .max()
+        .unwrap();
+    println!("Breadcrumbs: eps_G(l) = {eps}; particles per distance from the leader:");
+    for d in 0..=eps {
+        let count = dle
+            .final_positions
+            .iter()
+            .filter(|p| l.grid_distance(**p) == d)
+            .count();
+        println!("  distance {d:>2}: {count} particle(s)");
+    }
+
+    // Algorithm Collect: phases of the rotating stem.
+    let mut sim = CollectSimulator::new(l, &dle.final_positions);
+    assert!(sim.has_breadcrumbs());
+    let outcome = sim.run();
+    println!("\nCollect phases (stem doubles each phase, Corollary 22):");
+    for phase in &outcome.phases {
+        println!(
+            "  phase {}: stem {:>3} -> {:>3}, collected {:>3} particles, {:>4} rounds",
+            phase.index, phase.stem_start, phase.stem_end, phase.newly_collected, phase.rounds
+        );
+    }
+    println!(
+        "Collect finished in {} rounds; final configuration connected: {}",
+        outcome.rounds, outcome.final_connected
+    );
+    println!("\nFinal configuration (stem east of the leader, branches behind it):");
+    println!("{}", render_shape(&outcome.final_shape()));
+}

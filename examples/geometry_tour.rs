@@ -1,0 +1,71 @@
+//! A tour of the paper's geometric definitions (Figures 5–8): shapes, holes,
+//! areas, boundary counts, v-node rings and erodable points.
+//!
+//! Run with `cargo run --example geometry_tour`.
+
+use programmable_matter::amoebot::ascii::render_shape;
+use programmable_matter::grid::builder::{annulus, hexagon};
+use programmable_matter::grid::{
+    boundary_rings, is_erodable, is_sce, LocalBoundary, Metric, Point, Shape,
+};
+
+fn main() {
+    // Figure 5: a shape with a hole, its area, and its boundaries.
+    let shape = annulus(4, 1);
+    let analysis = shape.analyze();
+    println!("A shape with one hole (holes render as 'o'):");
+    println!("{}", render_shape(&shape));
+    println!(
+        "n = {}, outer boundary = {} points, inner boundary = {} points, hole = {} points",
+        shape.len(),
+        analysis.outer_boundary_len(),
+        analysis.inner_boundary(0).len(),
+        analysis.holes()[0].len()
+    );
+    let metric = Metric::new(&shape);
+    println!(
+        "D = {:?}, D_A = {:?}, D_G = {} (Observation 1: D >= D_A >= D_G)\n",
+        metric.diameter().unwrap(),
+        metric.area_diameter().unwrap(),
+        metric.grid_diameter()
+    );
+
+    // Figure 6: boundary counts and erodable points on a small irregular
+    // shape.
+    let mut small = hexagon(2);
+    small.remove(Point::new(2, 0));
+    small.remove(Point::new(1, 1));
+    let small_analysis = small.analyze();
+    println!("Boundary counts on an irregular simply-connected shape:");
+    println!("{}", render_shape(&small));
+    for p in small.iter() {
+        let lbs = LocalBoundary::of_point(&small, p);
+        if lbs.is_empty() {
+            continue;
+        }
+        let counts: Vec<i32> = lbs.iter().map(|b| b.count()).collect();
+        println!(
+            "  {p}: counts {counts:?}, erodable = {}, SCE = {}",
+            is_erodable(&small, &small_analysis, p),
+            is_sce(&small, &small_analysis, p)
+        );
+    }
+
+    // Figure 7 / Observation 4: v-node rings and their count sums.
+    println!("\nBoundary rings of the annulus (Observation 4: sums are +6 / -6):");
+    for ring in boundary_rings(&shape) {
+        println!(
+            "  {:?}: {} v-nodes over {} points, count sum = {}",
+            ring.kind(),
+            ring.len(),
+            ring.point_len(),
+            ring.count_sum()
+        );
+    }
+
+    // Proposition 7: every simply-connected shape has an SCE point.
+    let sc: Shape = hexagon(3);
+    let sc_analysis = sc.analyze();
+    let sce_count = sc.iter().filter(|p| is_sce(&sc, &sc_analysis, *p)).count();
+    println!("\nhexagon(3) has {sce_count} SCE points (Proposition 7 guarantees at least one).");
+}

@@ -1,0 +1,37 @@
+//! Umbrella crate re-exporting the programmable-matter workspace.
+//!
+//! This workspace reproduces *"Efficient Deterministic Leader Election for
+//! Programmable Matter"* (Dufoulon, Kutten, Moses Jr., PODC 2021). The crates
+//! are:
+//!
+//! * [`grid`] (`pm-grid`) — triangular-grid geometry, shapes, boundaries,
+//!   v-nodes, erosion predicates and metric toolkit.
+//! * [`amoebot`] (`pm-amoebot`) — the amoebot particle-system simulator:
+//!   particles, atomic activations, schedulers, shape generators and an ASCII
+//!   renderer.
+//! * [`leader_election`] (`pm-core`) — the paper's algorithms: DLE, Collect
+//!   (OMP/PRP/SDP), the Outer-Boundary Detection primitive, and the composed
+//!   pipeline.
+//! * [`baselines`] (`pm-baselines`) — the comparison algorithms of Table 1.
+//! * [`analysis`] (`pm-analysis`) — experiment harness regenerating the
+//!   paper's table and the scaling figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use programmable_matter::amoebot::generators::hexagon;
+//! use programmable_matter::amoebot::scheduler::RoundRobin;
+//! use programmable_matter::leader_election::pipeline::{ElectionConfig, elect_leader};
+//!
+//! let shape = hexagon(4);
+//! let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin::default())
+//!     .expect("election succeeds on a connected shape");
+//! assert!(outcome.leader.is_some());
+//! assert!(outcome.final_shape_connected);
+//! ```
+
+pub use pm_amoebot as amoebot;
+pub use pm_analysis as analysis;
+pub use pm_baselines as baselines;
+pub use pm_core as leader_election;
+pub use pm_grid as grid;

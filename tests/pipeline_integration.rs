@@ -1,0 +1,142 @@
+//! Cross-crate integration tests: generators → OBD → DLE → Collect →
+//! verification, plus the relative ordering of the paper's algorithm and the
+//! baselines.
+
+use programmable_matter::amoebot::generators::{self, random_blob, random_holey_hexagon};
+use programmable_matter::amoebot::scheduler::{
+    DoubleActivation, ReverseRoundRobin, RoundRobin, SeededRandom,
+};
+use programmable_matter::analysis::ShapeStats;
+use programmable_matter::baselines::{run_quadratic_boundary, run_randomized_boundary};
+use programmable_matter::grid::Shape;
+use programmable_matter::leader_election::dle::run_dle;
+use programmable_matter::leader_election::obd::run_obd;
+use programmable_matter::leader_election::pipeline::{elect_leader, ElectionConfig};
+
+/// A representative mix of workloads spanning every structural class.
+fn workload_mix() -> Vec<(String, Shape)> {
+    vec![
+        ("hexagon(5)".into(), generators::hexagon(5)),
+        ("annulus(6,3)".into(), generators::annulus(6, 3)),
+        ("thin-annulus(7,6)".into(), generators::annulus(7, 6)),
+        ("swiss(6)".into(), generators::swiss_cheese(6, 3)),
+        ("comb(5,5)".into(), generators::comb(5, 5)),
+        ("spiral(80)".into(), generators::spiral(80)),
+        ("dumbbell(3,12)".into(), generators::dumbbell(3, 12)),
+        ("blob(150)".into(), random_blob(150, 3)),
+        ("holey(6)".into(), random_holey_hexagon(6, 0.1, 5)),
+        ("line(25)".into(), generators::line(25)),
+    ]
+}
+
+#[test]
+fn full_pipeline_elects_unique_leader_and_reconnects_on_all_workloads() {
+    for (label, shape) in workload_mix() {
+        let n = shape.len();
+        let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(outcome.predicate_holds(), "{label}: predicate violated");
+        assert_eq!(outcome.final_positions.len(), n, "{label}: particle lost");
+        assert!(outcome.final_shape().is_connected(), "{label}: not reconnected");
+    }
+}
+
+#[test]
+fn pipeline_is_robust_to_the_scheduler() {
+    let shape = generators::annulus(6, 3);
+    let reference = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin).unwrap();
+    assert!(reference.predicate_holds());
+    let mut reverse = ReverseRoundRobin;
+    let mut random = SeededRandom::new(99);
+    let mut double = DoubleActivation;
+    for outcome in [
+        elect_leader(&shape, &ElectionConfig::default(), &mut reverse).unwrap(),
+        elect_leader(&shape, &ElectionConfig::default(), &mut random).unwrap(),
+        elect_leader(&shape, &ElectionConfig::default(), &mut double).unwrap(),
+    ] {
+        assert!(outcome.predicate_holds());
+        // The elected leader may differ, but the predicate and particle count
+        // must not.
+        assert_eq!(outcome.final_positions.len(), shape.len());
+    }
+}
+
+#[test]
+fn obd_flags_match_dle_input_assumption() {
+    // The OBD primitive must compute exactly the outer[0..5] flags that the
+    // known-boundary variant of DLE assumes as input.
+    for seed in 0..3u64 {
+        let shape = random_holey_hexagon(6, 0.1, seed);
+        let sim = programmable_matter::leader_election::obd::ObdSimulator::new(&shape);
+        let outcome = sim.run();
+        assert!(outcome.unique_outer());
+        assert_eq!(outcome.outer_flags, sim.ground_truth_flags(), "seed {seed}");
+    }
+}
+
+#[test]
+fn paper_beats_quadratic_baseline_and_matches_randomized_asymptotics() {
+    // Table 1 ordering on growing hexagons: the paper's deterministic
+    // algorithm stays within a constant factor of the randomized one and its
+    // advantage over the quadratic deterministic baseline grows with n.
+    let mut gaps = Vec::new();
+    for radius in [4u32, 8, 12] {
+        let shape = generators::hexagon(radius);
+        let paper = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin)
+            .unwrap()
+            .total_rounds as f64;
+        let quadratic = run_quadratic_boundary(&shape).unwrap().rounds as f64;
+        let randomized = run_randomized_boundary(&shape, 7).unwrap().rounds as f64;
+        gaps.push(quadratic / paper);
+        // Same asymptotics as the randomized algorithm: bounded ratio.
+        assert!(
+            paper < 80.0 * randomized + 1000.0,
+            "radius {radius}: paper {paper} vs randomized {randomized}"
+        );
+    }
+    assert!(
+        gaps.windows(2).all(|w| w[1] > w[0] * 0.9) && gaps.last().unwrap() > gaps.first().unwrap(),
+        "advantage over the quadratic baseline must grow: {gaps:?}"
+    );
+}
+
+#[test]
+fn dle_round_counts_track_area_diameter_not_particle_count() {
+    // Two shapes with similar particle counts but very different D_A: the
+    // dumbbell (huge diameter) takes many more rounds than the hexagon.
+    let hexagon = generators::hexagon(6); // n = 127, D_A = 12
+    let dumbbell = generators::dumbbell(3, 60); // n ~ 135, D_A ~ 73
+    let hex_stats = ShapeStats::compute(&hexagon);
+    let dumb_stats = ShapeStats::compute(&dumbbell);
+    assert!(dumb_stats.d_a > 3 * hex_stats.d_a);
+    let hex_rounds = run_dle(&hexagon, SeededRandom::new(5), false).unwrap().stats.rounds;
+    let dumb_rounds = run_dle(&dumbbell, SeededRandom::new(5), false).unwrap().stats.rounds;
+    assert!(
+        dumb_rounds > hex_rounds,
+        "rounds must grow with D_A: hexagon {hex_rounds} vs dumbbell {dumb_rounds}"
+    );
+}
+
+#[test]
+fn obd_rounds_grow_with_boundary_length_not_area() {
+    // A thin annulus and a filled hexagon of the same outer radius: similar
+    // L_out (+D), so similar OBD rounds despite very different particle
+    // counts.
+    let filled = generators::hexagon(10);
+    let thin = generators::annulus(10, 8);
+    let filled_rounds = run_obd(&filled).rounds as f64;
+    let thin_rounds = run_obd(&thin).rounds as f64;
+    let ratio = filled_rounds / thin_rounds;
+    assert!(
+        (0.2..=5.0).contains(&ratio),
+        "OBD rounds should be comparable ({filled_rounds} vs {thin_rounds})"
+    );
+}
+
+#[test]
+fn single_particle_and_two_particle_systems() {
+    for shape in [generators::line(1), generators::line(2)] {
+        let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin).unwrap();
+        assert!(outcome.predicate_holds());
+    }
+}

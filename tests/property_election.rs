@@ -1,0 +1,96 @@
+//! Property-based tests of the leader-election algorithms on random
+//! workloads: the problem predicate, the breadcrumb invariant, the round
+//! bounds and the OBD correctness.
+
+use programmable_matter::amoebot::generators::{random_blob, random_holey_hexagon};
+use programmable_matter::amoebot::scheduler::SeededRandom;
+use programmable_matter::analysis::ShapeStats;
+use programmable_matter::grid::Shape;
+use programmable_matter::leader_election::collect::CollectSimulator;
+use programmable_matter::leader_election::dle::run_dle;
+use programmable_matter::leader_election::obd::ObdSimulator;
+use programmable_matter::leader_election::pipeline::{elect_leader, ElectionConfig};
+use proptest::prelude::*;
+
+fn workload_strategy() -> impl Strategy<Value = (Shape, u64)> {
+    prop_oneof![
+        (20usize..150, any::<u64>()).prop_map(|(n, seed)| random_blob(n, seed)),
+        (3u32..7, any::<u64>()).prop_map(|(r, seed)| random_holey_hexagon(r, 0.1, seed)),
+    ]
+    .prop_flat_map(|shape| (Just(shape), any::<u64>()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full pipeline always elects a unique leader, keeps every particle,
+    /// ends connected, and stays within a generous linear round budget in
+    /// L_out + D.
+    #[test]
+    fn pipeline_predicate_and_round_budget((shape, sched_seed) in workload_strategy()) {
+        let stats = ShapeStats::compute(&shape);
+        let mut scheduler = SeededRandom::new(sched_seed);
+        let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut scheduler).unwrap();
+        prop_assert!(outcome.predicate_holds());
+        prop_assert_eq!(outcome.final_positions.len(), shape.len());
+        // Generous linear budget: every phase is linear with moderate
+        // constants (OBD <= ~15x, DLE <= ~8x, Collect <= ~140x of its own
+        // parameter, all bounded by L_out + D).
+        let budget = 200 * stats.lout_plus_d() as u64 + 500;
+        prop_assert!(
+            outcome.total_rounds <= budget,
+            "rounds {} exceed linear budget {} (L_out+D = {})",
+            outcome.total_rounds, budget, stats.lout_plus_d()
+        );
+    }
+
+    /// Lemma 19 (breadcrumbs) holds after DLE under random schedulers, and
+    /// Collect always reconnects from it.
+    #[test]
+    fn breadcrumbs_and_reconnection((shape, sched_seed) in workload_strategy()) {
+        let dle = run_dle(&shape, SeededRandom::new(sched_seed), false).unwrap();
+        prop_assert!(dle.predicate_holds());
+        let l = dle.leader_point;
+        let initial_eps = shape.iter().map(|p| l.grid_distance(p)).max().unwrap();
+        let final_eps = dle.final_positions.iter().map(|p| l.grid_distance(*p)).max().unwrap();
+        prop_assert!(final_eps <= initial_eps, "no particle beyond eps_G(l)");
+        for d in 0..=final_eps {
+            prop_assert!(
+                dle.final_positions.iter().any(|p| l.grid_distance(*p) == d),
+                "missing breadcrumb at distance {}", d
+            );
+        }
+        let mut sim = CollectSimulator::new(l, &dle.final_positions);
+        prop_assert!(sim.has_breadcrumbs());
+        let collect = sim.run();
+        prop_assert!(collect.final_connected);
+        prop_assert_eq!(collect.final_positions.len(), shape.len());
+        prop_assert_eq!(collect.uncollected_remaining, 0);
+    }
+
+    /// DLE stays within a small multiple of D_A rounds (Theorem 18) under
+    /// random schedulers.
+    #[test]
+    fn dle_rounds_linear_in_area_diameter((shape, sched_seed) in workload_strategy()) {
+        let stats = ShapeStats::compute(&shape);
+        let outcome = run_dle(&shape, SeededRandom::new(sched_seed), false).unwrap();
+        prop_assert!(
+            outcome.stats.rounds <= 10 * stats.d_a as u64 + 16,
+            "rounds {} not O(D_A) for D_A = {}",
+            outcome.stats.rounds, stats.d_a
+        );
+    }
+
+    /// OBD computes exactly the geometric outer-face flags and declares
+    /// exactly one outer boundary.
+    #[test]
+    fn obd_matches_ground_truth((shape, _) in workload_strategy()) {
+        let sim = ObdSimulator::new(&shape);
+        let outcome = sim.run();
+        prop_assert!(outcome.unique_outer());
+        prop_assert_eq!(outcome.outer_flags, sim.ground_truth_flags());
+        for decision in &outcome.decisions {
+            prop_assert!(matches!(decision.stable_segments, 1 | 2 | 3 | 6));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the geometric substrate, driven by randomly
+//! generated connected shapes.
+
+use programmable_matter::amoebot::generators::{random_blob, random_holey_hexagon, random_simply_connected_blob};
+use programmable_matter::grid::{
+    boundary_rings, sce_points, ErosionProcess, Metric, Point, Shape,
+};
+use proptest::prelude::*;
+
+fn blob_strategy() -> impl Strategy<Value = Shape> {
+    (10usize..120, any::<u64>()).prop_map(|(n, seed)| random_blob(n, seed))
+}
+
+fn simply_connected_strategy() -> impl Strategy<Value = Shape> {
+    (10usize..100, any::<u64>()).prop_map(|(n, seed)| random_simply_connected_blob(n, seed))
+}
+
+fn holey_strategy() -> impl Strategy<Value = Shape> {
+    (3u32..7, any::<u64>()).prop_map(|(r, seed)| random_holey_hexagon(r, 0.12, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Observation 1: D >= D_A, n <= 3D(D+1)+1 and L_out >= D for
+    /// simply-connected shapes.
+    #[test]
+    fn observation_1_holds_on_random_blobs(shape in blob_strategy()) {
+        let metric = Metric::new(&shape);
+        prop_assert!(metric.check_observation_1().is_ok());
+    }
+
+    /// Observation 4: every boundary ring's counts sum to +6 (outer) or -6
+    /// (inner), for any shape with at least two points.
+    #[test]
+    fn observation_4_ring_sums(shape in holey_strategy()) {
+        prop_assume!(shape.len() >= 2);
+        for ring in boundary_rings(&shape) {
+            let expected = if ring.is_outer() { 6 } else { -6 };
+            prop_assert_eq!(ring.count_sum(), expected);
+        }
+    }
+
+    /// The area contains the shape, has no holes, and adds exactly the hole
+    /// points.
+    #[test]
+    fn area_fills_holes(shape in holey_strategy()) {
+        let analysis = shape.analyze();
+        let area = shape.area();
+        prop_assert!(area.is_simply_connected());
+        prop_assert_eq!(area.len(), shape.len() + analysis.hole_points().len());
+        for p in shape.iter() {
+            prop_assert!(area.contains(p));
+        }
+    }
+
+    /// Proposition 7: every simply-connected shape with at least two points
+    /// has an SCE point, and (Observation 5) the erosion process reaches a
+    /// single point.
+    #[test]
+    fn proposition_7_and_erosion_termination(shape in simply_connected_strategy()) {
+        prop_assume!(shape.len() >= 2);
+        prop_assert!(!sce_points(&shape).is_empty());
+        let n = shape.len();
+        let mut erosion = ErosionProcess::new(shape);
+        let last = erosion.run();
+        prop_assert!(last.is_some());
+        prop_assert_eq!(erosion.removal_order().len(), n - 1);
+    }
+
+    /// Boundary classification is consistent: every shape point is interior
+    /// or on a boundary; hole points are not on the outer face; boundary
+    /// rings cover exactly the boundary points.
+    #[test]
+    fn boundary_classification_consistency(shape in blob_strategy()) {
+        let analysis = shape.analyze();
+        let rings = boundary_rings(&shape);
+        let ring_points: std::collections::BTreeSet<Point> = rings
+            .iter()
+            .flat_map(|r| r.vnodes().iter().map(|v| v.point))
+            .collect();
+        for p in shape.iter() {
+            let on_boundary = shape.is_boundary_point(p);
+            prop_assert_eq!(on_boundary, ring_points.contains(&p));
+            prop_assert_eq!(!on_boundary, shape.is_interior_point(p));
+        }
+        for hole in analysis.holes() {
+            for h in hole {
+                prop_assert!(!analysis.is_outer_face_point(*h));
+                prop_assert!(!shape.contains(*h));
+            }
+        }
+    }
+
+    /// Grid distance is a metric consistent with BFS on the full grid, and
+    /// restricted distances only grow: dist_S >= dist_SA >= dist_G.
+    #[test]
+    fn restricted_distances_dominate_grid_distance(shape in holey_strategy(), idx in 0usize..1000) {
+        prop_assume!(shape.len() >= 2);
+        let points: Vec<Point> = shape.iter().collect();
+        let a = points[idx % points.len()];
+        let b = points[(idx * 7 + 3) % points.len()];
+        let metric = Metric::new(&shape);
+        let grid = metric.grid_distance(a, b);
+        if let Some(area) = metric.distance_in_area(a, b) {
+            prop_assert!(area >= grid);
+            if let Some(in_shape) = metric.distance_in_shape(a, b) {
+                prop_assert!(in_shape >= area);
+            }
+        }
+    }
+}
