@@ -279,7 +279,7 @@ mod tests {
         let id = sys.particle_at(Point::new(0, 0)).unwrap();
         let ctx = ActivationContext::new(&mut sys, id);
         let mask = ctx.head_occupancy_mask();
-        assert_eq!(mask[Direction::E.index()], true);
+        assert!(mask[Direction::E.index()]);
         assert_eq!(mask.iter().filter(|m| **m).count(), 1);
     }
 }

@@ -6,9 +6,7 @@
 //! experiments: random connected blobs, their hole-free variants, and
 //! hexagons with randomly punched holes.
 
-pub use pm_grid::builder::{
-    annulus, comb, hexagon, line, parallelogram, spiral, swiss_cheese,
-};
+pub use pm_grid::builder::{annulus, comb, hexagon, line, parallelogram, spiral, swiss_cheese};
 
 use pm_grid::{Point, Shape};
 use rand::rngs::StdRng;
@@ -67,9 +65,9 @@ pub fn random_holey_hexagon(radius: u32, hole_fraction: f64, seed: u64) -> Shape
         if punched >= budget {
             break;
         }
-        let safe = p.neighbors().all(|q| {
-            shape.contains(q) && q.neighbors().all(|r| r == p || shape.contains(r))
-        });
+        let safe = p
+            .neighbors()
+            .all(|q| shape.contains(q) && q.neighbors().all(|r| r == p || shape.contains(r)));
         if safe {
             shape.remove(p);
             punched += 1;

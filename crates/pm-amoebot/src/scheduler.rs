@@ -202,6 +202,25 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
     /// [`RunError::RoundLimitExceeded`] if the round budget is exhausted
     /// before the algorithm completes.
     pub fn run(&mut self, max_rounds: u64) -> Result<RunStats, RunError> {
+        self.run_observed(max_rounds, |_, _| {})
+    }
+
+    /// Like [`Runner::run`], but invokes `on_round` with the system and the
+    /// cumulative statistics after every completed asynchronous round — the
+    /// hook behind round-by-round instrumentation (`RunObserver` in
+    /// `pm-core`) and tracing tools.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runner::run`].
+    pub fn run_observed<F>(
+        &mut self,
+        max_rounds: u64,
+        mut on_round: F,
+    ) -> Result<RunStats, RunError>
+    where
+        F: FnMut(&ParticleSystem<A::Memory>, &RunStats),
+    {
         if self.system.is_empty() {
             return Err(RunError::EmptySystem);
         }
@@ -211,6 +230,7 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
                 return Err(RunError::RoundLimitExceeded { limit: max_rounds });
             }
             self.run_round(&mut stats);
+            on_round(&self.system, &stats);
         }
         let (e, c, h) = self.system.move_counts();
         stats.expansions = e;

@@ -372,7 +372,10 @@ mod tests {
         assert!(sys.is_occupied(Point::new(2, 0)));
         sys.check_invariants().unwrap();
         // Cannot expand again while expanded.
-        assert_eq!(sys.expand(id, Direction::E), Err(MoveError::AlreadyExpanded));
+        assert_eq!(
+            sys.expand(id, Direction::E),
+            Err(MoveError::AlreadyExpanded)
+        );
         // Contract to head frees the tail point.
         sys.contract_to_head(id).unwrap();
         assert!(sys.particle(id).is_contracted());
@@ -448,7 +451,10 @@ mod tests {
 
     #[test]
     fn move_error_display() {
-        assert_eq!(MoveError::NotExpanded.to_string(), "particle is not expanded");
+        assert_eq!(
+            MoveError::NotExpanded.to_string(),
+            "particle is not expanded"
+        );
         assert!(MoveError::TargetOccupied.to_string().contains("occupied"));
     }
 }

@@ -133,8 +133,8 @@ fn marching_line_uses_handovers_when_blocked() {
     // A line of particles all marching east: the leftmost ones push into
     // their neighbours via handovers.
     let system = ParticleSystem::from_shape(&line(4), &MarchEast { steps: 3 });
-    let mut runner = Runner::new(system, MarchEast { steps: 3 }, RoundRobin)
-        .with_connectivity_tracking();
+    let mut runner =
+        Runner::new(system, MarchEast { steps: 3 }, RoundRobin).with_connectivity_tracking();
     let stats = runner.run(200).unwrap();
     assert!(stats.handovers > 0, "expected at least one handover");
     assert_eq!(stats.final_connected, Some(true));

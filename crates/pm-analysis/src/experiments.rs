@@ -4,22 +4,36 @@
 //! Every function returns a [`Table`] whose rows are the measured series and
 //! whose notes record the derived quantities (scaling exponents, ratios) that
 //! are compared against the paper's claims.
+//!
+//! All elections run through the unified
+//! [`LeaderElection`](pm_core::api::LeaderElection) trait: experiments
+//! iterate over `&dyn LeaderElection` contenders with per-contender
+//! [`RunOptions`], instead of hard-coding one driver per algorithm. Only the
+//! phase-level experiments (Collect on synthetic breadcrumb lines, OBD cost
+//! models) additionally reach for the phase simulators directly.
 
 use crate::fit::loglog_slope;
 use crate::stats::ShapeStats;
 use crate::table::Table;
 use crate::workloads;
-use pm_amoebot::scheduler::{DoubleActivation, ReverseRoundRobin, RoundRobin, SeededRandom};
-use pm_baselines::{run_erosion_le, run_quadratic_boundary, run_randomized_boundary, BaselineError};
+use pm_amoebot::scheduler::{
+    DoubleActivation, ReverseRoundRobin, RoundRobin, Scheduler, SeededRandom,
+};
+use pm_baselines::{ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary};
+use pm_core::api::{
+    phase, Election, ElectionError, LeaderElection, PaperPipeline, RunOptions, RunReport,
+};
 use pm_core::collect::CollectSimulator;
-use pm_core::dle::run_dle;
 use pm_core::obd::run_obd;
-use pm_core::pipeline::{elect_leader, ElectionConfig};
 use pm_grid::{Point, Shape};
 
 fn format_ratio(value: f64) -> String {
     format!("{value:.2}")
 }
+
+/// A labelled scheduler factory: experiments build a fresh scheduler per
+/// run so random streams do not leak across measurements.
+type SchedulerFactory = (&'static str, fn() -> Box<dyn Scheduler>);
 
 /// The scheduler used for every DLE-based measurement in the experiments.
 ///
@@ -33,60 +47,85 @@ fn measurement_scheduler() -> SeededRandom {
     SeededRandom::new(7)
 }
 
+/// Runs one contender and renders its round count as a table cell. A
+/// [`ElectionError::Stuck`] stall renders as the assumption violation it is
+/// (Table 1's assumption column — erosion on holes); any *other* failure is
+/// a bug in a contender that must terminate (the paper pipeline maps budget
+/// exhaustion to `ElectionError::Run`, Theorem 18), so it panics rather than
+/// shipping a quietly malformed table.
+fn rounds_cell(algorithm: &dyn LeaderElection, shape: &Shape, opts: &RunOptions) -> String {
+    match algorithm.elect(shape, &mut measurement_scheduler(), opts) {
+        Ok(report) => report.total_rounds.to_string(),
+        Err(ElectionError::Stuck { .. }) => "stuck (holes)".to_string(),
+        Err(e) => panic!(
+            "{} must terminate on permitted inputs: {e}",
+            algorithm.name()
+        ),
+    }
+}
+
+/// Runs the paper pipeline restricted to DLE (boundary knowledge assumed, no
+/// reconnection), asserting the unique-leader predicate.
+fn dle_report(shape: &Shape, scheduler: impl Scheduler + 'static) -> RunReport {
+    let report = Election::on(shape)
+        .scheduler(scheduler)
+        .assume_boundary_known()
+        .skip_reconnection()
+        .run()
+        .expect("DLE terminates");
+    assert!(report.unique_leader(), "unique leader required");
+    report
+}
+
 /// **T1 — empirical Table 1.** Round counts of the paper's two variants and
 /// of the baseline families on a mixed shape family, next to the workload
-/// parameters each bound is stated in.
+/// parameters each bound is stated in. One loop over `&dyn LeaderElection`
+/// contenders — no per-algorithm drivers.
 pub fn experiment_table1(scale: u32) -> Table {
-    let mut table = Table::new(
-        format!("T1: empirical Table 1 (scale {scale})"),
-        &[
-            "shape",
-            "n",
-            "D_A",
-            "L_out+D",
+    let contenders: [(&str, &dyn LeaderElection, RunOptions); 5] = [
+        (
             "DLE+Collect [this, O(D_A)]",
+            &PaperPipeline,
+            RunOptions::with_boundary_knowledge(),
+        ),
+        (
             "OBD+DLE+Collect [this, O(L_out+D)]",
+            &PaperPipeline,
+            RunOptions::default(),
+        ),
+        (
             "erosion [22], O(n)",
+            &ErosionLeaderElection,
+            RunOptions::default(),
+        ),
+        (
             "randomized [10], O(L_out+D)",
+            &RandomizedBoundary,
+            RunOptions::default(),
+        ),
+        (
             "quadratic [3], O(n^2)",
-        ],
-    );
+            &QuadraticBoundary,
+            RunOptions::default(),
+        ),
+    ];
+
+    let mut headers = vec!["shape", "n", "D_A", "L_out+D"];
+    headers.extend(contenders.iter().map(|(label, _, _)| *label));
+    let mut table = Table::new(format!("T1: empirical Table 1 (scale {scale})"), &headers);
+
     for (label, shape) in workloads::table1_family(scale) {
         let stats = ShapeStats::compute(&shape);
-        let with_knowledge = elect_leader(
-            &shape,
-            &ElectionConfig::with_boundary_knowledge(),
-            &mut measurement_scheduler(),
-        )
-        .expect("election succeeds");
-        let without = elect_leader(
-            &shape,
-            &ElectionConfig::default(),
-            &mut measurement_scheduler(),
-        )
-        .expect("election succeeds");
-        let erosion = match run_erosion_le(&shape, measurement_scheduler()) {
-            Ok(o) => o.rounds.to_string(),
-            Err(BaselineError::Stuck { .. }) => "stuck (holes)".to_string(),
-            Err(e) => format!("error: {e}"),
-        };
-        let randomized = run_randomized_boundary(&shape, 7)
-            .map(|o| o.rounds.to_string())
-            .unwrap_or_else(|e| format!("error: {e}"));
-        let quadratic = run_quadratic_boundary(&shape)
-            .map(|o| o.rounds.to_string())
-            .unwrap_or_else(|e| format!("error: {e}"));
-        table.push_row([
+        let mut row = vec![
             label,
             stats.n.to_string(),
             stats.d_a.to_string(),
             stats.lout_plus_d().to_string(),
-            with_knowledge.total_rounds.to_string(),
-            without.total_rounds.to_string(),
-            erosion,
-            randomized,
-            quadratic,
-        ]);
+        ];
+        for (_, algorithm, opts) in &contenders {
+            row.push(rounds_cell(*algorithm, &shape, opts));
+        }
+        table.push_row(row);
     }
     table.push_note(
         "Paper's claim: both variants of this paper are linear (in D_A resp. L_out+D); \
@@ -110,19 +149,19 @@ pub fn experiment_dle_scaling(radii: &[u32]) -> Table {
         .chain(workloads::holey_hexagons(radii, 5))
     {
         let stats = ShapeStats::compute(&shape);
-        let outcome = run_dle(&shape, measurement_scheduler(), false).expect("DLE terminates");
-        assert!(outcome.predicate_holds(), "unique leader required");
-        let ratio = outcome.stats.rounds as f64 / stats.d_a.max(1) as f64;
+        let report = dle_report(&shape, measurement_scheduler());
+        let rounds = report.phase_rounds(phase::DLE);
+        let ratio = rounds as f64 / stats.d_a.max(1) as f64;
         if label.starts_with("hexagon") {
-            hex_points.push((stats.d_a as f64, outcome.stats.rounds as f64));
+            hex_points.push((stats.d_a as f64, rounds as f64));
         } else {
-            holey_points.push((stats.d_a as f64, outcome.stats.rounds as f64));
+            holey_points.push((stats.d_a as f64, rounds as f64));
         }
         table.push_row([
             label,
             stats.n.to_string(),
             stats.d_a.to_string(),
-            outcome.stats.rounds.to_string(),
+            rounds.to_string(),
             format_ratio(ratio),
         ]);
     }
@@ -142,7 +181,7 @@ pub fn experiment_dle_scaling(radii: &[u32]) -> Table {
 /// **F3 — ablation: the power of movement and disconnection.** DLE against
 /// the no-movement erosion baseline on erosion-hostile simply-connected
 /// shapes (spirals), and on a shape with a hole where erosion stalls
-/// entirely.
+/// entirely. Both contenders run through the trait.
 pub fn experiment_erosion_ablation() -> Table {
     let mut table = Table::new(
         "F3: DLE vs no-movement erosion (ablation)",
@@ -153,33 +192,41 @@ pub fn experiment_erosion_ablation() -> Table {
     // Hole-free shapes first: both approaches are diameter-bounded there.
     for (label, shape) in workloads::simply_connected_blobs(&[64, 128, 256, 512], 3) {
         let stats = ShapeStats::compute(&shape);
-        let dle = run_dle(&shape, measurement_scheduler(), false).expect("DLE terminates");
-        let erosion =
-            run_erosion_le(&shape, measurement_scheduler()).expect("simply connected");
-        dle_points.push((stats.d_a as f64, dle.stats.rounds as f64));
-        erosion_points.push((stats.d_a as f64, erosion.rounds as f64));
+        let dle = dle_report(&shape, measurement_scheduler());
+        let erosion = ErosionLeaderElection
+            .elect(&shape, &mut measurement_scheduler(), &RunOptions::default())
+            .expect("simply connected");
+        dle_points.push((stats.d_a as f64, dle.total_rounds as f64));
+        erosion_points.push((stats.d_a as f64, erosion.total_rounds as f64));
         table.push_row([
             label,
             stats.n.to_string(),
             stats.d_a.to_string(),
-            dle.stats.rounds.to_string(),
-            erosion.rounds.to_string(),
+            dle.total_rounds.to_string(),
+            erosion.total_rounds.to_string(),
         ]);
     }
     // Shapes with holes: erosion cannot finish at all, DLE stays linear.
-    for (label, shape) in workloads::annuli(&[6, 10]).into_iter().chain(workloads::swiss(&[8])) {
+    for (label, shape) in workloads::annuli(&[6, 10])
+        .into_iter()
+        .chain(workloads::swiss(&[8]))
+    {
         let stats = ShapeStats::compute(&shape);
-        let dle = run_dle(&shape, measurement_scheduler(), false).expect("DLE terminates");
-        let erosion = match run_erosion_le(&shape, measurement_scheduler()) {
-            Err(BaselineError::Stuck { .. }) => "stuck (hole)".to_string(),
-            Ok(o) => o.rounds.to_string(),
+        let dle = dle_report(&shape, measurement_scheduler());
+        let erosion = match ErosionLeaderElection.elect(
+            &shape,
+            &mut measurement_scheduler(),
+            &RunOptions::default(),
+        ) {
+            Err(ElectionError::Stuck { .. }) => "stuck (hole)".to_string(),
+            Ok(report) => report.total_rounds.to_string(),
             Err(e) => format!("error: {e}"),
         };
         table.push_row([
             label,
             stats.n.to_string(),
             stats.d_a.to_string(),
-            dle.stats.rounds.to_string(),
+            dle.total_rounds.to_string(),
             erosion,
         ]);
     }
@@ -224,8 +271,10 @@ pub fn experiment_collect_scaling(eccentricities: &[u32]) -> Table {
         ]);
     }
     for (label, shape) in workloads::thin_annuli(&[6, 10, 14]) {
-        let dle = run_dle(&shape, SeededRandom::new(0), false).expect("DLE terminates");
-        let mut sim = CollectSimulator::new(dle.leader_point, &dle.final_positions);
+        // The post-DLE configuration (leader + breadcrumbs) comes out of the
+        // unified API by skipping reconnection.
+        let dle = dle_report(&shape, SeededRandom::new(0));
+        let mut sim = CollectSimulator::new(dle.leader, &dle.final_positions);
         let outcome = sim.run();
         points.push((outcome.eccentricity as f64, outcome.rounds as f64));
         table.push_row([
@@ -268,8 +317,14 @@ pub fn experiment_breadcrumbs() -> Table {
         .chain(workloads::blobs(&[150], 9))
         .collect();
     for (label, shape) in shapes {
-        let dle = run_dle(&shape, SeededRandom::new(1), true).expect("DLE terminates");
-        let l = dle.leader_point;
+        let dle = Election::on(&shape)
+            .scheduler(SeededRandom::new(1))
+            .assume_boundary_known()
+            .skip_reconnection()
+            .track_connectivity()
+            .run()
+            .expect("DLE terminates");
+        let l = dle.leader;
         let eps = dle
             .final_positions
             .iter()
@@ -277,7 +332,11 @@ pub fn experiment_breadcrumbs() -> Table {
             .max()
             .unwrap_or(0);
         let missing = (0..=eps)
-            .filter(|d| !dle.final_positions.iter().any(|p| l.grid_distance(*p) == *d))
+            .filter(|d| {
+                !dle.final_positions
+                    .iter()
+                    .any(|p| l.grid_distance(*p) == *d)
+            })
             .count();
         let initial_eps = shape.iter().map(|p| l.grid_distance(p)).max().unwrap_or(0);
         let beyond = dle
@@ -293,7 +352,7 @@ pub fn experiment_breadcrumbs() -> Table {
             eps.to_string(),
             missing.to_string(),
             beyond.to_string(),
-            dle.stats.final_connected.unwrap_or(false).to_string(),
+            dle.final_connected.to_string(),
             collect.final_connected.to_string(),
         ]);
     }
@@ -323,16 +382,18 @@ pub fn experiment_obd_scaling(radii: &[u32]) -> Table {
         let stats = ShapeStats::compute(&shape);
         let obd = run_obd(&shape);
         assert!(obd.unique_outer());
-        let quad = run_quadratic_boundary(&shape).expect("baseline runs");
+        let quad = QuadraticBoundary
+            .elect(&shape, &mut measurement_scheduler(), &RunOptions::default())
+            .expect("baseline runs");
         let denom = stats.lout_plus_d() as f64;
         pipelined.push((denom, obd.rounds as f64));
-        sequential.push((denom, quad.rounds as f64));
+        sequential.push((denom, quad.total_rounds as f64));
         table.push_row([
             label,
             stats.lout_plus_d().to_string(),
             obd.rounds.to_string(),
             format_ratio(obd.rounds as f64 / denom),
-            quad.rounds.to_string(),
+            quad.total_rounds.to_string(),
         ]);
     }
     if let (Some(p), Some(s)) = (loglog_slope(&pipelined), loglog_slope(&sequential)) {
@@ -367,25 +428,22 @@ pub fn experiment_full_pipeline(radii: &[u32]) -> Table {
         .chain(workloads::holey_hexagons(radii, 11))
     {
         let stats = ShapeStats::compute(&shape);
-        let outcome = elect_leader(
-            &shape,
-            &ElectionConfig::default(),
-            &mut measurement_scheduler(),
-        )
-        .expect("election succeeds");
-        let (obd, dle, collect) = outcome.phase_rounds();
+        let report = Election::on(&shape)
+            .scheduler(measurement_scheduler())
+            .run()
+            .expect("election succeeds");
         let denom = stats.lout_plus_d() as f64;
-        points.push((denom, outcome.total_rounds as f64));
+        points.push((denom, report.total_rounds as f64));
         table.push_row([
             label,
             stats.n.to_string(),
             stats.lout_plus_d().to_string(),
-            obd.to_string(),
-            dle.to_string(),
-            collect.to_string(),
-            outcome.total_rounds.to_string(),
-            format_ratio(outcome.total_rounds as f64 / denom),
-            outcome.predicate_holds().to_string(),
+            report.phase_rounds(phase::OBD).to_string(),
+            report.phase_rounds(phase::DLE).to_string(),
+            report.phase_rounds(phase::COLLECT).to_string(),
+            report.total_rounds.to_string(),
+            format_ratio(report.total_rounds as f64 / denom),
+            report.predicate_holds().to_string(),
         ]);
     }
     if let Some(slope) = loglog_slope(&points) {
@@ -398,20 +456,27 @@ pub fn experiment_full_pipeline(radii: &[u32]) -> Table {
 
 /// **F8 — scheduler robustness.** DLE round counts on fixed shapes under the
 /// four fair strong schedulers; the counts must stay `O(D_A)` (the bound is
-/// worst-case over all fair executions).
+/// worst-case over all fair executions). One loop over boxed schedulers — no
+/// per-scheduler drivers.
 pub fn experiment_scheduler_robustness() -> Table {
+    let schedulers: [SchedulerFactory; 5] = [
+        ("round-robin", || Box::new(RoundRobin)),
+        ("reverse", || Box::new(ReverseRoundRobin)),
+        ("random(0)", || Box::new(SeededRandom::new(0))),
+        ("random(1)", || Box::new(SeededRandom::new(1))),
+        ("double-activation", || Box::new(DoubleActivation)),
+    ];
+    let mut headers = vec!["shape", "D_A"];
+    headers.extend(schedulers.iter().map(|(label, _)| *label));
     let mut table = Table::new(
         "F8: DLE rounds under different fair strong schedulers",
-        &[
-            "shape",
-            "D_A",
-            "round-robin",
-            "reverse",
-            "random(0)",
-            "random(1)",
-            "double-activation",
-        ],
+        &headers,
     );
+    let opts = RunOptions {
+        assume_outer_boundary_known: true,
+        reconnect: false,
+        ..RunOptions::default()
+    };
     let shapes: Vec<(String, Shape)> = workloads::hexagons(&[6])
         .into_iter()
         .chain(workloads::annuli(&[8]))
@@ -419,23 +484,16 @@ pub fn experiment_scheduler_robustness() -> Table {
         .collect();
     for (label, shape) in shapes {
         let stats = ShapeStats::compute(&shape);
-        let rr = run_dle(&shape, RoundRobin, false).unwrap();
-        let rev = run_dle(&shape, ReverseRoundRobin, false).unwrap();
-        let r0 = run_dle(&shape, SeededRandom::new(0), false).unwrap();
-        let r1 = run_dle(&shape, SeededRandom::new(1), false).unwrap();
-        let da = run_dle(&shape, DoubleActivation, false).unwrap();
-        for outcome in [&rr, &rev, &r0, &r1, &da] {
-            assert!(outcome.predicate_holds());
+        let mut row = vec![label, stats.d_a.to_string()];
+        for (_, make_scheduler) in &schedulers {
+            let mut scheduler = make_scheduler();
+            let report = PaperPipeline
+                .elect(&shape, &mut *scheduler, &opts)
+                .expect("DLE terminates");
+            assert!(report.unique_leader());
+            row.push(report.phase_rounds(phase::DLE).to_string());
         }
-        table.push_row([
-            label,
-            stats.d_a.to_string(),
-            rr.stats.rounds.to_string(),
-            rev.stats.rounds.to_string(),
-            r0.stats.rounds.to_string(),
-            r1.stats.rounds.to_string(),
-            da.stats.rounds.to_string(),
-        ]);
+        table.push_row(row);
     }
     table.push_note(
         "All counts stay within a small constant factor of D_A: the O(D_A) bound is \

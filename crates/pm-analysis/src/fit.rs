@@ -83,7 +83,8 @@ mod tests {
     #[test]
     fn loglog_recovers_exponents() {
         let linear: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 7.0 * i as f64)).collect();
-        let quadratic: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 0.5 * (i * i) as f64)).collect();
+        let quadratic: Vec<(f64, f64)> =
+            (1..20).map(|i| (i as f64, 0.5 * (i * i) as f64)).collect();
         assert!((loglog_slope(&linear).unwrap() - 1.0).abs() < 0.01);
         assert!((loglog_slope(&quadratic).unwrap() - 2.0).abs() < 0.01);
     }

@@ -33,7 +33,8 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: ToString,
     {
-        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
     }
 
     /// Appends a footnote.
@@ -86,7 +87,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }

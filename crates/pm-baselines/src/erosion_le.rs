@@ -11,15 +11,24 @@
 //! snake-like shape erodes only a constant number of particles per round).
 //! On shapes with holes the candidate set can never pierce the hole and the
 //! erosion stalls — which is exactly why this family of algorithms assumes
-//! hole-free initial shapes.
+//! hole-free initial shapes. Through the unified API the stall surfaces as
+//! [`ElectionError::Stuck`].
 
 use crate::{BaselineError, BaselineOutcome};
 use pm_amoebot::algorithm::{ActivationContext, Algorithm, InitContext};
 use pm_amoebot::scheduler::{RunError, Runner, Scheduler};
 use pm_amoebot::system::ParticleSystem;
+use pm_core::api::{
+    check_initial_configuration, phase, ConnectivityReport, ElectionError, LeaderElection,
+    PhaseReport, RunObserver, RunOptions, RunReport,
+};
 use pm_core::dle::Status;
 use pm_grid::{local_sce, Shape, DIRECTIONS};
 use serde::{Deserialize, Serialize};
+
+/// Per-particle memory of the erosion baseline, in bits (measured from
+/// [`ErosionMemory`]).
+pub const EROSION_MEMORY_BITS: u64 = (std::mem::size_of::<ErosionMemory>() * 8) as u64;
 
 /// Memory of a particle running the erosion baseline.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,7 +37,8 @@ pub struct ErosionMemory {
     pub status: Status,
 }
 
-/// The erosion-only leader-election algorithm.
+/// The erosion-only leader-election algorithm: implements the per-activation
+/// [`Algorithm`] and, on top of it, the unified [`LeaderElection`] API.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ErosionLeaderElection;
 
@@ -74,6 +84,90 @@ impl Algorithm for ErosionLeaderElection {
     }
 }
 
+impl LeaderElection for ErosionLeaderElection {
+    fn name(&self) -> &'static str {
+        "erosion-le"
+    }
+
+    fn elect_observed(
+        &self,
+        shape: &Shape,
+        scheduler: &mut dyn Scheduler,
+        opts: &RunOptions,
+        observer: &mut dyn RunObserver,
+    ) -> Result<RunReport, ElectionError> {
+        check_initial_configuration(shape)?;
+        let scheduler_name = scheduler.name();
+        observer.on_phase_start(self.name(), phase::ELECTION);
+
+        let system = ParticleSystem::from_shape(shape, &ErosionLeaderElection);
+        let mut runner = Runner::new(system, ErosionLeaderElection, scheduler);
+        runner.track_connectivity = opts.track_connectivity;
+        let budget = opts
+            .round_budget
+            .unwrap_or_else(|| 8 * (shape.len() as u64 + 8));
+        let stats = runner
+            .run_observed(budget, |_, stats| {
+                observer.on_round(phase::ELECTION, stats.rounds);
+            })
+            .map_err(|e| match e {
+                // The erosion stalling (reliably: shapes with holes) is a
+                // documented limitation of the family, not an execution bug.
+                RunError::RoundLimitExceeded { limit } => ElectionError::Stuck {
+                    after_rounds: limit,
+                },
+                RunError::EmptySystem => ElectionError::InvalidInitialConfiguration("empty shape"),
+            })?;
+
+        let system = runner.into_system();
+        let mut leaders = 0usize;
+        let mut followers = 0usize;
+        let mut undecided = 0usize;
+        let mut leader = None;
+        for (_, p) in system.iter() {
+            match p.memory().status {
+                Status::Leader => {
+                    leaders += 1;
+                    leader = Some(p.head());
+                }
+                Status::Follower => followers += 1,
+                Status::Undecided => undecided += 1,
+            }
+        }
+        let report = PhaseReport {
+            name: phase::ELECTION.to_string(),
+            rounds: stats.rounds,
+            activations: stats.activations,
+            moves: stats.moves(),
+        };
+        observer.on_phase_end(self.name(), &report);
+
+        Ok(RunReport {
+            algorithm: self.name().to_string(),
+            scheduler: scheduler_name.to_string(),
+            n: shape.len(),
+            leader: leader.expect("a terminated erosion run has elected a leader"),
+            leaders,
+            followers,
+            undecided,
+            total_rounds: report.rounds,
+            activations: report.activations,
+            moves: report.moves,
+            phases: vec![report],
+            peak_memory_bits: EROSION_MEMORY_BITS,
+            connectivity: ConnectivityReport {
+                tracked: opts.track_connectivity,
+                ever_disconnected: stats.ever_disconnected,
+                disconnected_rounds: stats.disconnected_rounds,
+            },
+            // No particle ever moves, so the configuration stays the initial
+            // (connected) shape.
+            final_connected: true,
+            final_positions: shape.iter().collect(),
+        })
+    }
+}
+
 /// Runs the erosion baseline.
 ///
 /// # Errors
@@ -81,43 +175,22 @@ impl Algorithm for ErosionLeaderElection {
 /// Returns [`BaselineError::Stuck`] when the erosion makes no progress within
 /// the round budget — this reliably happens on shapes with holes — and
 /// [`BaselineError::InvalidInput`] for empty or disconnected shapes.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ErosionLeaderElection through the pm_core::api::LeaderElection trait"
+)]
 pub fn run_erosion_le<S: Scheduler>(
     shape: &Shape,
-    scheduler: S,
+    mut scheduler: S,
 ) -> Result<BaselineOutcome, BaselineError> {
-    if shape.is_empty() {
-        return Err(BaselineError::InvalidInput("empty shape"));
-    }
-    if !shape.is_connected() {
-        return Err(BaselineError::InvalidInput("shape must be connected"));
-    }
-    let system = ParticleSystem::from_shape(shape, &ErosionLeaderElection);
-    let mut runner = Runner::new(system, ErosionLeaderElection, scheduler);
-    let budget = 8 * (shape.len() as u64 + 8);
-    match runner.run(budget) {
-        Ok(stats) => {
-            let system = runner.into_system();
-            let mut leaders = 0;
-            let mut leader = None;
-            for (_, p) in system.iter() {
-                if p.memory().status == Status::Leader {
-                    leaders += 1;
-                    leader = Some(p.head());
-                }
-            }
-            Ok(BaselineOutcome {
-                algorithm: "erosion-le",
-                rounds: stats.rounds,
-                leaders,
-                leader,
-            })
-        }
-        Err(RunError::RoundLimitExceeded { limit }) => {
-            Err(BaselineError::Stuck {
-                after_rounds: limit,
-            })
-        }
-        Err(RunError::EmptySystem) => Err(BaselineError::InvalidInput("empty shape")),
+    match ErosionLeaderElection.elect(shape, &mut scheduler, &RunOptions::default()) {
+        Ok(report) => Ok(BaselineOutcome {
+            algorithm: "erosion-le",
+            rounds: report.total_rounds,
+            leaders: report.leaders,
+            leader: Some(report.leader),
+        }),
+        Err(e) => Err(crate::baseline_error_from(e)),
     }
 }
 
@@ -130,37 +203,67 @@ mod tests {
     #[test]
     fn elects_unique_leader_on_simply_connected_shapes() {
         for shape in [hexagon(3), line(12), comb(4, 3), spiral(40)] {
-            let outcome = run_erosion_le(&shape, RoundRobin).unwrap();
-            assert_eq!(outcome.leaders, 1, "shape {shape:?}");
-            assert!(outcome.leader.is_some());
-            assert_eq!(outcome.algorithm, "erosion-le");
+            let report = ErosionLeaderElection
+                .elect(&shape, &mut RoundRobin, &RunOptions::default())
+                .unwrap();
+            assert_eq!(report.leaders, 1, "shape {shape:?}");
+            assert!(shape.contains(report.leader));
+            assert_eq!(report.algorithm, "erosion-le");
+            assert!(report.rounds_consistent());
+            assert_eq!(report.final_positions.len(), shape.len());
+            assert_eq!(report.moves, 0, "erosion never moves");
         }
     }
 
     #[test]
     fn stalls_on_shapes_with_holes() {
-        let result = run_erosion_le(&annulus(4, 1), RoundRobin);
-        assert!(matches!(result, Err(BaselineError::Stuck { .. })));
+        let result =
+            ErosionLeaderElection.elect(&annulus(4, 1), &mut RoundRobin, &RunOptions::default());
+        assert!(matches!(result, Err(ElectionError::Stuck { .. })));
     }
 
     #[test]
     fn random_scheduler_also_elects_one_leader() {
         for seed in 0..3 {
-            let outcome = run_erosion_le(&hexagon(4), SeededRandom::new(seed)).unwrap();
-            assert_eq!(outcome.leaders, 1);
+            let report = ErosionLeaderElection
+                .elect(
+                    &hexagon(4),
+                    &mut SeededRandom::new(seed),
+                    &RunOptions::default(),
+                )
+                .unwrap();
+            assert_eq!(report.leaders, 1);
         }
     }
 
     #[test]
     fn rejects_invalid_inputs() {
+        let mut rr = RoundRobin;
         assert!(matches!(
-            run_erosion_le(&Shape::new(), RoundRobin),
-            Err(BaselineError::InvalidInput(_))
+            ErosionLeaderElection.elect(&Shape::new(), &mut rr, &RunOptions::default()),
+            Err(ElectionError::InvalidInitialConfiguration(_))
         ));
         let mut disconnected = hexagon(1);
         disconnected.insert(pm_grid::Point::new(40, 0));
         assert!(matches!(
-            run_erosion_le(&disconnected, RoundRobin),
+            ErosionLeaderElection.elect(&disconnected, &mut rr, &RunOptions::default()),
+            Err(ElectionError::InvalidInitialConfiguration(_))
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_preserves_signature_and_behaviour() {
+        let outcome = run_erosion_le(&hexagon(3), RoundRobin).unwrap();
+        assert_eq!(outcome.algorithm, "erosion-le");
+        assert_eq!(outcome.leaders, 1);
+        assert!(outcome.leader.is_some());
+        assert!(matches!(
+            run_erosion_le(&annulus(4, 1), RoundRobin),
+            Err(BaselineError::Stuck { .. })
+        ));
+        assert!(matches!(
+            run_erosion_le(&Shape::new(), RoundRobin),
             Err(BaselineError::InvalidInput(_))
         ));
     }
@@ -175,7 +278,10 @@ mod tests {
         let avg = |n: u32| -> f64 {
             (0..5u64)
                 .map(|s| {
-                    run_erosion_le(&line(n), SeededRandom::new(s)).unwrap().rounds as f64
+                    ErosionLeaderElection
+                        .elect(&line(n), &mut SeededRandom::new(s), &RunOptions::default())
+                        .unwrap()
+                        .total_rounds as f64
                 })
                 .sum::<f64>()
                 / 5.0

@@ -17,21 +17,53 @@
 //!   up to six leaders, but pays `O(|s|·|s1|)` per segment comparison and is
 //!   therefore quadratic overall.
 //!
-//! Each baseline returns a [`BaselineOutcome`] so the analysis crate can
-//! tabulate them next to the paper's algorithm.
+//! Every baseline implements the unified
+//! [`LeaderElection`](pm_core::api::LeaderElection) trait and returns the
+//! same [`RunReport`](pm_core::api::RunReport) as the paper pipeline, so the
+//! analysis crate tabulates all contenders through one `&dyn LeaderElection`
+//! loop:
+//!
+//! ```
+//! use pm_baselines::{ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary};
+//! use pm_core::api::{LeaderElection, RunOptions};
+//! use pm_amoebot::scheduler::RoundRobin;
+//! use pm_grid::builder::hexagon;
+//!
+//! let shape = hexagon(3);
+//! let algorithms: [&dyn LeaderElection; 3] =
+//!     [&ErosionLeaderElection, &RandomizedBoundary, &QuadraticBoundary];
+//! for algorithm in algorithms {
+//!     let report = algorithm
+//!         .elect(&shape, &mut RoundRobin, &RunOptions::default())
+//!         .expect("hole-free shape");
+//!     assert!(report.leaders >= 1);
+//! }
+//! ```
+//!
+//! The pre-0.2 free functions (`run_erosion_le`, …) remain as deprecated
+//! shims returning the old [`BaselineOutcome`].
 
 pub mod erosion_le;
 pub mod quadratic_boundary;
 pub mod randomized_boundary;
 
+use pm_core::api::ElectionError;
 use pm_grid::Point;
 use serde::{Deserialize, Serialize};
 
-pub use erosion_le::{run_erosion_le, ErosionLeaderElection, ErosionMemory};
+pub use erosion_le::{ErosionLeaderElection, ErosionMemory, EROSION_MEMORY_BITS};
+pub use quadratic_boundary::{QuadraticBoundary, QUADRATIC_BOUNDARY_MEMORY_BITS};
+pub use randomized_boundary::{RandomizedBoundary, RANDOMIZED_BOUNDARY_MEMORY_BITS};
+
+#[allow(deprecated)]
+pub use erosion_le::run_erosion_le;
+#[allow(deprecated)]
 pub use quadratic_boundary::run_quadratic_boundary;
+#[allow(deprecated)]
 pub use randomized_boundary::run_randomized_boundary;
 
-/// The uniform result type of all baselines.
+/// The uniform result type of the **deprecated** baseline shims; new code
+/// receives a [`RunReport`](pm_core::api::RunReport) instead.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BaselineOutcome {
     /// A short identifier of the algorithm (used in tables).
@@ -44,7 +76,9 @@ pub struct BaselineOutcome {
     pub leader: Option<Point>,
 }
 
-/// Why a baseline failed on a given instance.
+/// Why a baseline failed on a given instance (error type of the deprecated
+/// shims; the unified API reports
+/// [`ElectionError`](pm_core::api::ElectionError)).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BaselineError {
     /// The algorithm made no progress (e.g. erosion on a shape with holes).
@@ -68,3 +102,72 @@ impl std::fmt::Display for BaselineError {
 }
 
 impl std::error::Error for BaselineError {}
+
+/// Maps a unified-API error onto the legacy [`BaselineError`] (used by the
+/// deprecated shims).
+pub(crate) fn baseline_error_from(e: ElectionError) -> BaselineError {
+    match e {
+        ElectionError::Stuck { after_rounds } => BaselineError::Stuck { after_rounds },
+        ElectionError::InvalidInitialConfiguration(why) => BaselineError::InvalidInput(why),
+        // The closed-form baselines never hit a runner budget; treat a
+        // hypothetical one as a stall.
+        ElectionError::Run(_) => BaselineError::Stuck { after_rounds: 0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_amoebot::scheduler::RoundRobin;
+    use pm_core::api::{LeaderElection, RunOptions};
+    use pm_grid::builder::{annulus, hexagon};
+
+    #[test]
+    fn all_baselines_run_through_the_trait_object() {
+        let algorithms: [&dyn LeaderElection; 3] = [
+            &ErosionLeaderElection,
+            &RandomizedBoundary,
+            &QuadraticBoundary,
+        ];
+        let names: Vec<&str> = algorithms.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            ["erosion-le", "randomized-boundary", "quadratic-boundary"]
+        );
+        for algorithm in algorithms {
+            let report = algorithm
+                .elect(&hexagon(3), &mut RoundRobin, &RunOptions::default())
+                .unwrap();
+            assert_eq!(report.algorithm, algorithm.name());
+            assert!(report.rounds_consistent());
+            assert_eq!(report.n, hexagon(3).len());
+        }
+    }
+
+    #[test]
+    fn hole_tolerance_matches_table1() {
+        let holey = annulus(4, 1);
+        let mut rr = RoundRobin;
+        assert!(ErosionLeaderElection
+            .elect(&holey, &mut rr, &RunOptions::default())
+            .is_err());
+        assert!(RandomizedBoundary
+            .elect(&holey, &mut rr, &RunOptions::default())
+            .is_ok());
+        assert!(QuadraticBoundary
+            .elect(&holey, &mut rr, &RunOptions::default())
+            .is_ok());
+    }
+
+    #[test]
+    fn baseline_error_mapping_is_faithful() {
+        assert_eq!(
+            baseline_error_from(ElectionError::Stuck { after_rounds: 4 }),
+            BaselineError::Stuck { after_rounds: 4 }
+        );
+        assert_eq!(
+            baseline_error_from(ElectionError::InvalidInitialConfiguration("empty shape")),
+            BaselineError::InvalidInput("empty shape")
+        );
+    }
+}

@@ -11,49 +11,134 @@
 //! six leaders, exactly as in [3].
 
 use crate::{BaselineError, BaselineOutcome};
+use pm_amoebot::scheduler::Scheduler;
+use pm_core::api::{
+    check_initial_configuration, phase, ConnectivityReport, ElectionError, LeaderElection,
+    PhaseReport, RunObserver, RunOptions, RunReport,
+};
 use pm_core::obd::{CompetitionCostModel, ObdSimulator};
 use pm_grid::{outer_boundary_ring, Shape};
+
+/// Nominal per-particle memory of the quadratic boundary election, in bits:
+/// like OBD's segment competition, a constant number of machine words
+/// (the comparisons are slow, not memory-hungry; closed-form simulation,
+/// model-level `O(1)` bound).
+pub const QUADRATIC_BOUNDARY_MEMORY_BITS: u64 = 96;
+
+/// The quadratic deterministic boundary-election baseline behind the unified
+/// API. Deterministic and hole-tolerant, but elects up to six leaders and
+/// pays unpipelined `Θ(|s|·|s1|)` segment comparisons; the scheduler
+/// argument only names the activation model in the report (the competition
+/// is simulated in closed form).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QuadraticBoundary;
+
+impl LeaderElection for QuadraticBoundary {
+    fn name(&self) -> &'static str {
+        "quadratic-boundary"
+    }
+
+    fn elect_observed(
+        &self,
+        shape: &Shape,
+        scheduler: &mut dyn Scheduler,
+        opts: &RunOptions,
+        observer: &mut dyn RunObserver,
+    ) -> Result<RunReport, ElectionError> {
+        check_initial_configuration(shape)?;
+
+        observer.on_phase_start(self.name(), phase::ELECTION);
+        let outcome =
+            ObdSimulator::new(shape).run_with_cost_model(CompetitionCostModel::Sequential);
+        let outer = outcome
+            .decisions
+            .iter()
+            .find(|d| d.declared_outer)
+            .expect("a connected shape has an outer boundary");
+        // Up to six surviving segment heads, but never more than there are
+        // particles (degenerate rings of tiny shapes).
+        let leaders = outer.stable_segments.clamp(1, 6).min(shape.len());
+        let ring = outer_boundary_ring(shape);
+        let leader = ring
+            .vnodes()
+            .first()
+            .map(|v| v.point)
+            .expect("a non-empty shape has outer-boundary v-nodes");
+        let election = PhaseReport {
+            name: phase::ELECTION.to_string(),
+            rounds: outcome.rounds,
+            activations: 0,
+            moves: 0,
+        };
+        observer.on_phase_end(self.name(), &election);
+
+        Ok(RunReport {
+            algorithm: self.name().to_string(),
+            scheduler: scheduler.name().to_string(),
+            n: shape.len(),
+            leader,
+            leaders,
+            // Every non-head particle learns the outcome when the surviving
+            // segments are announced.
+            followers: shape.len() - leaders,
+            undecided: 0,
+            total_rounds: election.rounds,
+            activations: 0,
+            moves: 0,
+            phases: vec![election],
+            peak_memory_bits: QUADRATIC_BOUNDARY_MEMORY_BITS,
+            connectivity: ConnectivityReport {
+                tracked: opts.track_connectivity,
+                ..ConnectivityReport::default()
+            },
+            // Boundary election never moves particles.
+            final_connected: true,
+            final_positions: shape.iter().collect(),
+        })
+    }
+}
 
 /// Runs the quadratic boundary-election baseline.
 ///
 /// # Errors
 ///
 /// Returns [`BaselineError::InvalidInput`] for empty or disconnected shapes.
+#[deprecated(
+    since = "0.2.0",
+    note = "use QuadraticBoundary through the pm_core::api::LeaderElection trait"
+)]
 pub fn run_quadratic_boundary(shape: &Shape) -> Result<BaselineOutcome, BaselineError> {
-    if shape.is_empty() {
-        return Err(BaselineError::InvalidInput("empty shape"));
+    let mut scheduler = pm_amoebot::scheduler::RoundRobin;
+    match QuadraticBoundary.elect(shape, &mut scheduler, &RunOptions::default()) {
+        Ok(report) => Ok(BaselineOutcome {
+            algorithm: "quadratic-boundary",
+            rounds: report.total_rounds,
+            leaders: report.leaders,
+            leader: Some(report.leader),
+        }),
+        Err(e) => Err(crate::baseline_error_from(e)),
     }
-    if !shape.is_connected() {
-        return Err(BaselineError::InvalidInput("shape must be connected"));
-    }
-    let outcome = ObdSimulator::new(shape).run_with_cost_model(CompetitionCostModel::Sequential);
-    let outer = outcome
-        .decisions
-        .iter()
-        .find(|d| d.declared_outer)
-        .expect("a connected shape has an outer boundary");
-    let ring = outer_boundary_ring(shape);
-    let leader = ring.vnodes().first().map(|v| v.point);
-    Ok(BaselineOutcome {
-        algorithm: "quadratic-boundary",
-        rounds: outcome.rounds,
-        leaders: outer.stable_segments.clamp(1, 6),
-        leader,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pm_amoebot::scheduler::RoundRobin;
     use pm_core::obd::run_obd;
     use pm_grid::builder::{annulus, hexagon, parallelogram};
+
+    fn elect(shape: &Shape) -> Result<RunReport, ElectionError> {
+        QuadraticBoundary.elect(shape, &mut RoundRobin, &RunOptions::default())
+    }
 
     #[test]
     fn elects_at_most_six_leaders_and_handles_holes() {
         for shape in [hexagon(3), annulus(5, 2), parallelogram(6, 4)] {
-            let outcome = run_quadratic_boundary(&shape).unwrap();
-            assert!(outcome.leaders >= 1 && outcome.leaders <= 6);
-            assert!(outcome.rounds > 0);
+            let report = elect(&shape).unwrap();
+            assert!(report.leaders >= 1 && report.leaders <= 6);
+            assert!(report.total_rounds > 0);
+            assert!(report.rounds_consistent());
+            assert!(shape.contains(report.leader));
         }
     }
 
@@ -65,13 +150,16 @@ mod tests {
         let small = hexagon(4);
         let large = hexagon(10);
         let ratio = |shape: &Shape| {
-            let quad = run_quadratic_boundary(shape).unwrap().rounds as f64;
+            let quad = elect(shape).unwrap().total_rounds as f64;
             let pipe = run_obd(shape).rounds as f64;
             quad / pipe
         };
         let small_ratio = ratio(&small);
         let large_ratio = ratio(&large);
-        assert!(small_ratio > 1.0, "sequential must be slower ({small_ratio})");
+        assert!(
+            small_ratio > 1.0,
+            "sequential must be slower ({small_ratio})"
+        );
         assert!(
             large_ratio > small_ratio,
             "the gap must widen with size ({small_ratio} -> {large_ratio})"
@@ -80,6 +168,16 @@ mod tests {
 
     #[test]
     fn rejects_invalid_inputs() {
+        assert!(elect(&Shape::new()).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_preserves_signature_and_behaviour() {
+        let outcome = run_quadratic_boundary(&hexagon(3)).unwrap();
+        let report = elect(&hexagon(3)).unwrap();
+        assert_eq!(outcome.rounds, report.total_rounds);
+        assert_eq!(outcome.leaders, report.leaders);
         assert!(run_quadratic_boundary(&Shape::new()).is_err());
     }
 }

@@ -12,22 +12,29 @@
 //! randomized algorithms.
 
 use crate::{BaselineError, BaselineOutcome};
-use pm_grid::{outer_boundary_ring, DistanceMap, Shape};
+use pm_amoebot::scheduler::Scheduler;
+use pm_core::api::{
+    check_initial_configuration, phase, ConnectivityReport, ElectionError, LeaderElection,
+    PhaseReport, RunObserver, RunOptions, RunReport,
+};
+use pm_grid::{outer_boundary_ring, DistanceMap, Point, Shape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Runs the randomized boundary-election baseline with the given seed.
-///
-/// # Errors
-///
-/// Returns [`BaselineError::InvalidInput`] for empty or disconnected shapes.
-pub fn run_randomized_boundary(shape: &Shape, seed: u64) -> Result<BaselineOutcome, BaselineError> {
-    if shape.is_empty() {
-        return Err(BaselineError::InvalidInput("empty shape"));
-    }
-    if !shape.is_connected() {
-        return Err(BaselineError::InvalidInput("shape must be connected"));
-    }
+/// Nominal per-particle memory of the randomized boundary election, in bits:
+/// a coin, a candidate flag and a constant number of token counters (the
+/// tournament is simulated in closed form; model-level `O(1)` bound).
+pub const RANDOMIZED_BOUNDARY_MEMORY_BITS: u64 = 32;
+
+/// The randomized boundary-election baseline behind the unified API. The
+/// coin flips are driven by [`RunOptions::seed`], so runs are deterministic
+/// given the options; the scheduler argument only names the activation model
+/// in the report (the tournament is simulated in closed form).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomizedBoundary;
+
+/// Outcome of the closed-form tournament: rounds spent and the winner.
+fn tournament(shape: &Shape, seed: u64) -> (u64, Point) {
     let ring = outer_boundary_ring(shape);
     let ring_len = ring.len();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -68,50 +75,137 @@ pub fn run_randomized_boundary(shape: &Shape, seed: u64) -> Result<BaselineOutco
         candidates = survivors;
     }
 
-    // Termination announcement: flood from the winner through the shape.
-    let winner_vnode = ring.vnodes()[candidates[0]];
-    let winner = winner_vnode.point;
-    let flood = DistanceMap::within_shape(shape, winner)
-        .eccentricity_over(shape.iter())
-        .unwrap_or(0) as u64;
-    rounds += flood;
+    (rounds, ring.vnodes()[candidates[0]].point)
+}
 
-    Ok(BaselineOutcome {
-        algorithm: "randomized-boundary",
-        rounds,
-        leaders: 1,
-        leader: Some(winner),
-    })
+impl LeaderElection for RandomizedBoundary {
+    fn name(&self) -> &'static str {
+        "randomized-boundary"
+    }
+
+    fn elect_observed(
+        &self,
+        shape: &Shape,
+        scheduler: &mut dyn Scheduler,
+        opts: &RunOptions,
+        observer: &mut dyn RunObserver,
+    ) -> Result<RunReport, ElectionError> {
+        check_initial_configuration(shape)?;
+
+        observer.on_phase_start(self.name(), phase::ELECTION);
+        let (tournament_rounds, winner) = tournament(shape, opts.seed);
+        let election = PhaseReport {
+            name: phase::ELECTION.to_string(),
+            rounds: tournament_rounds,
+            activations: 0,
+            moves: 0,
+        };
+        observer.on_phase_end(self.name(), &election);
+
+        // Termination announcement: flood from the winner through the shape.
+        observer.on_phase_start(self.name(), phase::FLOOD);
+        let flood_rounds = DistanceMap::within_shape(shape, winner)
+            .eccentricity_over(shape.iter())
+            .unwrap_or(0) as u64;
+        let flood = PhaseReport {
+            name: phase::FLOOD.to_string(),
+            rounds: flood_rounds,
+            activations: 0,
+            moves: 0,
+        };
+        observer.on_phase_end(self.name(), &flood);
+
+        Ok(RunReport {
+            algorithm: self.name().to_string(),
+            scheduler: scheduler.name().to_string(),
+            n: shape.len(),
+            leader: winner,
+            leaders: 1,
+            // The flood announces the winner to every other particle.
+            followers: shape.len() - 1,
+            undecided: 0,
+            total_rounds: tournament_rounds + flood_rounds,
+            activations: 0,
+            moves: 0,
+            phases: vec![election, flood],
+            peak_memory_bits: RANDOMIZED_BOUNDARY_MEMORY_BITS,
+            connectivity: ConnectivityReport {
+                tracked: opts.track_connectivity,
+                ..ConnectivityReport::default()
+            },
+            // Boundary election never moves particles.
+            final_connected: true,
+            final_positions: shape.iter().collect(),
+        })
+    }
+}
+
+/// Runs the randomized boundary-election baseline with the given seed.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::InvalidInput`] for empty or disconnected shapes.
+#[deprecated(
+    since = "0.2.0",
+    note = "use RandomizedBoundary through the pm_core::api::LeaderElection trait \
+            (the seed moves into RunOptions::seed)"
+)]
+pub fn run_randomized_boundary(shape: &Shape, seed: u64) -> Result<BaselineOutcome, BaselineError> {
+    let opts = RunOptions {
+        seed,
+        ..RunOptions::default()
+    };
+    let mut scheduler = pm_amoebot::scheduler::RoundRobin;
+    match RandomizedBoundary.elect(shape, &mut scheduler, &opts) {
+        Ok(report) => Ok(BaselineOutcome {
+            algorithm: "randomized-boundary",
+            rounds: report.total_rounds,
+            leaders: report.leaders,
+            leader: Some(report.leader),
+        }),
+        Err(e) => Err(crate::baseline_error_from(e)),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pm_amoebot::scheduler::RoundRobin;
     use pm_grid::builder::{annulus, hexagon, line};
     use pm_grid::Metric;
+
+    fn elect(shape: &Shape, seed: u64) -> Result<RunReport, ElectionError> {
+        let opts = RunOptions {
+            seed,
+            ..RunOptions::default()
+        };
+        RandomizedBoundary.elect(shape, &mut RoundRobin, &opts)
+    }
 
     #[test]
     fn always_elects_exactly_one_leader() {
         for seed in 0..5 {
             for shape in [hexagon(3), annulus(4, 1), line(9)] {
-                let outcome = run_randomized_boundary(&shape, seed).unwrap();
-                assert_eq!(outcome.leaders, 1);
-                assert!(shape.contains(outcome.leader.unwrap()));
+                let report = elect(&shape, seed).unwrap();
+                assert_eq!(report.leaders, 1);
+                assert!(shape.contains(report.leader));
+                assert!(report.rounds_consistent());
             }
         }
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = run_randomized_boundary(&hexagon(4), 11).unwrap();
-        let b = run_randomized_boundary(&hexagon(4), 11).unwrap();
+        let a = elect(&hexagon(4), 11).unwrap();
+        let b = elect(&hexagon(4), 11).unwrap();
         assert_eq!(a, b);
+        assert_eq!(a.phases.len(), 2, "tournament + flood");
     }
 
     #[test]
     fn handles_holes() {
-        let outcome = run_randomized_boundary(&annulus(5, 2), 3).unwrap();
-        assert_eq!(outcome.leaders, 1);
+        let report = elect(&annulus(5, 2), 3).unwrap();
+        assert_eq!(report.leaders, 1);
     }
 
     #[test]
@@ -123,7 +217,7 @@ mod tests {
             let metric = Metric::new(&shape);
             let budget = (shape.outer_boundary_len() + metric.grid_diameter() as usize) as f64;
             let avg: f64 = (0..10)
-                .map(|s| run_randomized_boundary(&shape, s).unwrap().rounds as f64)
+                .map(|s| elect(&shape, s).unwrap().total_rounds as f64)
                 .sum::<f64>()
                 / 10.0;
             assert!(avg < 12.0 * budget, "avg {avg} vs budget {budget}");
@@ -132,13 +226,23 @@ mod tests {
 
     #[test]
     fn rejects_invalid_inputs() {
-        assert!(run_randomized_boundary(&Shape::new(), 0).is_err());
+        assert!(elect(&Shape::new(), 0).is_err());
     }
 
     #[test]
     fn single_particle() {
-        let outcome = run_randomized_boundary(&line(1), 0).unwrap();
-        assert_eq!(outcome.leaders, 1);
-        assert_eq!(outcome.rounds, 0);
+        let report = elect(&line(1), 0).unwrap();
+        assert_eq!(report.leaders, 1);
+        assert_eq!(report.total_rounds, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_preserves_signature_and_behaviour() {
+        let outcome = run_randomized_boundary(&hexagon(4), 11).unwrap();
+        let report = elect(&hexagon(4), 11).unwrap();
+        assert_eq!(outcome.rounds, report.total_rounds);
+        assert_eq!(outcome.leader, Some(report.leader));
+        assert!(run_randomized_boundary(&Shape::new(), 0).is_err());
     }
 }

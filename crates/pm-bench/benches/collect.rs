@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_breadcrumb_lines(c: &mut Criterion) {
     let mut group = c.benchmark_group("collect-breadcrumb-line");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for eps in [64u32, 256, 1024] {
         let positions: Vec<Point> = (0..=eps as i32).map(|i| Point::new(i, 0)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(eps), &positions, |b, pos| {
@@ -26,7 +28,9 @@ fn bench_breadcrumb_lines(c: &mut Criterion) {
 
 fn bench_post_dle_collect(c: &mut Criterion) {
     let mut group = c.benchmark_group("collect-post-dle");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for radius in [8u32, 12] {
         let shape = annulus(radius, radius - 1);
         let dle = run_dle(&shape, SeededRandom::new(0), false).expect("terminates");

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_dle_hexagons(c: &mut Criterion) {
     let mut group = c.benchmark_group("dle-hexagon");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for radius in [4u32, 8, 12] {
         let shape = hexagon(radius);
         group.bench_with_input(BenchmarkId::from_parameter(radius), &shape, |b, s| {
@@ -26,7 +28,9 @@ fn bench_dle_hexagons(c: &mut Criterion) {
 
 fn bench_dle_annuli(c: &mut Criterion) {
     let mut group = c.benchmark_group("dle-annulus");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for radius in [6u32, 10] {
         let shape = annulus(radius, radius / 2);
         group.bench_with_input(BenchmarkId::from_parameter(radius), &shape, |b, s| {
@@ -41,7 +45,9 @@ fn bench_dle_annuli(c: &mut Criterion) {
 
 fn bench_dle_blobs(c: &mut Criterion) {
     let mut group = c.benchmark_group("dle-blob");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [128usize, 512] {
         let shape = random_blob(n, 42);
         group.bench_with_input(BenchmarkId::from_parameter(n), &shape, |b, s| {
@@ -54,5 +60,10 @@ fn bench_dle_blobs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dle_hexagons, bench_dle_annuli, bench_dle_blobs);
+criterion_group!(
+    benches,
+    bench_dle_hexagons,
+    bench_dle_annuli,
+    bench_dle_blobs
+);
 criterion_main!(benches);

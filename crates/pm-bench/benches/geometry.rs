@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_analysis(c: &mut Criterion) {
     let mut group = c.benchmark_group("shape-analysis");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for radius in [4u32, 8, 12] {
         let shape = swiss_cheese(radius, 3);
         group.bench_with_input(BenchmarkId::new("swiss", radius), &shape, |b, s| {
@@ -21,7 +23,9 @@ fn bench_analysis(c: &mut Criterion) {
 
 fn bench_boundary_rings(c: &mut Criterion) {
     let mut group = c.benchmark_group("boundary-rings");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     for radius in [4u32, 8, 12] {
         let shape = annulus(radius, radius / 2);
         group.bench_with_input(BenchmarkId::new("annulus", radius), &shape, |b, s| {
@@ -33,7 +37,9 @@ fn bench_boundary_rings(c: &mut Criterion) {
 
 fn bench_diameters(c: &mut Criterion) {
     let mut group = c.benchmark_group("diameters");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for radius in [4u32, 8] {
         let shape = hexagon(radius);
         group.bench_with_input(BenchmarkId::new("area-diameter", radius), &shape, |b, s| {
@@ -46,5 +52,10 @@ fn bench_diameters(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_analysis, bench_boundary_rings, bench_diameters);
+criterion_group!(
+    benches,
+    bench_analysis,
+    bench_boundary_rings,
+    bench_diameters
+);
 criterion_main!(benches);

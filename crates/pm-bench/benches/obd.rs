@@ -2,7 +2,9 @@
 //! (experiment F6's engine).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pm_baselines::run_quadratic_boundary;
+use pm_amoebot::scheduler::RoundRobin;
+use pm_baselines::QuadraticBoundary;
+use pm_core::api::{LeaderElection, RunOptions};
 use pm_core::obd::run_obd;
 use pm_grid::builder::{hexagon, swiss_cheese};
 use std::hint::black_box;
@@ -10,7 +12,9 @@ use std::time::Duration;
 
 fn bench_obd(c: &mut Criterion) {
     let mut group = c.benchmark_group("obd-pipelined");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for radius in [6u32, 10, 14] {
         let shape = hexagon(radius);
         group.bench_with_input(BenchmarkId::new("hexagon", radius), &shape, |b, s| {
@@ -26,11 +30,18 @@ fn bench_obd(c: &mut Criterion) {
 
 fn bench_quadratic_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("obd-unpipelined-baseline");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for radius in [6u32, 10] {
         let shape = hexagon(radius);
         group.bench_with_input(BenchmarkId::new("hexagon", radius), &shape, |b, s| {
-            b.iter(|| black_box(run_quadratic_boundary(s).expect("runs").rounds));
+            b.iter(|| {
+                let report = QuadraticBoundary
+                    .elect(s, &mut RoundRobin, &RunOptions::default())
+                    .expect("runs");
+                black_box(report.total_rounds)
+            });
         });
     }
     group.finish();

@@ -1,0 +1,754 @@
+//! The unified leader-election execution API.
+//!
+//! Every algorithm the workspace can run — the paper's pipeline and the
+//! Table 1 baselines in `pm-baselines` — implements one trait,
+//! [`LeaderElection`], and produces one result type, [`RunReport`].
+//! Experiments, benches, examples and future runners all drive elections
+//! through this surface instead of per-algorithm entry points:
+//!
+//! ```
+//! use pm_core::api::Election;
+//! use pm_amoebot::scheduler::SeededRandom;
+//! use pm_grid::builder::annulus;
+//!
+//! let shape = annulus(5, 2);
+//! let report = Election::on(&shape)
+//!     .scheduler(SeededRandom::new(7))
+//!     .track_connectivity()
+//!     .run()
+//!     .expect("election succeeds on a connected shape");
+//! assert!(report.unique_leader());
+//! assert!(shape.area().contains(report.leader));
+//! assert!(report.final_connected);
+//! ```
+//!
+//! The variants of Table 1 are selected through [`RunOptions`] rather than
+//! through different entry points: `assume_boundary_known` skips the OBD
+//! phase (the paper's `O(D_A)` row), `skip_reconnection` stops after DLE.
+//! Round-by-round instrumentation plugs in through [`RunObserver`].
+
+use crate::collect::{CollectOutcome, CollectSimulator};
+use crate::dle::{default_round_budget, DleAlgorithm, DleMemory, DleOutcome};
+use crate::obd::{run_obd, ObdOutcome};
+use pm_amoebot::scheduler::{RunError, Runner, Scheduler, SeededRandom};
+use pm_amoebot::system::ParticleSystem;
+use pm_grid::{Point, Shape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Canonical phase names used in [`PhaseReport::name`] and observer
+/// callbacks.
+pub mod phase {
+    /// Outer-boundary detection (Section 5).
+    pub const OBD: &str = "obd";
+    /// Disconnecting leader election (Section 4.1).
+    pub const DLE: &str = "dle";
+    /// Reconnection (Section 4.3).
+    pub const COLLECT: &str = "collect";
+    /// The single phase of a baseline that runs as one round-driven loop.
+    pub const ELECTION: &str = "election";
+    /// The announcement flood of the randomized boundary baseline.
+    pub const FLOOD: &str = "flood";
+}
+
+/// Options of a single election run, shared by every [`LeaderElection`]
+/// implementation. Options an algorithm has no use for are ignored (the
+/// closed-form baselines ignore `track_connectivity`, the deterministic ones
+/// ignore `seed`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Whether particles are assumed to know initially which of their
+    /// incident empty points lie on the outer face. When `true` the paper
+    /// pipeline skips the OBD phase (Table 1, next-to-last row).
+    pub assume_outer_boundary_known: bool,
+    /// Whether to run Algorithm Collect after DLE to reconnect the system.
+    pub reconnect: bool,
+    /// Whether to track connectivity round-by-round during round-driven
+    /// phases (costs one BFS per round).
+    pub track_connectivity: bool,
+    /// Round budget for round-driven phases; `None` uses the algorithm's
+    /// generous default. Exhausting the budget surfaces as
+    /// [`ElectionError::Run`] (paper pipeline, a bug per Theorem 18) or
+    /// [`ElectionError::Stuck`] (baselines that legitimately stall, e.g.
+    /// erosion on shapes with holes).
+    pub round_budget: Option<u64>,
+    /// Seed for randomized algorithms and for the default scheduler.
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            assume_outer_boundary_known: false,
+            reconnect: true,
+            track_connectivity: false,
+            round_budget: None,
+            seed: 7,
+        }
+    }
+}
+
+impl RunOptions {
+    /// The `O(D_A)` configuration of the paper pipeline: boundary knowledge
+    /// assumed, reconnection enabled.
+    pub fn with_boundary_knowledge() -> RunOptions {
+        RunOptions {
+            assume_outer_boundary_known: true,
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// An error from an election run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ElectionError {
+    /// The initial configuration is not a permitted one (empty or
+    /// disconnected).
+    InvalidInitialConfiguration(&'static str),
+    /// The underlying execution failed (round budget exhausted — for the
+    /// paper pipeline this would indicate a bug given Theorem 18).
+    Run(RunError),
+    /// The algorithm made no progress within its round budget. This is the
+    /// *expected* outcome for some baseline/workload pairs — erosion-based
+    /// election stalls on shapes with holes, which is exactly the limitation
+    /// Table 1 records.
+    Stuck {
+        /// Rounds executed before the run was declared stuck.
+        after_rounds: u64,
+    },
+}
+
+impl fmt::Display for ElectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElectionError::InvalidInitialConfiguration(why) => {
+                write!(f, "invalid initial configuration: {why}")
+            }
+            ElectionError::Run(e) => write!(f, "execution failed: {e}"),
+            ElectionError::Stuck { after_rounds } => {
+                write!(f, "algorithm made no progress after {after_rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElectionError {}
+
+impl From<RunError> for ElectionError {
+    fn from(e: RunError) -> ElectionError {
+        ElectionError::Run(e)
+    }
+}
+
+/// Statistics of one phase of an election run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Phase name (see [`phase`]).
+    pub name: String,
+    /// Asynchronous rounds charged to the phase.
+    pub rounds: u64,
+    /// Particle activations executed in the phase (0 for phases simulated in
+    /// closed form).
+    pub activations: u64,
+    /// Movement operations (expansions + contractions + handovers) executed
+    /// in the phase (0 for phases simulated in closed form).
+    pub moves: u64,
+}
+
+/// Connectivity observations of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectivityReport {
+    /// Whether round-by-round tracking was enabled
+    /// ([`RunOptions::track_connectivity`]).
+    pub tracked: bool,
+    /// Whether the occupied shape was ever observed disconnected at a round
+    /// boundary (meaningful only when `tracked`).
+    pub ever_disconnected: bool,
+    /// Number of round boundaries at which the shape was disconnected
+    /// (meaningful only when `tracked`).
+    pub disconnected_rounds: u64,
+}
+
+/// The uniform, serializable result of any [`LeaderElection`] run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The algorithm's [`LeaderElection::name`].
+    pub algorithm: String,
+    /// The scheduler's name (`Scheduler::name`).
+    pub scheduler: String,
+    /// Number of particles of the initial configuration.
+    pub n: usize,
+    /// The elected leader's final position. Multi-leader baselines (the
+    /// quadratic boundary election elects up to six) report a representative
+    /// leader here and the count in [`RunReport::leaders`].
+    pub leader: Point,
+    /// Number of leaders elected (1 for every algorithm but the quadratic
+    /// baseline).
+    pub leaders: usize,
+    /// Number of particles that decided follower.
+    pub followers: usize,
+    /// Number of particles still undecided at termination (0 whenever the
+    /// algorithm upholds the election predicate).
+    pub undecided: usize,
+    /// Per-phase statistics, in execution order.
+    pub phases: Vec<PhaseReport>,
+    /// Total rounds across all phases (always the sum of
+    /// [`RunReport::phases`] rounds).
+    pub total_rounds: u64,
+    /// Total particle activations across all phases.
+    pub activations: u64,
+    /// Total movement operations across all phases.
+    pub moves: u64,
+    /// Peak per-particle memory across phases, in bits. Measured from the
+    /// particle memory structs for activation-driven phases; a nominal
+    /// constant-word estimate for phases simulated in closed form.
+    pub peak_memory_bits: u64,
+    /// Connectivity observations.
+    pub connectivity: ConnectivityReport,
+    /// Whether the final configuration is connected.
+    pub final_connected: bool,
+    /// Final particle positions.
+    pub final_positions: Vec<Point>,
+}
+
+impl RunReport {
+    /// Whether exactly one leader was elected.
+    pub fn unique_leader(&self) -> bool {
+        self.leaders == 1
+    }
+
+    /// Whether the leader-election predicate holds: a unique leader, every
+    /// other particle a follower (none undecided), and a connected final
+    /// configuration.
+    pub fn predicate_holds(&self) -> bool {
+        self.unique_leader() && self.undecided == 0 && self.final_connected
+    }
+
+    /// The final shape of the particle system.
+    pub fn final_shape(&self) -> Shape {
+        Shape::from_points(self.final_positions.iter().copied())
+    }
+
+    /// Rounds charged to the named phase (0 if the phase did not run).
+    pub fn phase_rounds(&self, name: &str) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.rounds)
+            .sum()
+    }
+
+    /// Whether the per-phase rounds sum to the reported total (a report
+    /// invariant; the conformance suite asserts it for every algorithm).
+    pub fn rounds_consistent(&self) -> bool {
+        self.total_rounds == self.phases.iter().map(|p| p.rounds).sum::<u64>()
+    }
+}
+
+/// Hook for round-by-round instrumentation of an election run.
+///
+/// Phase boundaries fire for every phase; [`RunObserver::on_round`] fires
+/// after each asynchronous round of *round-driven* phases (DLE, erosion).
+/// Phases simulated in closed form (OBD, Collect, the boundary baselines)
+/// report only their boundaries.
+pub trait RunObserver {
+    /// A phase is starting.
+    fn on_phase_start(&mut self, algorithm: &str, phase: &str) {
+        let _ = (algorithm, phase);
+    }
+
+    /// A round of a round-driven phase completed. `rounds_so_far` counts
+    /// rounds within the current phase.
+    fn on_round(&mut self, phase: &str, rounds_so_far: u64) {
+        let _ = (phase, rounds_so_far);
+    }
+
+    /// A phase finished; `report` carries its statistics.
+    fn on_phase_end(&mut self, algorithm: &str, report: &PhaseReport) {
+        let _ = (algorithm, report);
+    }
+}
+
+/// The do-nothing observer used when none is supplied.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl RunObserver for NoopObserver {}
+
+/// A leader-election algorithm runnable through the unified API.
+///
+/// Implementations exist for the paper pipeline ([`PaperPipeline`]) and for
+/// the three Table 1 baselines (in `pm-baselines`); experiments iterate over
+/// `&[&dyn LeaderElection]` instead of hard-coding per-algorithm drivers.
+pub trait LeaderElection {
+    /// A short stable identifier used in tables and reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the election on `shape` under `scheduler` with the given
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// [`ElectionError::InvalidInitialConfiguration`] for empty or
+    /// disconnected shapes; [`ElectionError::Stuck`] when the algorithm
+    /// cannot make progress on the workload (e.g. erosion with holes);
+    /// [`ElectionError::Run`] for exhausted budgets of algorithms that must
+    /// terminate.
+    fn elect(
+        &self,
+        shape: &Shape,
+        scheduler: &mut dyn Scheduler,
+        opts: &RunOptions,
+    ) -> Result<RunReport, ElectionError> {
+        self.elect_observed(shape, scheduler, opts, &mut NoopObserver)
+    }
+
+    /// Like [`LeaderElection::elect`], with a [`RunObserver`] receiving
+    /// phase and round callbacks.
+    fn elect_observed(
+        &self,
+        shape: &Shape,
+        scheduler: &mut dyn Scheduler,
+        opts: &RunOptions,
+        observer: &mut dyn RunObserver,
+    ) -> Result<RunReport, ElectionError>;
+}
+
+/// Rejects empty and disconnected initial configurations — every
+/// implementation shares the paper's permitted-initial-configuration
+/// precondition.
+pub fn check_initial_configuration(shape: &Shape) -> Result<(), ElectionError> {
+    if shape.is_empty() {
+        return Err(ElectionError::InvalidInitialConfiguration("empty shape"));
+    }
+    if !shape.is_connected() {
+        return Err(ElectionError::InvalidInitialConfiguration(
+            "initial shape must be connected",
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The paper pipeline as a LeaderElection
+// ---------------------------------------------------------------------------
+
+/// Per-particle memory of Algorithm DLE, in bits (measured from
+/// [`DleMemory`]).
+pub const DLE_MEMORY_BITS: u64 = (std::mem::size_of::<DleMemory>() * 8) as u64;
+
+/// Nominal per-particle memory of the OBD primitive, in bits: a constant
+/// number of machine words for the segment-competition counters (the
+/// primitive is simulated in closed form, so this is the model-level `O(1)`
+/// bound, not a measurement).
+pub const OBD_MEMORY_BITS: u64 = 96;
+
+/// Nominal per-particle memory of Algorithm Collect, in bits: role, phase
+/// parity and movement-primitive state (closed-form simulation; model-level
+/// `O(1)` bound).
+pub const COLLECT_MEMORY_BITS: u64 = 32;
+
+/// The paper's composed algorithm — `OBD → DLE → Collect` — behind the
+/// unified API. Phase selection is driven by [`RunOptions`]:
+/// `assume_outer_boundary_known` skips OBD, `reconnect: false` skips
+/// Collect.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PaperPipeline;
+
+/// The phase outcomes of one pipeline run, before flattening into a
+/// [`RunReport`] (the deprecated `elect_leader` shim re-packages them as an
+/// `ElectionOutcome`).
+pub(crate) struct PipelinePhases {
+    pub obd: Option<ObdOutcome>,
+    pub dle: DleOutcome,
+    pub collect: Option<CollectOutcome>,
+    /// The per-phase statistics, built exactly once: the same structs are
+    /// handed to the observer's `on_phase_end` and placed in the final
+    /// [`RunReport::phases`], so the two can never diverge.
+    pub reports: Vec<PhaseReport>,
+}
+
+pub(crate) fn run_pipeline_phases(
+    shape: &Shape,
+    scheduler: &mut dyn Scheduler,
+    opts: &RunOptions,
+    observer: &mut dyn RunObserver,
+) -> Result<PipelinePhases, ElectionError> {
+    const NAME: &str = "dle+collect";
+    check_initial_configuration(shape)?;
+    let mut reports = Vec::new();
+
+    // Phase 1 (optional): outer-boundary detection. Its output is exactly
+    // the `outer[0..5]` input DLE's initializer consumes.
+    let obd = if opts.assume_outer_boundary_known {
+        None
+    } else {
+        observer.on_phase_start(NAME, phase::OBD);
+        let obd = run_obd(shape);
+        reports.push(PhaseReport {
+            name: phase::OBD.to_string(),
+            rounds: obd.rounds,
+            activations: 0,
+            moves: 0,
+        });
+        observer.on_phase_end(NAME, reports.last().expect("just pushed"));
+        Some(obd)
+    };
+
+    // Phase 2: disconnecting leader election, driven round by round.
+    observer.on_phase_start(NAME, phase::DLE);
+    let system = ParticleSystem::from_shape(shape, &DleAlgorithm);
+    let mut runner = Runner::new(system, DleAlgorithm, scheduler);
+    runner.track_connectivity = opts.track_connectivity;
+    let budget = opts
+        .round_budget
+        .unwrap_or_else(|| default_round_budget(shape));
+    let stats = runner.run_observed(budget, |_, stats| {
+        observer.on_round(phase::DLE, stats.rounds);
+    })?;
+    let dle = DleOutcome::from_run(stats, runner.into_system());
+    reports.push(PhaseReport {
+        name: phase::DLE.to_string(),
+        rounds: dle.stats.rounds,
+        activations: dle.stats.activations,
+        moves: dle.stats.moves(),
+    });
+    observer.on_phase_end(NAME, reports.last().expect("just pushed"));
+
+    // Phase 3 (optional): reconnection.
+    let collect = if opts.reconnect {
+        observer.on_phase_start(NAME, phase::COLLECT);
+        let mut sim = CollectSimulator::new(dle.leader_point, &dle.final_positions);
+        let collect = sim.run();
+        reports.push(PhaseReport {
+            name: phase::COLLECT.to_string(),
+            rounds: collect.rounds,
+            activations: 0,
+            moves: 0,
+        });
+        observer.on_phase_end(NAME, reports.last().expect("just pushed"));
+        Some(collect)
+    } else {
+        None
+    };
+
+    Ok(PipelinePhases {
+        obd,
+        dle,
+        collect,
+        reports,
+    })
+}
+
+impl LeaderElection for PaperPipeline {
+    fn name(&self) -> &'static str {
+        "dle+collect"
+    }
+
+    fn elect_observed(
+        &self,
+        shape: &Shape,
+        scheduler: &mut dyn Scheduler,
+        opts: &RunOptions,
+        observer: &mut dyn RunObserver,
+    ) -> Result<RunReport, ElectionError> {
+        let scheduler_name = scheduler.name();
+        let phases = run_pipeline_phases(shape, scheduler, opts, observer)?;
+        let reports = phases.reports.clone();
+
+        let mut peak_memory_bits = DLE_MEMORY_BITS;
+        if phases.obd.is_some() {
+            peak_memory_bits = peak_memory_bits.max(OBD_MEMORY_BITS);
+        }
+        if phases.collect.is_some() {
+            peak_memory_bits = peak_memory_bits.max(COLLECT_MEMORY_BITS);
+        }
+
+        let final_positions = phases
+            .collect
+            .as_ref()
+            .map(|c| c.final_positions.clone())
+            .unwrap_or_else(|| phases.dle.final_positions.clone());
+        let final_connected = Shape::from_points(final_positions.iter().copied()).is_connected();
+
+        Ok(RunReport {
+            algorithm: self.name().to_string(),
+            scheduler: scheduler_name.to_string(),
+            n: shape.len(),
+            leader: phases.dle.leader_point,
+            leaders: phases.dle.status_counts.0,
+            followers: phases.dle.status_counts.1,
+            undecided: phases.dle.status_counts.2,
+            total_rounds: reports.iter().map(|p| p.rounds).sum(),
+            activations: reports.iter().map(|p| p.activations).sum(),
+            moves: reports.iter().map(|p| p.moves).sum(),
+            phases: reports,
+            peak_memory_bits,
+            connectivity: ConnectivityReport {
+                tracked: opts.track_connectivity,
+                ever_disconnected: phases.dle.stats.ever_disconnected,
+                disconnected_rounds: phases.dle.stats.disconnected_rounds,
+            },
+            final_connected,
+            final_positions,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fluent runner
+// ---------------------------------------------------------------------------
+
+/// Entry point of the fluent runner API: `Election::on(&shape)` starts a
+/// builder configured with the paper pipeline, the default measurement
+/// scheduler and [`RunOptions::default`].
+pub struct Election;
+
+/// The default algorithm of the builder.
+static PAPER_PIPELINE: PaperPipeline = PaperPipeline;
+
+impl Election {
+    /// Starts building an election run on the given initial shape.
+    pub fn on(shape: &Shape) -> ElectionBuilder<'_> {
+        ElectionBuilder {
+            shape,
+            algorithm: &PAPER_PIPELINE,
+            scheduler: None,
+            observer: None,
+            opts: RunOptions::default(),
+        }
+    }
+}
+
+/// Fluent configuration of one election run; see [`Election::on`].
+pub struct ElectionBuilder<'a> {
+    shape: &'a Shape,
+    algorithm: &'a dyn LeaderElection,
+    scheduler: Option<Box<dyn Scheduler + 'a>>,
+    observer: Option<&'a mut dyn RunObserver>,
+    opts: RunOptions,
+}
+
+impl<'a> ElectionBuilder<'a> {
+    /// Selects the algorithm (default: the paper pipeline).
+    pub fn algorithm(mut self, algorithm: &'a dyn LeaderElection) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the scheduler (default: `SeededRandom` with the options'
+    /// seed — random activation orders exhibit the generic behaviour the
+    /// paper's worst-case bounds describe, whereas a lexicographic sweep can
+    /// let a whole erosion front cascade within one round).
+    pub fn scheduler(mut self, scheduler: impl Scheduler + 'a) -> Self {
+        self.scheduler = Some(Box::new(scheduler));
+        self
+    }
+
+    /// Installs a round/phase observer.
+    pub fn observer(mut self, observer: &'a mut dyn RunObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Replaces all options at once.
+    pub fn options(mut self, opts: RunOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Assumes the outer boundary is known initially (skips OBD — the
+    /// paper's `O(D_A)` variant).
+    pub fn assume_boundary_known(mut self) -> Self {
+        self.opts.assume_outer_boundary_known = true;
+        self
+    }
+
+    /// Stops after DLE without running Collect (the final configuration may
+    /// be disconnected).
+    pub fn skip_reconnection(mut self) -> Self {
+        self.opts.reconnect = false;
+        self
+    }
+
+    /// Tracks connectivity round by round (one BFS per round).
+    pub fn track_connectivity(mut self) -> Self {
+        self.opts.track_connectivity = true;
+        self
+    }
+
+    /// Sets the round budget of round-driven phases.
+    pub fn round_budget(mut self, budget: u64) -> Self {
+        self.opts.round_budget = Some(budget);
+        self
+    }
+
+    /// Sets the seed used by randomized algorithms and the default
+    /// scheduler.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Runs the election.
+    ///
+    /// # Errors
+    ///
+    /// See [`LeaderElection::elect`].
+    pub fn run(self) -> Result<RunReport, ElectionError> {
+        let ElectionBuilder {
+            shape,
+            algorithm,
+            scheduler,
+            observer,
+            opts,
+        } = self;
+        let mut default_scheduler;
+        let mut boxed_scheduler;
+        let scheduler: &mut dyn Scheduler = match scheduler {
+            Some(boxed) => {
+                boxed_scheduler = boxed;
+                &mut *boxed_scheduler
+            }
+            None => {
+                default_scheduler = SeededRandom::new(opts.seed);
+                &mut default_scheduler
+            }
+        };
+        match observer {
+            Some(observer) => algorithm.elect_observed(shape, scheduler, &opts, observer),
+            None => algorithm.elect(shape, scheduler, &opts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_amoebot::scheduler::{RoundRobin, SeededRandom};
+    use pm_grid::builder::{annulus, hexagon, line, swiss_cheese};
+
+    #[test]
+    fn builder_defaults_run_the_full_pipeline() {
+        let shape = swiss_cheese(5, 3);
+        let report = Election::on(&shape).run().unwrap();
+        assert_eq!(report.algorithm, "dle+collect");
+        assert_eq!(report.scheduler, "seeded-random");
+        assert_eq!(report.n, shape.len());
+        assert!(report.predicate_holds());
+        assert!(report.rounds_consistent());
+        assert_eq!(report.final_positions.len(), shape.len());
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, [phase::OBD, phase::DLE, phase::COLLECT]);
+        assert!(report.phase_rounds(phase::DLE) > 0);
+    }
+
+    #[test]
+    fn boundary_knowledge_skips_obd() {
+        let report = Election::on(&annulus(4, 1))
+            .scheduler(RoundRobin)
+            .assume_boundary_known()
+            .run()
+            .unwrap();
+        assert_eq!(report.phase_rounds(phase::OBD), 0);
+        assert!(!report.phases.iter().any(|p| p.name == phase::OBD));
+        assert!(report.predicate_holds());
+        assert_eq!(report.scheduler, "round-robin");
+    }
+
+    #[test]
+    fn skip_reconnection_may_leave_the_shape_disconnected() {
+        // A thin annulus: DLE's inward march leaves a sparse breadcrumb
+        // trail, so without Collect the system disconnects (the
+        // collect_walkthrough example renders this configuration).
+        let report = Election::on(&annulus(8, 7))
+            .scheduler(SeededRandom::new(0))
+            .assume_boundary_known()
+            .skip_reconnection()
+            .track_connectivity()
+            .run()
+            .unwrap();
+        assert!(report.unique_leader());
+        assert!(!report.phases.iter().any(|p| p.name == phase::COLLECT));
+        assert!(report.connectivity.tracked);
+        // The report must record the disconnection rather than hide it.
+        assert!(report.connectivity.ever_disconnected);
+        assert!(report.connectivity.disconnected_rounds > 0);
+        assert!(!report.final_connected);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(matches!(
+            Election::on(&Shape::new()).run(),
+            Err(ElectionError::InvalidInitialConfiguration(_))
+        ));
+        let mut disconnected = hexagon(1);
+        disconnected.insert(Point::new(40, 40));
+        assert!(matches!(
+            Election::on(&disconnected).run(),
+            Err(ElectionError::InvalidInitialConfiguration(_))
+        ));
+    }
+
+    #[test]
+    fn round_budget_is_enforced() {
+        let result = Election::on(&hexagon(5)).round_budget(1).run();
+        assert!(matches!(
+            result,
+            Err(ElectionError::Run(RunError::RoundLimitExceeded {
+                limit: 1
+            }))
+        ));
+    }
+
+    #[test]
+    fn observer_sees_phases_and_rounds() {
+        #[derive(Default)]
+        struct Recorder {
+            phases: Vec<(String, String)>,
+            dle_rounds: u64,
+            ended: Vec<String>,
+        }
+        impl RunObserver for Recorder {
+            fn on_phase_start(&mut self, algorithm: &str, phase: &str) {
+                self.phases.push((algorithm.to_string(), phase.to_string()));
+            }
+            fn on_round(&mut self, phase: &str, rounds_so_far: u64) {
+                assert_eq!(phase, phase::DLE);
+                self.dle_rounds = rounds_so_far;
+            }
+            fn on_phase_end(&mut self, _algorithm: &str, report: &PhaseReport) {
+                self.ended.push(report.name.clone());
+            }
+        }
+        let mut recorder = Recorder::default();
+        let shape = annulus(4, 2);
+        let report = Election::on(&shape)
+            .scheduler(SeededRandom::new(1))
+            .observer(&mut recorder)
+            .run()
+            .unwrap();
+        assert_eq!(
+            recorder.phases,
+            [
+                ("dle+collect".to_string(), phase::OBD.to_string()),
+                ("dle+collect".to_string(), phase::DLE.to_string()),
+                ("dle+collect".to_string(), phase::COLLECT.to_string()),
+            ]
+        );
+        assert_eq!(recorder.ended, [phase::OBD, phase::DLE, phase::COLLECT]);
+        assert_eq!(recorder.dle_rounds, report.phase_rounds(phase::DLE));
+    }
+
+    #[test]
+    fn reports_are_consistent_across_small_workloads() {
+        for shape in [line(1), line(2), hexagon(2), annulus(3, 1)] {
+            let report = Election::on(&shape).run().unwrap();
+            assert!(report.rounds_consistent());
+            assert!(report.predicate_holds());
+            assert!(report.peak_memory_bits >= DLE_MEMORY_BITS);
+            assert_eq!(report.moves, report.phases.iter().map(|p| p.moves).sum());
+        }
+    }
+}

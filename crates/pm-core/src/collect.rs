@@ -176,11 +176,7 @@ impl CollectSimulator {
             let lo = stem as u32;
             let hi = (2 * stem - 1) as u32;
             let mut newly = 0usize;
-            let in_range: Vec<u32> = self
-                .uncollected
-                .range(lo..=hi)
-                .map(|(d, _)| *d)
-                .collect();
+            let in_range: Vec<u32> = self.uncollected.range(lo..=hi).map(|(d, _)| *d).collect();
             for d in in_range {
                 let count = self.uncollected.remove(&d).unwrap_or(0);
                 newly += count;
@@ -308,7 +304,11 @@ mod tests {
             assert!(phase.stem_end <= 2 * phase.stem_start);
         }
         // Number of collecting phases is logarithmic in the eccentricity.
-        let collecting = outcome.phases.iter().filter(|p| p.newly_collected > 0).count();
+        let collecting = outcome
+            .phases
+            .iter()
+            .filter(|p| p.newly_collected > 0)
+            .count();
         assert!(collecting <= (outcome.eccentricity as f64).log2().ceil() as usize + 1);
     }
 
@@ -330,10 +330,19 @@ mod tests {
 
     #[test]
     fn collect_reconnects_dle_output_on_various_shapes() {
-        for shape in [annulus(5, 2), hexagon(4), spiral(50), line(17), annulus(7, 4)] {
+        for shape in [
+            annulus(5, 2),
+            hexagon(4),
+            spiral(50),
+            line(17),
+            annulus(7, 4),
+        ] {
             let n = shape.len();
             let outcome = collect_after_dle(&shape);
-            assert!(outcome.final_connected, "final configuration must be connected");
+            assert!(
+                outcome.final_connected,
+                "final configuration must be connected"
+            );
             assert_eq!(outcome.final_positions.len(), n, "no particle may be lost");
             assert_eq!(outcome.uncollected_remaining, 0);
             // All particles end within eps of the leader.

@@ -62,8 +62,8 @@ impl Algorithm for DleAlgorithm {
         // Line 6: eligible[i] := (outer[i] = false), i.e. true for occupied
         // or hole neighbours.
         let mut eligible = [false; 6];
-        for i in 0..6 {
-            eligible[i] = !ctx.outer[i];
+        for (slot, outer) in eligible.iter_mut().zip(ctx.outer) {
+            *slot = !outer;
         }
         DleMemory {
             status: Status::Undecided,
@@ -75,7 +75,8 @@ impl Algorithm for DleAlgorithm {
     fn activate(&self, ctx: &mut ActivationContext<'_, DleMemory>) {
         // Line 9: an expanded particle contracts into its head.
         if ctx.is_expanded() {
-            ctx.contract_to_head().expect("expanded particle can contract");
+            ctx.contract_to_head()
+                .expect("expanded particle can contract");
             return;
         }
 
@@ -116,8 +117,8 @@ impl Algorithm for DleAlgorithm {
         for q in ctx.neighbors() {
             let w = ctx.neighbor_head(q);
             if w.is_adjacent(v) {
-                let port = Direction::between(w, v)
-                    .expect("adjacent points have a connecting direction");
+                let port =
+                    Direction::between(w, v).expect("adjacent points have a connecting direction");
                 ctx.neighbor_memory_mut(q).eligible[port.index()] = false;
             }
         }
@@ -197,30 +198,42 @@ pub fn run_dle<S: Scheduler>(
     let system = ParticleSystem::from_shape(shape, &DleAlgorithm);
     let mut runner = Runner::new(system, DleAlgorithm, scheduler);
     runner.track_connectivity = track_connectivity;
-    let budget = 64 * (shape.len() as u64 + 16);
-    let stats = runner.run(budget)?;
-    let system = runner.into_system();
+    let stats = runner.run(default_round_budget(shape))?;
+    Ok(DleOutcome::from_run(stats, runner.into_system()))
+}
 
-    let mut leader_point = None;
-    let mut counts = (0usize, 0usize, 0usize);
-    let mut final_positions = Vec::with_capacity(system.len());
-    for (_, particle) in system.iter() {
-        final_positions.push(particle.head());
-        match particle.memory().status {
-            Status::Leader => {
-                counts.0 += 1;
-                leader_point = Some(particle.head());
+/// The generous default round budget of a DLE run: far above the `O(D_A)`
+/// bound of Theorem 18, so exhausting it indicates a bug rather than a slow
+/// execution.
+pub(crate) fn default_round_budget(shape: &Shape) -> u64 {
+    64 * (shape.len() as u64 + 16)
+}
+
+impl DleOutcome {
+    /// Extracts the outcome (leader, statuses, final positions) from a
+    /// finished run.
+    pub(crate) fn from_run(stats: RunStats, system: ParticleSystem<DleMemory>) -> DleOutcome {
+        let mut leader_point = None;
+        let mut counts = (0usize, 0usize, 0usize);
+        let mut final_positions = Vec::with_capacity(system.len());
+        for (_, particle) in system.iter() {
+            final_positions.push(particle.head());
+            match particle.memory().status {
+                Status::Leader => {
+                    counts.0 += 1;
+                    leader_point = Some(particle.head());
+                }
+                Status::Follower => counts.1 += 1,
+                Status::Undecided => counts.2 += 1,
             }
-            Status::Follower => counts.1 += 1,
-            Status::Undecided => counts.2 += 1,
+        }
+        DleOutcome {
+            stats,
+            leader_point: leader_point.expect("DLE always elects a leader on a connected shape"),
+            final_positions,
+            status_counts: counts,
         }
     }
-    Ok(DleOutcome {
-        stats,
-        leader_point: leader_point.expect("DLE always elects a leader on a connected shape"),
-        final_positions,
-        status_counts: counts,
-    })
 }
 
 #[cfg(test)]
@@ -231,7 +244,11 @@ mod tests {
     use pm_grid::Metric;
 
     fn assert_unique_leader(outcome: &DleOutcome, n: usize) {
-        assert!(outcome.predicate_holds(), "counts = {:?}", outcome.status_counts);
+        assert!(
+            outcome.predicate_holds(),
+            "counts = {:?}",
+            outcome.status_counts
+        );
         assert_eq!(
             outcome.status_counts.0 + outcome.status_counts.1,
             n,

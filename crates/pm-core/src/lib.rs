@@ -2,6 +2,9 @@
 //! matter in time linear in the diameter (Dufoulon, Kutten, Moses Jr.,
 //! PODC 2021).
 //!
+//! * [`api`] — the **unified execution API**: the [`LeaderElection`] trait
+//!   every runnable algorithm implements, the [`Election`] builder, and the
+//!   serializable [`RunReport`] all of them produce.
 //! * [`dle`] — **Algorithm DLE** (Disconnecting Leader Election): the
 //!   per-activation erosion algorithm of Section 4.1. `O(D_A)` rounds under
 //!   the initially-known-outer-boundary assumption; the particle system may
@@ -12,32 +15,40 @@
 //! * [`obd`] — the **Outer-Boundary Detection** primitive (Section 5):
 //!   removes the boundary-knowledge assumption at a cost of `O(L_out + D)`
 //!   rounds, using segment competition over virtual-node rings.
-//! * [`pipeline`] — the composed leader-election algorithm
-//!   (OBD → DLE → Collect) together with verification of the problem
-//!   predicate (unique leader, connected final configuration).
+//! * [`pipeline`] — deprecated pre-0.2 entry points (`elect_leader`,
+//!   `ElectionConfig`), kept as thin shims over [`api`].
 //!
 //! # Quickstart
 //!
 //! ```
 //! use pm_amoebot::scheduler::RoundRobin;
-//! use pm_core::pipeline::{elect_leader, ElectionConfig};
+//! use pm_core::api::Election;
 //! use pm_grid::builder::annulus;
 //!
 //! // A shape with a hole: previous deterministic algorithms either reject it
 //! // or need Omega(n^2) rounds; DLE elects in O(D_A).
 //! let shape = annulus(5, 2);
-//! let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin::default())
+//! let report = Election::on(&shape)
+//!     .scheduler(RoundRobin)
+//!     .run()
 //!     .expect("election succeeds");
-//! assert!(outcome.leader.is_some());
-//! assert!(outcome.final_shape_connected);
+//! assert!(report.unique_leader());
+//! assert!(report.final_connected);
+//! assert!(report.rounds_consistent());
 //! ```
 
+pub mod api;
 pub mod collect;
 pub mod dle;
 pub mod obd;
 pub mod pipeline;
 
+pub use api::{
+    Election, ElectionBuilder, ElectionError, LeaderElection, NoopObserver, PaperPipeline,
+    PhaseReport, RunObserver, RunOptions, RunReport,
+};
 pub use collect::{CollectOutcome, CollectSimulator};
 pub use dle::{DleAlgorithm, DleMemory, DleOutcome, Status};
 pub use obd::{CompetitionCostModel, ObdOutcome, ObdSimulator};
+#[allow(deprecated)]
 pub use pipeline::{elect_leader, ElectionConfig, ElectionOutcome};

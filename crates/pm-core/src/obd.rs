@@ -176,11 +176,10 @@ impl ObdSimulator {
             // Stability check: each surviving segment compares itself with
             // the previous 6/|sum| segments (all of the same length), at the
             // pipelined cost per v-node.
-            let seg_len = if decision.stable_segments == 0 {
-                ring.len()
-            } else {
-                ring.len() / decision.stable_segments
-            };
+            let seg_len = ring
+                .len()
+                .checked_div(decision.stable_segments)
+                .unwrap_or(ring.len());
             stability_rounds = stability_rounds
                 .max(STABLE_CHECK_COST * (seg_len as u64) * (decision.stable_segments as u64 + 1));
             if decision.declared_outer {
@@ -253,7 +252,7 @@ impl ObdSimulator {
                     let done = s.ready_at.max(s1.ready_at)
                         + cost_model.comparison_rounds(s.label.len(), s1.label.len())
                         + ABSORB_COST * s1.label.len() as u64;
-                    if best.map_or(true, |(_, t)| done < t) {
+                    if best.is_none_or(|(_, t)| done < t) {
                         best = Some((i, done));
                     }
                 }
@@ -310,8 +309,8 @@ impl ObdSimulator {
             let mut next = Vec::new();
             for p in frontier {
                 for q in self.shape.neighbors_in(p) {
-                    if !best.contains_key(&q) {
-                        best.insert(q, depth + 1);
+                    if let std::collections::hash_map::Entry::Vacant(slot) = best.entry(q) {
+                        slot.insert(depth + 1);
                         next.push(q);
                     }
                 }
@@ -355,7 +354,10 @@ mod tests {
         let sim = ObdSimulator::new(shape);
         let outcome = sim.run();
         let truth = sim.ground_truth_flags();
-        assert!(outcome.unique_outer(), "exactly one boundary must be declared outer");
+        assert!(
+            outcome.unique_outer(),
+            "exactly one boundary must be declared outer"
+        );
         for (p, expected) in truth {
             assert_eq!(
                 outcome.outer_flags.get(&p),

@@ -7,19 +7,41 @@
 //!   `outer[0..5]` inputs in `O(L_out + D)` rounds, and the total stays
 //!   `O(L_out + D)` because `D_A ≤ D ≤ L_out + D`.
 //!
-//! The pipeline verifies the leader-election predicate: upon termination the
-//! particle system is connected, exactly one particle is a leader, and every
-//! other particle is a follower.
+//! **This module is the legacy entry point.** The pipeline now runs through
+//! the unified execution API in [`crate::api`] — [`crate::api::PaperPipeline`]
+//! implements [`crate::api::LeaderElection`], and
+//! [`crate::api::Election::on`] is the fluent runner. [`elect_leader`],
+//! [`ElectionConfig`] and [`ElectionOutcome`] remain as thin deprecated
+//! shims so existing call sites keep compiling; new code should use the
+//! builder:
+//!
+//! ```
+//! use pm_core::api::Election;
+//! use pm_amoebot::scheduler::RoundRobin;
+//! use pm_grid::builder::annulus;
+//!
+//! let report = Election::on(&annulus(5, 2))
+//!     .scheduler(RoundRobin)
+//!     .run()
+//!     .expect("election succeeds");
+//! assert!(report.predicate_holds());
+//! ```
 
-use crate::collect::{CollectOutcome, CollectSimulator};
-use crate::dle::{run_dle, DleOutcome};
-use crate::obd::{run_obd, ObdOutcome};
-use pm_amoebot::scheduler::{RunError, Scheduler};
+use crate::api::{run_pipeline_phases, NoopObserver, RunOptions};
+use crate::collect::CollectOutcome;
+use crate::dle::DleOutcome;
+use crate::obd::ObdOutcome;
+use pm_amoebot::scheduler::Scheduler;
 use pm_grid::{Point, Shape};
 use serde::{Deserialize, Serialize};
-use std::fmt;
+
+pub use crate::api::ElectionError;
 
 /// Configuration of the election pipeline.
+#[deprecated(
+    since = "0.2.0",
+    note = "use pm_core::api::RunOptions (via Election::on(..) or LeaderElection::elect)"
+)]
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct ElectionConfig {
     /// Whether particles are assumed to know initially which of their
@@ -33,6 +55,7 @@ pub struct ElectionConfig {
     pub track_connectivity: bool,
 }
 
+#[allow(deprecated)]
 impl Default for ElectionConfig {
     fn default() -> ElectionConfig {
         ElectionConfig {
@@ -43,53 +66,38 @@ impl Default for ElectionConfig {
     }
 }
 
+#[allow(deprecated)]
 impl ElectionConfig {
     /// The `O(D_A)` configuration: boundary knowledge assumed, reconnection
     /// enabled.
     pub fn with_boundary_knowledge() -> ElectionConfig {
         ElectionConfig {
             assume_outer_boundary_known: true,
-            reconnect: true,
-            track_connectivity: false,
+            ..ElectionConfig::default()
         }
     }
-}
 
-/// An error from the election pipeline.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ElectionError {
-    /// The initial configuration is not a permitted one (empty or
-    /// disconnected).
-    InvalidInitialConfiguration(&'static str),
-    /// The underlying DLE run failed (round budget exhausted — would indicate
-    /// a bug given Theorem 18).
-    Run(RunError),
-}
-
-impl fmt::Display for ElectionError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ElectionError::InvalidInitialConfiguration(why) => {
-                write!(f, "invalid initial configuration: {why}")
-            }
-            ElectionError::Run(e) => write!(f, "execution failed: {e}"),
+    /// The equivalent [`RunOptions`] of the new API.
+    pub fn to_run_options(&self) -> RunOptions {
+        RunOptions {
+            assume_outer_boundary_known: self.assume_outer_boundary_known,
+            reconnect: self.reconnect,
+            track_connectivity: self.track_connectivity,
+            ..RunOptions::default()
         }
-    }
-}
-
-impl std::error::Error for ElectionError {}
-
-impl From<RunError> for ElectionError {
-    fn from(e: RunError) -> ElectionError {
-        ElectionError::Run(e)
     }
 }
 
 /// The result of the full election pipeline.
+#[deprecated(
+    since = "0.2.0",
+    note = "use pm_core::api::RunReport (leader is a plain Point there)"
+)]
 #[derive(Clone, Debug)]
 pub struct ElectionOutcome {
-    /// The elected leader's final position (always `Some` on success; kept as
-    /// an `Option` so callers can pattern-match uniformly).
+    /// The elected leader's final position. Historical wart kept for
+    /// compatibility: this is always `Some` on success — the replacement
+    /// [`crate::api::RunReport::leader`] is a plain [`Point`].
     pub leader: Option<Point>,
     /// The OBD outcome, when the boundary-knowledge assumption was not made.
     pub obd: Option<ObdOutcome>,
@@ -105,6 +113,7 @@ pub struct ElectionOutcome {
     pub final_positions: Vec<Point>,
 }
 
+#[allow(deprecated)]
 impl ElectionOutcome {
     /// Whether the leader-election predicate holds: unique leader, all others
     /// followers, and (when reconnection ran) a connected final shape.
@@ -134,56 +143,34 @@ impl ElectionOutcome {
 /// Returns [`ElectionError::InvalidInitialConfiguration`] if the shape is
 /// empty or disconnected, and [`ElectionError::Run`] if the DLE execution
 /// exceeds its (generous) round budget.
+#[deprecated(
+    since = "0.2.0",
+    note = "use pm_core::api::Election::on(&shape)...run() or PaperPipeline::elect"
+)]
+#[allow(deprecated)]
 pub fn elect_leader<S: Scheduler>(
     shape: &Shape,
     config: &ElectionConfig,
     scheduler: &mut S,
 ) -> Result<ElectionOutcome, ElectionError> {
-    if shape.is_empty() {
-        return Err(ElectionError::InvalidInitialConfiguration("empty shape"));
-    }
-    if !shape.is_connected() {
-        return Err(ElectionError::InvalidInitialConfiguration(
-            "initial shape must be connected",
-        ));
-    }
+    let opts = config.to_run_options();
+    let phases = run_pipeline_phases(shape, &mut *scheduler, &opts, &mut NoopObserver)?;
 
-    // Phase 1 (optional): outer-boundary detection. Its output is exactly the
-    // `outer[0..5]` input DLE's initializer consumes (the simulator hands DLE
-    // the geometric flags, which OBD's tests show are identical).
-    let obd = if config.assume_outer_boundary_known {
-        None
-    } else {
-        Some(run_obd(shape))
-    };
-
-    // Phase 2: disconnecting leader election.
-    let dle = run_dle(shape, &mut *scheduler, config.track_connectivity)?;
-
-    // Phase 3 (optional): reconnection.
-    let collect = if config.reconnect {
-        let mut sim = CollectSimulator::new(dle.leader_point, &dle.final_positions);
-        Some(sim.run())
-    } else {
-        None
-    };
-
-    let final_positions = collect
+    let final_positions = phases
+        .collect
         .as_ref()
         .map(|c| c.final_positions.clone())
-        .unwrap_or_else(|| dle.final_positions.clone());
-    let final_shape = Shape::from_points(final_positions.iter().copied());
-    let final_shape_connected = final_shape.is_connected();
-    let total_rounds = obd.as_ref().map_or(0, |o| o.rounds)
-        + dle.stats.rounds
-        + collect.as_ref().map_or(0, |c| c.rounds);
-    let leader = Some(dle.leader_point);
+        .unwrap_or_else(|| phases.dle.final_positions.clone());
+    let final_shape_connected = Shape::from_points(final_positions.iter().copied()).is_connected();
+    let total_rounds = phases.obd.as_ref().map_or(0, |o| o.rounds)
+        + phases.dle.stats.rounds
+        + phases.collect.as_ref().map_or(0, |c| c.rounds);
 
     Ok(ElectionOutcome {
-        leader,
-        obd,
-        dle,
-        collect,
+        leader: Some(phases.dle.leader_point),
+        obd: phases.obd,
+        dle: phases.dle,
+        collect: phases.collect,
         total_rounds,
         final_shape_connected,
         final_positions,
@@ -191,6 +178,7 @@ pub fn elect_leader<S: Scheduler>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pm_amoebot::generators::{dumbbell, random_blob, random_holey_hexagon};
@@ -211,6 +199,33 @@ mod tests {
             let (obd_r, dle_r, col_r) = outcome.phase_rounds();
             assert_eq!(outcome.total_rounds, obd_r + dle_r + col_r);
         }
+    }
+
+    #[test]
+    fn shim_matches_the_new_api() {
+        // The deprecated entry point must stay behaviourally identical to the
+        // unified API it delegates to.
+        use crate::api::{phase, Election};
+        let shape = swiss_cheese(5, 2);
+        let outcome = elect_leader(
+            &shape,
+            &ElectionConfig::default(),
+            &mut SeededRandom::new(7),
+        )
+        .unwrap();
+        let report = Election::on(&shape)
+            .scheduler(SeededRandom::new(7))
+            .run()
+            .unwrap();
+        assert_eq!(outcome.leader, Some(report.leader));
+        assert_eq!(outcome.total_rounds, report.total_rounds);
+        assert_eq!(outcome.phase_rounds().0, report.phase_rounds(phase::OBD));
+        assert_eq!(outcome.phase_rounds().1, report.phase_rounds(phase::DLE));
+        assert_eq!(
+            outcome.phase_rounds().2,
+            report.phase_rounds(phase::COLLECT)
+        );
+        assert_eq!(outcome.final_positions, report.final_positions);
     }
 
     #[test]
@@ -308,5 +323,7 @@ mod tests {
     fn error_display() {
         let e = ElectionError::InvalidInitialConfiguration("empty shape");
         assert!(e.to_string().contains("empty shape"));
+        let stuck = ElectionError::Stuck { after_rounds: 9 };
+        assert!(stuck.to_string().contains("9 rounds"));
     }
 }

@@ -3,10 +3,10 @@
 //! consistency between the pipeline's phase accounting and its components.
 
 use pm_amoebot::scheduler::{RoundRobin, SeededRandom};
+use pm_core::api::{phase, Election};
 use pm_core::collect::{omp_rounds, prp_rounds, sdp_rounds, CollectSimulator};
 use pm_core::dle::run_dle;
 use pm_core::obd::{run_obd, CompetitionCostModel, ObdSimulator};
-use pm_core::pipeline::{elect_leader, ElectionConfig};
 use pm_grid::builder::{comb, hexagon, line, parallelogram};
 use pm_grid::{Point, Shape};
 
@@ -66,33 +66,49 @@ fn obd_sequential_cost_model_never_changes_the_decision() {
 #[test]
 fn pipeline_phase_accounting_matches_components() {
     let shape = hexagon(4);
-    let mut scheduler = SeededRandom::new(5);
-    let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut scheduler).unwrap();
-    let (obd, dle, collect) = outcome.phase_rounds();
-    assert_eq!(outcome.total_rounds, obd + dle + collect);
+    let report = Election::on(&shape)
+        .scheduler(SeededRandom::new(5))
+        .run()
+        .unwrap();
+    assert!(report.rounds_consistent());
     // OBD's rounds must agree with running the primitive standalone (it is
     // deterministic and scheduler-independent).
-    assert_eq!(obd, run_obd(&shape).rounds);
+    assert_eq!(report.phase_rounds(phase::OBD), run_obd(&shape).rounds);
     // Collect's rounds must agree with replaying the simulator on the same
-    // DLE output.
-    let collect_outcome = outcome.collect.as_ref().unwrap();
-    let mut replay = CollectSimulator::new(outcome.dle.leader_point, &outcome.dle.final_positions);
-    assert_eq!(replay.run().rounds, collect_outcome.rounds);
+    // DLE output (the DLE phase is reproducible given the scheduler seed).
+    let dle = Election::on(&shape)
+        .scheduler(SeededRandom::new(5))
+        .skip_reconnection()
+        .run()
+        .unwrap();
+    let mut replay = CollectSimulator::new(dle.leader, &dle.final_positions);
+    assert_eq!(replay.run().rounds, report.phase_rounds(phase::COLLECT));
 }
 
 #[test]
 fn boundary_knowledge_config_only_skips_obd() {
     let shape = comb(4, 4);
-    let mut a = SeededRandom::new(9);
-    let mut b = SeededRandom::new(9);
-    let with = elect_leader(&shape, &ElectionConfig::with_boundary_knowledge(), &mut a).unwrap();
-    let without = elect_leader(&shape, &ElectionConfig::default(), &mut b).unwrap();
+    let with = Election::on(&shape)
+        .scheduler(SeededRandom::new(9))
+        .assume_boundary_known()
+        .run()
+        .unwrap();
+    let without = Election::on(&shape)
+        .scheduler(SeededRandom::new(9))
+        .run()
+        .unwrap();
     // Same scheduler seed: the DLE and Collect phases are identical; only the
     // OBD phase differs.
-    assert_eq!(with.phase_rounds().1, without.phase_rounds().1);
-    assert_eq!(with.phase_rounds().2, without.phase_rounds().2);
-    assert_eq!(with.phase_rounds().0, 0);
-    assert!(without.phase_rounds().0 > 0);
+    assert_eq!(
+        with.phase_rounds(phase::DLE),
+        without.phase_rounds(phase::DLE)
+    );
+    assert_eq!(
+        with.phase_rounds(phase::COLLECT),
+        without.phase_rounds(phase::COLLECT)
+    );
+    assert_eq!(with.phase_rounds(phase::OBD), 0);
+    assert!(without.phase_rounds(phase::OBD) > 0);
     assert_eq!(with.leader, without.leader);
 }
 

@@ -44,7 +44,10 @@ fn check_dle_invariants_on(shape: Shape, seed: u64) {
     let budget = 64 * (shape.len() as u64 + 16);
 
     while !runner.system().all_terminated() {
-        assert!(stats.rounds < budget, "DLE did not terminate within the budget");
+        assert!(
+            stats.rounds < budget,
+            "DLE did not terminate within the budget"
+        );
         runner.run_round(&mut stats);
         let system = runner.system();
 

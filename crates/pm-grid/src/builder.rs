@@ -115,7 +115,9 @@ pub fn swiss_cheese(radius: u32, spacing: u32) -> Shape {
         if p.q.rem_euclid(spacing) == 0 && p.r.rem_euclid(spacing) == 0 && p != Point::ORIGIN {
             // Only punch the hole if all its neighbours stay occupied, so
             // holes never merge with each other or with the outside.
-            if p.neighbors().all(|n| s.contains(n) && n.neighbors().filter(|m| !s.contains(*m)).count() == 0) {
+            if p.neighbors()
+                .all(|n| s.contains(n) && n.neighbors().filter(|m| !s.contains(*m)).count() == 0)
+            {
                 s.remove(p);
             }
         }
@@ -165,10 +167,7 @@ mod tests {
         let reparsed = parse_ascii(&art);
         // Parsing loses the translation but must preserve size and hole count.
         assert_eq!(reparsed.len(), s.len());
-        assert_eq!(
-            reparsed.analyze().hole_count(),
-            s.analyze().hole_count()
-        );
+        assert_eq!(reparsed.analyze().hole_count(), s.analyze().hole_count());
     }
 
     #[test]

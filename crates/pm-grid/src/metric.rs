@@ -31,8 +31,8 @@ impl DistanceMap {
             while let Some(p) = queue.pop_front() {
                 let d = dist[&p];
                 for n in within.neighbors_in(p) {
-                    if !dist.contains_key(&n) {
-                        dist.insert(n, d + 1);
+                    if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(n) {
+                        slot.insert(d + 1);
                         queue.push_back(n);
                     }
                 }
@@ -238,7 +238,9 @@ impl Metric {
             return Ok(()); // Disconnected / empty: nothing to check.
         };
         if d < da {
-            return Err(format!("diameter D={d} smaller than area diameter D_A={da}"));
+            return Err(format!(
+                "diameter D={d} smaller than area diameter D_A={da}"
+            ));
         }
         if self.shape.is_simply_connected() {
             let n = self.shape.len() as u64;
@@ -271,7 +273,10 @@ mod tests {
     fn distances_on_a_line() {
         let line = Shape::from_points((0..8).map(|i| Point::new(i, 0)));
         let m = Metric::new(&line);
-        assert_eq!(m.distance_in_shape(Point::new(0, 0), Point::new(7, 0)), Some(7));
+        assert_eq!(
+            m.distance_in_shape(Point::new(0, 0), Point::new(7, 0)),
+            Some(7)
+        );
         assert_eq!(m.diameter(), Some(7));
         assert_eq!(m.area_diameter(), Some(7));
         assert_eq!(m.grid_diameter(), 7);

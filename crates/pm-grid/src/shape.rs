@@ -287,8 +287,7 @@ impl ShapeAnalysis {
         // within it and surrounds the shape.
         let (min_q, min_r) = (min.q - 1, min.r - 1);
         let (max_q, max_r) = (max.q + 1, max.r + 1);
-        let in_box =
-            |p: Point| p.q >= min_q && p.q <= max_q && p.r >= min_r && p.r <= max_r;
+        let in_box = |p: Point| p.q >= min_q && p.q <= max_q && p.r >= min_r && p.r <= max_r;
 
         // Flood-fill empty points from a corner of the expanded box: those
         // are (a superset within the box of) the outer face.

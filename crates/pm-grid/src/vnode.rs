@@ -153,10 +153,7 @@ pub fn boundary_rings(shape: &Shape) -> Vec<BoundaryRing> {
 }
 
 /// As [`boundary_rings`], but reusing an existing [`ShapeAnalysis`].
-pub fn boundary_rings_with_analysis(
-    shape: &Shape,
-    analysis: &ShapeAnalysis,
-) -> Vec<BoundaryRing> {
+pub fn boundary_rings_with_analysis(shape: &Shape, analysis: &ShapeAnalysis) -> Vec<BoundaryRing> {
     // Gather every v-node and index them for successor lookups.
     let mut vnodes: Vec<VNode> = Vec::new();
     let mut index: HashMap<(Point, LocalBoundary), usize> = HashMap::new();

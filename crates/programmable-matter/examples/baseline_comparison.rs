@@ -1,0 +1,78 @@
+//! Compares the paper's algorithm against the Table 1 baselines on a single
+//! shape with holes — a one-shot, human-readable version of experiment T1.
+//! All contenders run through one `&dyn LeaderElection` loop.
+//!
+//! Run with `cargo run --example baseline_comparison [radius]`.
+
+use programmable_matter::amoebot::scheduler::RoundRobin;
+use programmable_matter::analysis::ShapeStats;
+use programmable_matter::baselines::{
+    ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary,
+};
+use programmable_matter::grid::builder::swiss_cheese;
+use programmable_matter::leader_election::PaperPipeline;
+use programmable_matter::{Election, ElectionError, LeaderElection, RunOptions};
+
+fn main() {
+    let radius = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6u32);
+    let shape = swiss_cheese(radius, 3);
+    let stats = ShapeStats::compute(&shape);
+    println!(
+        "Swiss-cheese hexagon: n = {}, holes = {}, D_A = {}, L_out + D = {}\n",
+        stats.n,
+        stats.holes,
+        stats.d_a,
+        stats.lout_plus_d()
+    );
+
+    let contenders: [(&str, &dyn LeaderElection, RunOptions); 5] = [
+        (
+            "this paper, O(D_A) variant      ",
+            &PaperPipeline,
+            RunOptions::with_boundary_knowledge(),
+        ),
+        (
+            "this paper, O(L_out+D) variant  ",
+            &PaperPipeline,
+            RunOptions::default(),
+        ),
+        (
+            "erosion baseline [22]           ",
+            &ErosionLeaderElection,
+            RunOptions::default(),
+        ),
+        (
+            "randomized boundary [10]        ",
+            &RandomizedBoundary,
+            RunOptions::default(),
+        ),
+        (
+            "quadratic boundary [3]          ",
+            &QuadraticBoundary,
+            RunOptions::default(),
+        ),
+    ];
+
+    for (label, algorithm, opts) in contenders {
+        let result = Election::on(&shape)
+            .algorithm(algorithm)
+            .scheduler(RoundRobin)
+            .options(opts)
+            .run();
+        match result {
+            Ok(report) => println!(
+                "{label}: {:>6} rounds ({} leader{})",
+                report.total_rounds,
+                report.leaders,
+                if report.leaders == 1 { "" } else { "s" }
+            ),
+            Err(ElectionError::Stuck { after_rounds }) => {
+                println!("{label}:  stuck after {after_rounds} rounds (cannot handle holes)")
+            }
+            Err(e) => println!("{label}:  error: {e}"),
+        }
+    }
+}

@@ -7,9 +7,9 @@
 use programmable_matter::amoebot::ascii::render_shape;
 use programmable_matter::amoebot::scheduler::SeededRandom;
 use programmable_matter::grid::builder::annulus;
-use programmable_matter::grid::Shape;
+use programmable_matter::leader_election::api::phase;
 use programmable_matter::leader_election::collect::CollectSimulator;
-use programmable_matter::leader_election::dle::run_dle;
+use programmable_matter::Election;
 
 fn main() {
     // A thin annulus: DLE's inward march leaves a sparse, disconnected
@@ -18,21 +18,28 @@ fn main() {
     println!("Initial thin annulus ({} particles):", shape.len());
     println!("{}", render_shape(&shape));
 
-    let dle = run_dle(&shape, SeededRandom::new(0), true).expect("DLE terminates");
+    // Stop the pipeline after DLE: `skip_reconnection` yields the raw
+    // breadcrumb configuration the Collect phase would repair.
+    let dle = Election::on(&shape)
+        .scheduler(SeededRandom::new(0))
+        .assume_boundary_known()
+        .skip_reconnection()
+        .track_connectivity()
+        .run()
+        .expect("DLE terminates");
     println!(
         "DLE finished in {} rounds; unique leader at {:?}; system ever disconnected: {}; \
-         final configuration connected: {:?}",
-        dle.stats.rounds,
-        dle.leader_point,
-        dle.stats.ever_disconnected,
-        dle.stats.final_connected
+         final configuration connected: {}",
+        dle.phase_rounds(phase::DLE),
+        dle.leader,
+        dle.connectivity.ever_disconnected,
+        dle.final_connected
     );
-    let after_dle = Shape::from_points(dle.final_positions.iter().copied());
     println!("\nConfiguration after DLE (note the gaps — the breadcrumb trail):");
-    println!("{}", render_shape(&after_dle));
+    println!("{}", render_shape(&dle.final_shape()));
 
     // Lemma 19: one particle at every grid distance up to eps_G(l).
-    let l = dle.leader_point;
+    let l = dle.leader;
     let eps = dle
         .final_positions
         .iter()
@@ -64,6 +71,4 @@ fn main() {
         "Collect finished in {} rounds; final configuration connected: {}",
         outcome.rounds, outcome.final_connected
     );
-    println!("\nFinal configuration (stem east of the leader, branches behind it):");
-    println!("{}", render_shape(&outcome.final_shape()));
 }

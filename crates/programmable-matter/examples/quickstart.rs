@@ -1,12 +1,13 @@
 //! Quickstart: elect a leader on a shape with a hole and reconnect the
-//! system.
+//! system, through the unified `Election` builder.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use programmable_matter::amoebot::ascii::render_shape;
 use programmable_matter::amoebot::scheduler::RoundRobin;
 use programmable_matter::grid::builder::annulus;
-use programmable_matter::leader_election::pipeline::{elect_leader, ElectionConfig};
+use programmable_matter::leader_election::api::phase;
+use programmable_matter::Election;
 
 fn main() {
     // An annulus: a shape with a hole. Previous deterministic leader-election
@@ -18,18 +19,25 @@ fn main() {
 
     // Full pipeline: OBD (outer-boundary detection), DLE (disconnecting
     // leader election), Collect (reconnection).
-    let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin)
+    let report = Election::on(&shape)
+        .scheduler(RoundRobin)
+        .run()
         .expect("a connected shape always elects a leader");
 
-    let (obd, dle, collect) = outcome.phase_rounds();
-    println!("Leader elected at {:?}", outcome.leader.unwrap());
-    println!("Rounds: OBD = {obd}, DLE = {dle}, Collect = {collect}, total = {}", outcome.total_rounds);
+    println!("Leader elected at {:?}", report.leader);
+    println!(
+        "Rounds: OBD = {}, DLE = {}, Collect = {}, total = {}",
+        report.phase_rounds(phase::OBD),
+        report.phase_rounds(phase::DLE),
+        report.phase_rounds(phase::COLLECT),
+        report.total_rounds
+    );
     println!(
         "Unique leader: {}, final configuration connected: {}",
-        outcome.dle.predicate_holds(),
-        outcome.final_shape_connected
+        report.unique_leader(),
+        report.final_connected
     );
 
     println!("\nFinal configuration (stem and branches around the leader):");
-    println!("{}", render_shape(&outcome.final_shape()));
+    println!("{}", render_shape(&report.final_shape()));
 }

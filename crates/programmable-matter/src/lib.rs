@@ -1,0 +1,61 @@
+//! Umbrella crate re-exporting the programmable-matter workspace.
+//!
+//! This workspace reproduces *"Efficient Deterministic Leader Election for
+//! Programmable Matter"* (Dufoulon, Kutten, Moses Jr., PODC 2021). The crates
+//! are:
+//!
+//! * [`grid`] (`pm-grid`) — triangular-grid geometry, shapes, boundaries,
+//!   v-nodes, erosion predicates and metric toolkit.
+//! * [`amoebot`] (`pm-amoebot`) — the amoebot particle-system simulator:
+//!   particles, atomic activations, schedulers, shape generators and an ASCII
+//!   renderer.
+//! * [`leader_election`] (`pm-core`) — the paper's algorithms: DLE, Collect
+//!   (OMP/PRP/SDP), the Outer-Boundary Detection primitive — and the
+//!   **unified execution API** (`pm_core::api`): the [`LeaderElection`]
+//!   trait, the [`Election`] builder and the serializable [`RunReport`].
+//! * [`baselines`] (`pm-baselines`) — the comparison algorithms of Table 1,
+//!   all behind the same [`LeaderElection`] trait.
+//! * [`analysis`] (`pm-analysis`) — experiment harness regenerating the
+//!   paper's table and the scaling figures over `&dyn LeaderElection`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use programmable_matter::amoebot::scheduler::RoundRobin;
+//! use programmable_matter::grid::builder::hexagon;
+//! use programmable_matter::Election;
+//!
+//! let shape = hexagon(4);
+//! let report = Election::on(&shape)
+//!     .scheduler(RoundRobin)
+//!     .run()
+//!     .expect("election succeeds on a connected shape");
+//! assert!(report.unique_leader());
+//! assert!(report.final_connected);
+//! ```
+//!
+//! Comparing algorithms through the trait:
+//!
+//! ```
+//! use programmable_matter::baselines::RandomizedBoundary;
+//! use programmable_matter::grid::builder::annulus;
+//! use programmable_matter::leader_election::PaperPipeline;
+//! use programmable_matter::{Election, LeaderElection};
+//!
+//! let shape = annulus(4, 1);
+//! let algorithms: [&dyn LeaderElection; 2] = [&PaperPipeline, &RandomizedBoundary];
+//! for algorithm in algorithms {
+//!     let report = Election::on(&shape).algorithm(algorithm).run().unwrap();
+//!     assert!(report.unique_leader(), "{}", report.algorithm);
+//! }
+//! ```
+
+pub use pm_amoebot as amoebot;
+pub use pm_analysis as analysis;
+pub use pm_baselines as baselines;
+pub use pm_core as leader_election;
+pub use pm_grid as grid;
+
+pub use pm_core::api::{
+    Election, ElectionBuilder, ElectionError, LeaderElection, RunObserver, RunOptions, RunReport,
+};

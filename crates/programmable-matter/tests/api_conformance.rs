@@ -1,0 +1,193 @@
+//! Trait-conformance suite of the unified `LeaderElection` API: every
+//! implementation runs over a shared scenario × scheduler matrix and must
+//! uphold the unique-leader predicate and the report-consistency invariants.
+//!
+//! The matrix spans every structural class (hole-free, holey, thin, huge
+//! diameter, single particle, random) and all four fair strong schedulers;
+//! expected assumption violations (erosion on shapes with holes) must surface
+//! as `ElectionError::Stuck`, not as wrong answers.
+
+use programmable_matter::amoebot::generators::{dumbbell, random_blob};
+use programmable_matter::amoebot::scheduler::{
+    DoubleActivation, ReverseRoundRobin, RoundRobin, Scheduler, SeededRandom,
+};
+use programmable_matter::baselines::{
+    ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary,
+};
+use programmable_matter::grid::builder::{annulus, comb, hexagon, line, swiss_cheese};
+use programmable_matter::grid::Shape;
+use programmable_matter::leader_election::PaperPipeline;
+use programmable_matter::{Election, ElectionError, LeaderElection, RunReport};
+
+/// The shared scenario matrix: `(label, shape, has_holes)`.
+fn scenarios() -> Vec<(String, Shape, bool)> {
+    let mut scenarios = vec![
+        ("hexagon(4)".to_string(), hexagon(4), false),
+        ("annulus(5,2)".to_string(), annulus(5, 2), true),
+        ("comb(5,4)".to_string(), comb(5, 4), false),
+        ("swiss-cheese(5,3)".to_string(), swiss_cheese(5, 3), true),
+        ("dumbbell(3,10)".to_string(), dumbbell(3, 10), false),
+        ("single-particle".to_string(), line(1), false),
+    ];
+    for seed in 0..2u64 {
+        let blob = random_blob(80, seed);
+        let has_holes = !blob.is_simply_connected();
+        scenarios.push((format!("blob(80,{seed})"), blob, has_holes));
+    }
+    scenarios
+}
+
+/// A labelled scheduler factory (fresh instance per run, so random streams
+/// don't leak across scenarios).
+type SchedulerFactory = (&'static str, fn() -> Box<dyn Scheduler>);
+
+/// The scheduler matrix.
+fn schedulers() -> [SchedulerFactory; 4] {
+    [
+        ("round-robin", || Box::new(RoundRobin)),
+        ("reverse-round-robin", || Box::new(ReverseRoundRobin)),
+        ("seeded-random", || Box::new(SeededRandom::new(7))),
+        ("double-activation", || Box::new(DoubleActivation)),
+    ]
+}
+
+/// Every algorithm behind the unified API.
+fn algorithms() -> [&'static dyn LeaderElection; 4] {
+    [
+        &PaperPipeline,
+        &ErosionLeaderElection,
+        &RandomizedBoundary,
+        &QuadraticBoundary,
+    ]
+}
+
+/// The invariants every successful report must satisfy, regardless of the
+/// algorithm that produced it.
+fn assert_report_invariants(report: &RunReport, shape: &Shape, context: &str) {
+    assert!(
+        report.rounds_consistent(),
+        "{context}: total_rounds {} != sum of phase rounds",
+        report.total_rounds
+    );
+    assert_eq!(report.n, shape.len(), "{context}: wrong particle count");
+    assert_eq!(
+        report.final_positions.len(),
+        shape.len(),
+        "{context}: particles created or destroyed"
+    );
+    assert!(report.leaders >= 1, "{context}: no leader elected");
+    assert_eq!(
+        report.leaders + report.followers + report.undecided,
+        shape.len(),
+        "{context}: status counts do not partition the particles"
+    );
+    assert_eq!(report.undecided, 0, "{context}: undecided particles remain");
+    assert!(
+        report.final_shape().contains(report.leader) || shape.area().contains(report.leader),
+        "{context}: leader {:?} not in the final configuration",
+        report.leader
+    );
+    assert!(
+        report.peak_memory_bits > 0,
+        "{context}: memory accounting missing"
+    );
+    assert_eq!(
+        report.activations,
+        report.phases.iter().map(|p| p.activations).sum::<u64>(),
+        "{context}: activation totals inconsistent"
+    );
+    assert_eq!(
+        report.moves,
+        report.phases.iter().map(|p| p.moves).sum::<u64>(),
+        "{context}: move totals inconsistent"
+    );
+    // Reconnection ran for every algorithm here (the pipeline's default
+    // options reconnect; the baselines never disconnect), so the final
+    // configuration must be connected.
+    assert!(
+        report.final_connected && report.final_shape().is_connected(),
+        "{context}: final configuration disconnected"
+    );
+}
+
+#[test]
+fn every_algorithm_conforms_on_the_scenario_matrix() {
+    for (scenario, shape, has_holes) in scenarios() {
+        for (scheduler_name, make_scheduler) in schedulers() {
+            for algorithm in algorithms() {
+                let context = format!("{} on {scenario} under {scheduler_name}", algorithm.name());
+                let mut scheduler = make_scheduler();
+                let result = Election::on(&shape)
+                    .algorithm(algorithm)
+                    .scheduler(&mut *scheduler)
+                    .run();
+                match result {
+                    Ok(report) => {
+                        assert_eq!(report.algorithm, algorithm.name(), "{context}");
+                        assert_eq!(report.scheduler, scheduler_name, "{context}");
+                        assert_report_invariants(&report, &shape, &context);
+                        if algorithm.name() == "quadratic-boundary" {
+                            // The [3]-style baseline legitimately elects up
+                            // to six leaders (one per surviving segment).
+                            assert!(
+                                (1..=6).contains(&report.leaders),
+                                "{context}: {} leaders",
+                                report.leaders
+                            );
+                        } else {
+                            assert!(
+                                report.unique_leader(),
+                                "{context}: {} leaders",
+                                report.leaders
+                            );
+                        }
+                    }
+                    Err(ElectionError::Stuck { .. }) => {
+                        // The only permitted stall: erosion-style election on
+                        // a shape with holes (Table 1's assumption column).
+                        assert_eq!(
+                            algorithm.name(),
+                            "erosion-le",
+                            "{context}: unexpected stall"
+                        );
+                        assert!(has_holes, "{context}: stalled on a hole-free shape");
+                    }
+                    Err(e) => panic!("{context}: {e}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_algorithms_reproduce_reports_exactly() {
+    let shape = swiss_cheese(5, 2);
+    for algorithm in algorithms() {
+        if algorithm.name() == "erosion-le" {
+            continue; // stuck on holes
+        }
+        let run = || {
+            Election::on(&shape)
+                .algorithm(algorithm)
+                .scheduler(SeededRandom::new(13))
+                .seed(13)
+                .run()
+                .unwrap()
+        };
+        assert_eq!(run(), run(), "{} must be reproducible", algorithm.name());
+    }
+}
+
+#[test]
+fn stuck_errors_carry_the_exhausted_budget() {
+    let holey = annulus(4, 1);
+    let result = Election::on(&holey)
+        .algorithm(&ErosionLeaderElection)
+        .scheduler(RoundRobin)
+        .round_budget(24)
+        .run();
+    match result {
+        Err(ElectionError::Stuck { after_rounds }) => assert_eq!(after_rounds, 24),
+        other => panic!("expected Stuck, got {other:?}"),
+    }
+}

@@ -1,17 +1,17 @@
 //! Cross-crate integration tests: generators → OBD → DLE → Collect →
 //! verification, plus the relative ordering of the paper's algorithm and the
-//! baselines.
+//! baselines — all through the unified `Election`/`LeaderElection` API.
 
 use programmable_matter::amoebot::generators::{self, random_blob, random_holey_hexagon};
 use programmable_matter::amoebot::scheduler::{
     DoubleActivation, ReverseRoundRobin, RoundRobin, SeededRandom,
 };
 use programmable_matter::analysis::ShapeStats;
-use programmable_matter::baselines::{run_quadratic_boundary, run_randomized_boundary};
+use programmable_matter::baselines::{QuadraticBoundary, RandomizedBoundary};
 use programmable_matter::grid::Shape;
-use programmable_matter::leader_election::dle::run_dle;
+use programmable_matter::leader_election::api::phase;
 use programmable_matter::leader_election::obd::run_obd;
-use programmable_matter::leader_election::pipeline::{elect_leader, ElectionConfig};
+use programmable_matter::Election;
 
 /// A representative mix of workloads spanning every structural class.
 fn workload_mix() -> Vec<(String, Shape)> {
@@ -33,31 +33,43 @@ fn workload_mix() -> Vec<(String, Shape)> {
 fn full_pipeline_elects_unique_leader_and_reconnects_on_all_workloads() {
     for (label, shape) in workload_mix() {
         let n = shape.len();
-        let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin)
+        let report = Election::on(&shape)
+            .scheduler(RoundRobin)
+            .run()
             .unwrap_or_else(|e| panic!("{label}: {e}"));
-        assert!(outcome.predicate_holds(), "{label}: predicate violated");
-        assert_eq!(outcome.final_positions.len(), n, "{label}: particle lost");
-        assert!(outcome.final_shape().is_connected(), "{label}: not reconnected");
+        assert!(report.predicate_holds(), "{label}: predicate violated");
+        assert!(report.rounds_consistent(), "{label}: inconsistent report");
+        assert_eq!(report.final_positions.len(), n, "{label}: particle lost");
+        assert!(
+            report.final_shape().is_connected(),
+            "{label}: not reconnected"
+        );
     }
 }
 
 #[test]
 fn pipeline_is_robust_to_the_scheduler() {
     let shape = generators::annulus(6, 3);
-    let reference = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin).unwrap();
+    let reference = Election::on(&shape).scheduler(RoundRobin).run().unwrap();
     assert!(reference.predicate_holds());
-    let mut reverse = ReverseRoundRobin;
-    let mut random = SeededRandom::new(99);
-    let mut double = DoubleActivation;
-    for outcome in [
-        elect_leader(&shape, &ElectionConfig::default(), &mut reverse).unwrap(),
-        elect_leader(&shape, &ElectionConfig::default(), &mut random).unwrap(),
-        elect_leader(&shape, &ElectionConfig::default(), &mut double).unwrap(),
+    for report in [
+        Election::on(&shape)
+            .scheduler(ReverseRoundRobin)
+            .run()
+            .unwrap(),
+        Election::on(&shape)
+            .scheduler(SeededRandom::new(99))
+            .run()
+            .unwrap(),
+        Election::on(&shape)
+            .scheduler(DoubleActivation)
+            .run()
+            .unwrap(),
     ] {
-        assert!(outcome.predicate_holds());
+        assert!(report.predicate_holds());
         // The elected leader may differ, but the predicate and particle count
         // must not.
-        assert_eq!(outcome.final_positions.len(), shape.len());
+        assert_eq!(report.final_positions.len(), shape.len());
     }
 }
 
@@ -82,11 +94,21 @@ fn paper_beats_quadratic_baseline_and_matches_randomized_asymptotics() {
     let mut gaps = Vec::new();
     for radius in [4u32, 8, 12] {
         let shape = generators::hexagon(radius);
-        let paper = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin)
+        let paper = Election::on(&shape)
+            .scheduler(RoundRobin)
+            .run()
             .unwrap()
             .total_rounds as f64;
-        let quadratic = run_quadratic_boundary(&shape).unwrap().rounds as f64;
-        let randomized = run_randomized_boundary(&shape, 7).unwrap().rounds as f64;
+        let quadratic = Election::on(&shape)
+            .algorithm(&QuadraticBoundary)
+            .run()
+            .unwrap()
+            .total_rounds as f64;
+        let randomized = Election::on(&shape)
+            .algorithm(&RandomizedBoundary)
+            .run()
+            .unwrap()
+            .total_rounds as f64;
         gaps.push(quadratic / paper);
         // Same asymptotics as the randomized algorithm: bounded ratio.
         assert!(
@@ -109,8 +131,17 @@ fn dle_round_counts_track_area_diameter_not_particle_count() {
     let hex_stats = ShapeStats::compute(&hexagon);
     let dumb_stats = ShapeStats::compute(&dumbbell);
     assert!(dumb_stats.d_a > 3 * hex_stats.d_a);
-    let hex_rounds = run_dle(&hexagon, SeededRandom::new(5), false).unwrap().stats.rounds;
-    let dumb_rounds = run_dle(&dumbbell, SeededRandom::new(5), false).unwrap().stats.rounds;
+    let dle_rounds = |shape: &Shape| {
+        Election::on(shape)
+            .scheduler(SeededRandom::new(5))
+            .assume_boundary_known()
+            .skip_reconnection()
+            .run()
+            .unwrap()
+            .phase_rounds(phase::DLE)
+    };
+    let hex_rounds = dle_rounds(&hexagon);
+    let dumb_rounds = dle_rounds(&dumbbell);
     assert!(
         dumb_rounds > hex_rounds,
         "rounds must grow with D_A: hexagon {hex_rounds} vs dumbbell {dumb_rounds}"
@@ -136,7 +167,7 @@ fn obd_rounds_grow_with_boundary_length_not_area() {
 #[test]
 fn single_particle_and_two_particle_systems() {
     for shape in [generators::line(1), generators::line(2)] {
-        let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut RoundRobin).unwrap();
-        assert!(outcome.predicate_holds());
+        let report = Election::on(&shape).scheduler(RoundRobin).run().unwrap();
+        assert!(report.predicate_holds());
     }
 }

@@ -1,15 +1,16 @@
 //! Property-based tests of the leader-election algorithms on random
 //! workloads: the problem predicate, the breadcrumb invariant, the round
-//! bounds and the OBD correctness.
+//! bounds and the OBD correctness — all driven through the unified
+//! `Election` API.
 
 use programmable_matter::amoebot::generators::{random_blob, random_holey_hexagon};
 use programmable_matter::amoebot::scheduler::SeededRandom;
 use programmable_matter::analysis::ShapeStats;
 use programmable_matter::grid::Shape;
+use programmable_matter::leader_election::api::phase;
 use programmable_matter::leader_election::collect::CollectSimulator;
-use programmable_matter::leader_election::dle::run_dle;
 use programmable_matter::leader_election::obd::ObdSimulator;
-use programmable_matter::leader_election::pipeline::{elect_leader, ElectionConfig};
+use programmable_matter::Election;
 use proptest::prelude::*;
 
 fn workload_strategy() -> impl Strategy<Value = (Shape, u64)> {
@@ -24,23 +25,26 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The full pipeline always elects a unique leader, keeps every particle,
-    /// ends connected, and stays within a generous linear round budget in
-    /// L_out + D.
+    /// ends connected, reports consistent phase totals, and stays within a
+    /// generous linear round budget in L_out + D.
     #[test]
     fn pipeline_predicate_and_round_budget((shape, sched_seed) in workload_strategy()) {
         let stats = ShapeStats::compute(&shape);
-        let mut scheduler = SeededRandom::new(sched_seed);
-        let outcome = elect_leader(&shape, &ElectionConfig::default(), &mut scheduler).unwrap();
-        prop_assert!(outcome.predicate_holds());
-        prop_assert_eq!(outcome.final_positions.len(), shape.len());
+        let report = Election::on(&shape)
+            .scheduler(SeededRandom::new(sched_seed))
+            .run()
+            .unwrap();
+        prop_assert!(report.predicate_holds());
+        prop_assert!(report.rounds_consistent());
+        prop_assert_eq!(report.final_positions.len(), shape.len());
         // Generous linear budget: every phase is linear with moderate
         // constants (OBD <= ~15x, DLE <= ~8x, Collect <= ~140x of its own
         // parameter, all bounded by L_out + D).
         let budget = 200 * stats.lout_plus_d() as u64 + 500;
         prop_assert!(
-            outcome.total_rounds <= budget,
+            report.total_rounds <= budget,
             "rounds {} exceed linear budget {} (L_out+D = {})",
-            outcome.total_rounds, budget, stats.lout_plus_d()
+            report.total_rounds, budget, stats.lout_plus_d()
         );
     }
 
@@ -48,9 +52,14 @@ proptest! {
     /// Collect always reconnects from it.
     #[test]
     fn breadcrumbs_and_reconnection((shape, sched_seed) in workload_strategy()) {
-        let dle = run_dle(&shape, SeededRandom::new(sched_seed), false).unwrap();
-        prop_assert!(dle.predicate_holds());
-        let l = dle.leader_point;
+        let dle = Election::on(&shape)
+            .scheduler(SeededRandom::new(sched_seed))
+            .assume_boundary_known()
+            .skip_reconnection()
+            .run()
+            .unwrap();
+        prop_assert!(dle.unique_leader());
+        let l = dle.leader;
         let initial_eps = shape.iter().map(|p| l.grid_distance(p)).max().unwrap();
         let final_eps = dle.final_positions.iter().map(|p| l.grid_distance(*p)).max().unwrap();
         prop_assert!(final_eps <= initial_eps, "no particle beyond eps_G(l)");
@@ -73,11 +82,16 @@ proptest! {
     #[test]
     fn dle_rounds_linear_in_area_diameter((shape, sched_seed) in workload_strategy()) {
         let stats = ShapeStats::compute(&shape);
-        let outcome = run_dle(&shape, SeededRandom::new(sched_seed), false).unwrap();
+        let report = Election::on(&shape)
+            .scheduler(SeededRandom::new(sched_seed))
+            .assume_boundary_known()
+            .skip_reconnection()
+            .run()
+            .unwrap();
         prop_assert!(
-            outcome.stats.rounds <= 10 * stats.d_a as u64 + 16,
+            report.phase_rounds(phase::DLE) <= 10 * stats.d_a as u64 + 16,
             "rounds {} not O(D_A) for D_A = {}",
-            outcome.stats.rounds, stats.d_a
+            report.phase_rounds(phase::DLE), stats.d_a
         );
     }
 

@@ -1,0 +1,183 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Benches keep their upstream-criterion shape (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `bench_with_input`, `b.iter(..)`)
+//! but run on a tiny wall-clock harness: each benchmark executes a warmup
+//! iteration plus `sample_size` timed iterations (capped so `cargo bench`
+//! stays quick) and prints min/median timings. There is no statistical
+//! analysis, no HTML report, and no saved baselines — regressions are read
+//! off the printed medians.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Maximum timed iterations per benchmark, regardless of `sample_size`.
+const MAX_SAMPLES: usize = 15;
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations (capped internally).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for upstream compatibility; the stub ignores the target
+    /// measurement time and always runs a fixed number of iterations.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.sample_size.min(MAX_SAMPLES),
+        };
+        f(&mut bencher, input);
+        bencher.report(&id.0);
+        self
+    }
+
+    /// Runs a benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.sample_size.min(MAX_SAMPLES),
+        };
+        f(&mut bencher);
+        bencher.report(&id.to_string());
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once as warmup and `sample_size` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        println!(
+            "{id:<40} min {:>12.3?}   median {:>12.3?}   ({} samples)",
+            min,
+            median,
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a bench group function, upstream-compatible.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, upstream-compatible (requires
+/// `harness = false` on the `[[bench]]` target).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass flags like `--bench`; the stub
+            // has no options, so they are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_and_reports() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_secs(1));
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, n| {
+            b.iter(|| {
+                runs += 1;
+                n + 1
+            })
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(runs, 4, "one warmup + three samples");
+    }
+}

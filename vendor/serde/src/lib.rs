@@ -1,0 +1,525 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework under the familiar names:
+//! [`Serialize`]/[`Deserialize`] traits, `#[derive(Serialize, Deserialize)]`
+//! macros (from the sibling `serde_derive` stub), and an in-memory
+//! [`Value`] tree that `serde_json` (also vendored) renders to and parses
+//! from JSON text.
+//!
+//! Differences from real serde, by design:
+//!
+//! * Serialization goes through the [`Value`] tree rather than a streaming
+//!   `Serializer`/`Deserializer` pair — simpler, and fast enough for the
+//!   report/table payloads this workspace produces.
+//! * Maps serialize as arrays of `[key, value]` pairs, so non-string keys
+//!   (e.g. `HashMap<Point, _>`) round-trip losslessly.
+//! * Enums use externally-tagged form: unit variants as `"Name"`, data
+//!   variants as `{"Name": ...}` — the same shape real serde produces.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+/// An in-memory serialization tree (the JSON data model, with integers kept
+/// exact).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A signed integer (all integers that fit in `i64`).
+    Int(i64),
+    /// An unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved so struct output is stable.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A "expected X while deserializing Y, found Z" error.
+    pub fn expected(what: &str, context: &str, found: &Value) -> DeError {
+        DeError(format!(
+            "expected {what} while deserializing {context}, found {}",
+            found.kind()
+        ))
+    }
+
+    /// A missing-field error.
+    pub fn missing_field(context: &str, field: &str) -> DeError {
+        DeError(format!("missing field `{field}` of {context}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// The value tree of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Support function used by derived `Deserialize` impls: extracts and
+/// deserializes one named field of an object.
+pub fn __field<T: Deserialize>(
+    entries: &[(String, Value)],
+    context: &str,
+    name: &str,
+) -> Result<T, DeError> {
+    let v = entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::missing_field(context, name))?;
+    T::from_value(v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return Err(DeError::expected("integer", stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u128;
+                if wide <= i64::MAX as u128 {
+                    Value::Int(wide as i64)
+                } else {
+                    Value::UInt(wide as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return Err(DeError::expected("integer", stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Float(x) => Ok(*x as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    other => Err(DeError::expected("number", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", "char", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+/// `&'static str` deserializes by leaking the parsed string. This exists so
+/// that derived impls on structs with `&'static str` fields (algorithm names)
+/// compile and round-trip; the leak is a few bytes per report, acceptable for
+/// the analysis payloads this workspace handles.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<&'static str, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::expected("string", "&str", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, DeError> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Value {
+    Value::Array(items.map(Serialize::to_value).collect())
+}
+
+fn seq_from_value<T: Deserialize>(v: &Value, context: &str) -> Result<Vec<T>, DeError> {
+    v.as_array()
+        .ok_or_else(|| DeError::expected("array", context, v))?
+        .iter()
+        .map(T::from_value)
+        .collect()
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        seq_from_value(v, "Vec")
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<VecDeque<T>, DeError> {
+        Ok(seq_from_value(v, "VecDeque")?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let items: Vec<T> = seq_from_value(v, "array")?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<BTreeSet<T>, DeError> {
+        Ok(seq_from_value(v, "BTreeSet")?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<HashSet<T>, DeError> {
+        Ok(seq_from_value(v, "HashSet")?.into_iter().collect())
+    }
+}
+
+fn map_to_value<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    Value::Array(
+        entries
+            .map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()]))
+            .collect(),
+    )
+}
+
+fn map_from_value<K: Deserialize, V: Deserialize>(
+    v: &Value,
+    context: &str,
+) -> Result<Vec<(K, V)>, DeError> {
+    v.as_array()
+        .ok_or_else(|| DeError::expected("array of pairs", context, v))?
+        .iter()
+        .map(|pair| {
+            let items = pair
+                .as_array()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| DeError::expected("[key, value] pair", context, pair))?;
+            Ok((K::from_value(&items[0])?, V::from_value(&items[1])?))
+        })
+        .collect()
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<HashMap<K, V>, DeError> {
+        Ok(map_from_value(v, "HashMap")?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        Ok(map_from_value(v, "BTreeMap")?.into_iter().collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                let items = v
+                    .as_array()
+                    .filter(|a| a.len() == LEN)
+                    .ok_or_else(|| DeError::expected("tuple array", "tuple", v))?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok(String::from("hi")));
+        assert_eq!(u64::from_value(&u64::MAX.to_value()), Ok(u64::MAX));
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+
+    #[test]
+    fn composite_round_trips() {
+        let v: Vec<(u32, bool)> = vec![(1, true), (2, false)];
+        assert_eq!(Vec::<(u32, bool)>::from_value(&v.to_value()), Ok(v));
+        let arr = [true, false, true];
+        assert_eq!(<[bool; 3]>::from_value(&arr.to_value()), Ok(arr));
+        let mut map = HashMap::new();
+        map.insert((1i32, 2i32), "x".to_string());
+        assert_eq!(
+            HashMap::<(i32, i32), String>::from_value(&map.to_value()),
+            Ok(map)
+        );
+        let none: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&none.to_value()), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&Some(3u8).to_value()), Ok(Some(3)));
+    }
+}

@@ -1,0 +1,479 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored value-tree `serde` without `syn`/`quote` (neither is available
+//! offline): the item is parsed with a small hand-rolled token walker that
+//! understands exactly the shapes this workspace derives on —
+//!
+//! * structs with named fields (optionally generic over type parameters),
+//! * tuple structs (newtype and multi-field),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (discriminants allowed).
+//!
+//! Field and variant attributes (`#[default]`, doc comments, …) are skipped;
+//! `#[serde(...)]` customization is intentionally unsupported and the
+//! workspace does not use it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Type-parameter identifiers (bounds in the definition are not
+    /// supported — none of the workspace's derived types use them).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize` (value-tree form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_group(t: Option<&TokenTree>, d: Delimiter) -> bool {
+    matches!(t, Some(TokenTree::Group(g)) if g.delimiter() == d)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past leading `#[...]` attributes.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while is_punct(toks.get(*i), '#') && is_group(toks.get(*i + 1), Delimiter::Bracket) {
+        *i += 2;
+    }
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)` visibility.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if is_group(toks.get(*i), Delimiter::Parenthesis) {
+            *i += 1;
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` after the type name, collecting type-parameter
+/// identifiers (lifetimes and const params are rejected — unused here).
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !is_punct(toks.get(*i), '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        let t = toks.get(*i).expect("unbalanced generics in derive input");
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Ident(id) if depth == 1 && expect_param => {
+                params.push(id.to_string());
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Counts top-level comma-separated items in a token stream (tuple fields).
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut fields = 0usize;
+    let mut in_field = false;
+    for t in ts {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_field = false,
+            _ => {
+                if !in_field {
+                    fields += 1;
+                    in_field = true;
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Parses `name: Type, ...` named fields, skipping attributes, visibility
+/// and the (ignored) type tokens.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let Some(t) = toks.get(i) else { break };
+        let name = ident_of(t).expect("expected field name in derive input");
+        i += 1;
+        assert!(
+            is_punct(toks.get(i), ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type up to the next top-level comma. Bracketed/parenthesized
+        // types are single Group tokens; only `<`/`>` need depth tracking.
+        let mut depth = 0usize;
+        while let Some(t) = toks.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parses enum variants: `Name`, `Name(T, ...)`, `Name { f: T, ... }`,
+/// optionally with a `= discriminant`.
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let Some(t) = toks.get(i) else { break };
+        let name = ident_of(t).expect("expected variant name in derive input");
+        i += 1;
+        let fields = if let Some(TokenTree::Group(g)) = toks.get(i) {
+            let fields = match g.delimiter() {
+                Delimiter::Parenthesis => VariantFields::Tuple(count_tuple_fields(g.stream())),
+                Delimiter::Brace => VariantFields::Named(parse_named_fields(g.stream())),
+                other => panic!("unexpected {other:?} group in variant `{name}`"),
+            };
+            i += 1;
+            fields
+        } else {
+            VariantFields::Unit
+        };
+        if is_punct(toks.get(i), '=') {
+            // Skip the discriminant expression up to the next comma.
+            while i < toks.len() && !is_punct(toks.get(i), ',') {
+                i += 1;
+            }
+        }
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw =
+        ident_of(toks.get(i).expect("empty derive input")).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(toks.get(i).expect("missing type name")).expect("expected type name");
+    i += 1;
+    let generics = parse_generics(&toks, &mut i);
+    let kind = match (kw.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", _) => Kind::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        _ => panic!("derive supports only structs and enums, got `{kw}`"),
+    };
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<M: Bound> Trait for Name<M>` header pieces.
+fn impl_header(item: &Input, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", item.name, item.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let (impl_generics, ty) = impl_header(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({binders}) => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),",
+                                binders = binders.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {fields} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))]),",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{impl_generics} ::serde::Serialize for {ty} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let (impl_generics, ty) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__entries, \"{name}\", \"{f}\")?"))
+                .collect();
+            format!(
+                "let __entries = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", \"{name}\", __v))?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().filter(|a| a.len() == {n}).ok_or_else(|| \
+                 ::serde::DeError::expected(\"array of {n}\", \"{name}\", __v))?; \
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let __items = __inner.as_array()\
+                                 .filter(|a| a.len() == {n}).ok_or_else(|| \
+                                 ::serde::DeError::expected(\"array of {n}\", \
+                                 \"{name}::{vname}\", __inner))?; \
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__field(__fields, \
+                                         \"{name}::{vname}\", \"{f}\")?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let __fields = __inner.as_object()\
+                                 .ok_or_else(|| ::serde::DeError::expected(\"object\", \
+                                 \"{name}::{vname}\", __inner))?; \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                   {unit_arms} \
+                   __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))), \
+                 }}, \
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{ \
+                   let (__tag, __inner) = &__entries[0]; \
+                   match __tag.as_str() {{ \
+                     {data_arms} \
+                     __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                       \"unknown variant `{{}}` of {name}\", __other))), \
+                   }} \
+                 }}, \
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\
+                   \"variant string or single-entry object\", \"{name}\", __other)), \
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl{impl_generics} ::serde::Deserialize for {ty} {{ \
+         #[allow(unused_variables)] \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
