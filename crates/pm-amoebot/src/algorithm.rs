@@ -139,8 +139,9 @@ impl<'a, M> ActivationContext<'a, M> {
         mask
     }
 
-    /// All distinct neighbouring particles (`N(p)`), in deterministic order.
-    pub fn neighbors(&self) -> Vec<ParticleId> {
+    /// All distinct neighbouring particles (`N(p)`), in deterministic order,
+    /// collected without heap allocation.
+    pub fn neighbors(&self) -> crate::system::Neighbors {
         self.system.neighbors_of(self.id)
     }
 
@@ -202,7 +203,7 @@ impl<'a, M> ActivationContext<'a, M> {
 
     /// Marks the activated particle as having reached a final state.
     pub fn terminate(&mut self) {
-        self.system.particle_mut(self.id).terminated = true;
+        self.system.set_terminated(self.id);
     }
 
     /// Whether a movement operation was performed during this activation.

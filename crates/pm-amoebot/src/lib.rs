@@ -63,5 +63,5 @@ pub use particle::{Particle, ParticleId};
 pub use scheduler::{
     DoubleActivation, ReverseRoundRobin, RoundRobin, Runner, Scheduler, SeededRandom,
 };
-pub use system::{MoveError, ParticleSystem};
+pub use system::{MoveError, Neighbors, OccupancyBackend, ParticleSystem};
 pub use trace::RunStats;

@@ -6,6 +6,11 @@
 //! which every particle is activated at least once; the runner counts rounds
 //! by letting the scheduler emit, for each round, an activation order in
 //! which every live particle appears at least once.
+//!
+//! Schedulers write each round's order into a caller-provided buffer
+//! ([`Scheduler::fill_round_order`]); the [`Runner`] reuses one buffer (and
+//! one live-particle list) across all rounds, so steady-state execution
+//! performs no per-round allocation at all.
 
 use crate::algorithm::{ActivationContext, Algorithm};
 use crate::particle::ParticleId;
@@ -19,13 +24,23 @@ use std::fmt;
 /// A fair strong scheduler: produces, for every round, a sequence of
 /// activations in which each provided particle appears at least once.
 pub trait Scheduler {
-    /// The activation order for one asynchronous round.
+    /// Appends the activation order for one asynchronous round to `out`
+    /// (which the runner hands over cleared, with its capacity retained from
+    /// the previous round).
     ///
     /// `ids` lists the particles that have not yet reached a final state;
-    /// each of them must appear at least once in the returned order (the
+    /// each of them must appear at least once in the appended order (the
     /// runner checks this in debug builds). Particles may appear more than
     /// once — that only makes the adversary stronger.
-    fn round_order(&mut self, ids: &[ParticleId], round: u64) -> Vec<ParticleId>;
+    fn fill_round_order(&mut self, ids: &[ParticleId], round: u64, out: &mut Vec<ParticleId>);
+
+    /// Allocating convenience wrapper over
+    /// [`Scheduler::fill_round_order`], for tests and one-off callers.
+    fn round_order(&mut self, ids: &[ParticleId], round: u64) -> Vec<ParticleId> {
+        let mut out = Vec::with_capacity(ids.len());
+        self.fill_round_order(ids, round, &mut out);
+        out
+    }
 
     /// A short human-readable name used in experiment reports.
     fn name(&self) -> &'static str {
@@ -34,21 +49,23 @@ pub trait Scheduler {
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &mut S {
-    fn round_order(&mut self, ids: &[ParticleId], round: u64) -> Vec<ParticleId> {
-        (**self).round_order(ids, round)
+    fn fill_round_order(&mut self, ids: &[ParticleId], round: u64, out: &mut Vec<ParticleId>) {
+        (**self).fill_round_order(ids, round, out)
     }
     fn name(&self) -> &'static str {
         (**self).name()
     }
 }
 
-/// Activates particles in creation order, once per round.
+/// Activates particles in creation order, once per round (the identity
+/// permutation: the order is the live list itself, copied without any
+/// reordering work).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RoundRobin;
 
 impl Scheduler for RoundRobin {
-    fn round_order(&mut self, ids: &[ParticleId], _round: u64) -> Vec<ParticleId> {
-        ids.to_vec()
+    fn fill_round_order(&mut self, ids: &[ParticleId], _round: u64, out: &mut Vec<ParticleId>) {
+        out.extend_from_slice(ids);
     }
     fn name(&self) -> &'static str {
         "round-robin"
@@ -60,10 +77,8 @@ impl Scheduler for RoundRobin {
 pub struct ReverseRoundRobin;
 
 impl Scheduler for ReverseRoundRobin {
-    fn round_order(&mut self, ids: &[ParticleId], _round: u64) -> Vec<ParticleId> {
-        let mut v = ids.to_vec();
-        v.reverse();
-        v
+    fn fill_round_order(&mut self, ids: &[ParticleId], _round: u64, out: &mut Vec<ParticleId>) {
+        out.extend(ids.iter().rev().copied());
     }
     fn name(&self) -> &'static str {
         "reverse-round-robin"
@@ -93,10 +108,12 @@ impl Default for SeededRandom {
 }
 
 impl Scheduler for SeededRandom {
-    fn round_order(&mut self, ids: &[ParticleId], _round: u64) -> Vec<ParticleId> {
-        let mut v = ids.to_vec();
-        v.shuffle(&mut self.rng);
-        v
+    fn fill_round_order(&mut self, ids: &[ParticleId], _round: u64, out: &mut Vec<ParticleId>) {
+        // Shuffle only the appended entries: the trait contract is append,
+        // and pre-existing buffer contents must stay untouched.
+        let start = out.len();
+        out.extend_from_slice(ids);
+        out[start..].shuffle(&mut self.rng);
     }
     fn name(&self) -> &'static str {
         "seeded-random"
@@ -111,12 +128,9 @@ impl Scheduler for SeededRandom {
 pub struct DoubleActivation;
 
 impl Scheduler for DoubleActivation {
-    fn round_order(&mut self, ids: &[ParticleId], _round: u64) -> Vec<ParticleId> {
-        let mut v = ids.to_vec();
-        let mut rev = ids.to_vec();
-        rev.reverse();
-        v.extend(rev);
-        v
+    fn fill_round_order(&mut self, ids: &[ParticleId], _round: u64, out: &mut Vec<ParticleId>) {
+        out.extend_from_slice(ids);
+        out.extend(ids.iter().rev().copied());
     }
     fn name(&self) -> &'static str {
         "double-activation"
@@ -154,6 +168,15 @@ pub struct Runner<A: Algorithm, S: Scheduler> {
     system: ParticleSystem<A::Memory>,
     algorithm: A,
     scheduler: S,
+    /// Live (non-terminated) particles, in creation order. Primed on the
+    /// first round and *retained* down thereafter: termination is monotone,
+    /// so filtering the previous live list is equivalent to re-filtering all
+    /// ids, at `O(live)` instead of `O(n)` per round.
+    live: Vec<ParticleId>,
+    live_primed: bool,
+    /// The activation order buffer, reused (cleared, capacity kept) across
+    /// rounds.
+    order: Vec<ParticleId>,
     /// When set, connectivity of the occupied shape is checked after every
     /// round and the results are reported in [`RunStats`]. Costs one BFS per
     /// round.
@@ -167,6 +190,9 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
             system,
             algorithm,
             scheduler,
+            live: Vec::new(),
+            live_primed: false,
+            order: Vec::new(),
             track_connectivity: false,
         }
     }
@@ -242,20 +268,31 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
 
     /// Executes a single asynchronous round and updates `stats`.
     pub fn run_round(&mut self, stats: &mut RunStats) {
-        let live: Vec<ParticleId> = self
-            .system
-            .ids()
-            .filter(|id| !self.system.particle(*id).is_terminated())
-            .collect();
-        if live.is_empty() {
+        if self.live_primed {
+            let system = &self.system;
+            self.live.retain(|id| !system.particle(*id).is_terminated());
+        } else {
+            self.live.clear();
+            let system = &self.system;
+            self.live.extend(
+                system
+                    .ids()
+                    .filter(|id| !system.particle(*id).is_terminated()),
+            );
+            self.live_primed = true;
+        }
+        if self.live.is_empty() {
             return;
         }
-        let order = self.scheduler.round_order(&live, stats.rounds);
+        self.order.clear();
+        self.scheduler
+            .fill_round_order(&self.live, stats.rounds, &mut self.order);
         debug_assert!(
-            live.iter().all(|id| order.contains(id)),
+            self.live.iter().all(|id| self.order.contains(id)),
             "scheduler must activate every live particle at least once per round"
         );
-        for id in order {
+        for i in 0..self.order.len() {
+            let id = self.order[i];
             // A particle in a final state does nothing when activated.
             if self.system.particle(id).is_terminated() {
                 continue;
@@ -362,5 +399,72 @@ mod tests {
         let order = ReverseRoundRobin.round_order(&ids, 0);
         assert_eq!(order.first(), Some(&ParticleId(3)));
         assert_eq!(order.last(), Some(&ParticleId(0)));
+    }
+
+    #[test]
+    fn identity_schedulers_do_no_reordering_work() {
+        // Regression test for the per-round allocation fix: RoundRobin is the
+        // identity permutation (the order *is* the live list) and
+        // ReverseRoundRobin its mirror — neither may allocate beyond the
+        // caller's buffer nor reorder anything else.
+        let ids: Vec<ParticleId> = (0..64).map(ParticleId).collect();
+        let mut out = Vec::with_capacity(128);
+        RoundRobin.fill_round_order(&ids, 0, &mut out);
+        assert_eq!(out, ids, "round robin must be the identity permutation");
+        let ptr = out.as_ptr();
+        let cap = out.capacity();
+        for round in 1..50 {
+            out.clear();
+            RoundRobin.fill_round_order(&ids, round, &mut out);
+            assert_eq!(out, ids);
+            out.clear();
+            ReverseRoundRobin.fill_round_order(&ids, round, &mut out);
+            assert!(out.iter().rev().eq(ids.iter()));
+        }
+        assert_eq!(out.capacity(), cap, "buffer must not grow");
+        assert_eq!(out.as_ptr(), ptr, "buffer must not be reallocated");
+    }
+
+    #[test]
+    fn runner_reuses_its_round_buffers() {
+        // The runner's per-round buffers must stop allocating once warm: the
+        // order buffer's capacity is bounded by the largest round emitted so
+        // far, independent of how many rounds run.
+        let sys = ParticleSystem::from_shape(&hexagon(3), &CountToThree);
+        let mut runner = Runner::new(sys, CountToThree, RoundRobin);
+        let mut stats = RunStats::default();
+        runner.run_round(&mut stats);
+        let live_cap = runner.live.capacity();
+        let order_cap = runner.order.capacity();
+        for _ in 0..20 {
+            runner.run_round(&mut stats);
+        }
+        assert_eq!(runner.live.capacity(), live_cap);
+        assert_eq!(runner.order.capacity(), order_cap);
+    }
+
+    #[test]
+    fn live_list_shrinks_as_particles_terminate() {
+        // One particle terminates per activation round; the live list must
+        // follow the system state exactly.
+        struct TerminateAscending;
+        impl Algorithm for TerminateAscending {
+            type Memory = u8;
+            fn init(&self, _ctx: &InitContext) -> u8 {
+                0
+            }
+            fn activate(&self, ctx: &mut ActivationContext<'_, u8>) {
+                *ctx.memory_mut() += 1;
+                if *ctx.memory() >= 2 {
+                    ctx.terminate();
+                }
+            }
+        }
+        let sys = ParticleSystem::from_shape(&line(6), &TerminateAscending);
+        let mut runner = Runner::new(sys, TerminateAscending, RoundRobin);
+        let stats = runner.run(10).unwrap();
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.activations, 12);
+        assert!(runner.system().all_terminated());
     }
 }

@@ -2,8 +2,9 @@
 
 use crate::algorithm::{Algorithm, InitContext};
 use crate::particle::{Particle, ParticleId};
-use pm_grid::{Direction, Point, Shape, DIRECTIONS};
-use std::collections::HashMap;
+use pm_grid::{Direction, GridRect, Point, Shape, DIRECTIONS};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// An error returned by a movement operation that violates the amoebot
@@ -38,6 +39,235 @@ impl fmt::Display for MoveError {
 
 impl std::error::Error for MoveError {}
 
+/// Which occupancy data structure a [`ParticleSystem`] uses.
+///
+/// The dense backend is the default: a flat `Vec<Option<ParticleId>>` over
+/// the initial shape's (slightly expanded) bounding box gives `O(1)`
+/// neighbour probes during activations, with a hash-map overflow for the
+/// rare particle that wanders outside the box. The hashed backend is the
+/// pre-0.2 `HashMap` representation, kept selectable so differential tests
+/// can prove the two produce bit-identical executions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyBackend {
+    /// Flat vector indexed by [`GridRect`] cell id (default).
+    #[default]
+    Dense,
+    /// `HashMap<Point, ParticleId>` (legacy reference implementation).
+    Hashed,
+}
+
+/// How far beyond the initial bounding box the dense occupancy grid extends.
+/// Movements past the margin fall back to the overflow map, so correctness
+/// never depends on this value.
+const DENSE_MARGIN: u32 = 2;
+
+/// The occupancy map: which particle (if any) occupies each grid point.
+#[derive(Clone, Debug)]
+enum Occupancy {
+    /// Flat vector over a bounded rectangle plus an overflow map for points
+    /// outside it.
+    Dense {
+        rect: GridRect,
+        cells: Vec<Option<ParticleId>>,
+        overflow: HashMap<Point, ParticleId>,
+        len: usize,
+    },
+    /// Plain hash map (reference implementation).
+    Hashed(HashMap<Point, ParticleId>),
+}
+
+impl Occupancy {
+    fn for_shape(shape: &Shape, backend: OccupancyBackend) -> Occupancy {
+        match (backend, GridRect::of_shape(shape, DENSE_MARGIN)) {
+            (OccupancyBackend::Dense, Some(rect)) => Occupancy::Dense {
+                cells: vec![None; rect.cells()],
+                rect,
+                overflow: HashMap::new(),
+                len: 0,
+            },
+            // Empty shapes (and the legacy backend) use the hash map.
+            _ => Occupancy::Hashed(HashMap::with_capacity(shape.len())),
+        }
+    }
+
+    /// The particle occupying `p`, if any.
+    #[inline]
+    fn get(&self, p: Point) -> Option<ParticleId> {
+        match self {
+            Occupancy::Dense {
+                rect,
+                cells,
+                overflow,
+                ..
+            } => match rect.cell(p) {
+                Some(cell) => cells[cell],
+                None => overflow.get(&p).copied(),
+            },
+            Occupancy::Hashed(map) => map.get(&p).copied(),
+        }
+    }
+
+    /// Maps `p` to `id`, overwriting any previous occupant (handovers
+    /// transfer a point between particles in one step).
+    fn insert(&mut self, p: Point, id: ParticleId) {
+        match self {
+            Occupancy::Dense {
+                rect,
+                cells,
+                overflow,
+                len,
+            } => match rect.cell(p) {
+                Some(cell) => {
+                    if cells[cell].is_none() {
+                        *len += 1;
+                    }
+                    cells[cell] = Some(id);
+                }
+                None => {
+                    if overflow.insert(p, id).is_none() {
+                        *len += 1;
+                    }
+                }
+            },
+            Occupancy::Hashed(map) => {
+                map.insert(p, id);
+            }
+        }
+    }
+
+    /// Frees `p` if it is currently occupied by `id` (a contraction must not
+    /// free a point that was already handed over to another particle).
+    fn remove_if(&mut self, p: Point, id: ParticleId) {
+        match self {
+            Occupancy::Dense {
+                rect,
+                cells,
+                overflow,
+                len,
+            } => match rect.cell(p) {
+                Some(cell) => {
+                    if cells[cell] == Some(id) {
+                        cells[cell] = None;
+                        *len -= 1;
+                    }
+                }
+                None => {
+                    if overflow.get(&p) == Some(&id) {
+                        overflow.remove(&p);
+                        *len -= 1;
+                    }
+                }
+            },
+            Occupancy::Hashed(map) => {
+                if map.get(&p) == Some(&id) {
+                    map.remove(&p);
+                }
+            }
+        }
+    }
+
+    /// Number of occupied points.
+    fn len(&self) -> usize {
+        match self {
+            Occupancy::Dense { len, .. } => *len,
+            Occupancy::Hashed(map) => map.len(),
+        }
+    }
+
+    /// All occupied points (in no particular order).
+    fn points(&self) -> Vec<Point> {
+        match self {
+            Occupancy::Dense {
+                rect,
+                cells,
+                overflow,
+                len,
+            } => {
+                let mut out = Vec::with_capacity(*len);
+                for (cell, slot) in cells.iter().enumerate() {
+                    if slot.is_some() {
+                        out.push(rect.point(cell));
+                    }
+                }
+                out.extend(overflow.keys().copied());
+                out
+            }
+            Occupancy::Hashed(map) => map.keys().copied().collect(),
+        }
+    }
+}
+
+/// The distinct neighbouring particles of one particle, in ascending id
+/// order, stored inline (no heap allocation): a particle occupies at most
+/// two points, whose neighbourhoods contain at most twelve distinct other
+/// particles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Neighbors {
+    ids: [ParticleId; 12],
+    len: u8,
+}
+
+impl Neighbors {
+    fn new() -> Neighbors {
+        Neighbors {
+            ids: [ParticleId(0); 12],
+            len: 0,
+        }
+    }
+
+    /// Inserts an id, keeping the list sorted and duplicate-free.
+    fn insert(&mut self, id: ParticleId) {
+        let n = self.len as usize;
+        let mut i = 0;
+        while i < n && self.ids[i] < id {
+            i += 1;
+        }
+        if i < n && self.ids[i] == id {
+            return;
+        }
+        let mut j = n;
+        while j > i {
+            self.ids[j] = self.ids[j - 1];
+            j -= 1;
+        }
+        self.ids[i] = id;
+        self.len += 1;
+    }
+
+    /// Number of distinct neighbours.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether there are no neighbours.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The neighbours as a sorted slice.
+    pub fn as_slice(&self) -> &[ParticleId] {
+        &self.ids[..self.len as usize]
+    }
+
+    /// Iterates over the neighbours in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = ParticleId> + '_ {
+        self.as_slice().iter().copied()
+    }
+
+    /// Whether `id` is among the neighbours.
+    pub fn contains(&self, id: ParticleId) -> bool {
+        self.as_slice().binary_search(&id).is_ok()
+    }
+}
+
+impl IntoIterator for Neighbors {
+    type Item = ParticleId;
+    type IntoIter = std::iter::Take<std::array::IntoIter<ParticleId, 12>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.into_iter().take(self.len as usize)
+    }
+}
+
 /// The particle system: a set of particles on the triangular grid together
 /// with the occupancy map, movement operations and movement counters.
 ///
@@ -50,7 +280,10 @@ impl std::error::Error for MoveError {}
 #[derive(Clone, Debug)]
 pub struct ParticleSystem<M> {
     particles: Vec<Particle<M>>,
-    occupancy: HashMap<Point, ParticleId>,
+    occupancy: Occupancy,
+    /// Number of particles that have reached a final state (kept incremental
+    /// so the runner's per-round completion check is `O(1)`).
+    terminated: usize,
     expansions: u64,
     contractions: u64,
     handovers: u64,
@@ -58,7 +291,8 @@ pub struct ParticleSystem<M> {
 
 impl<M> ParticleSystem<M> {
     /// Creates a system of contracted particles, one per point of `shape`,
-    /// with memories produced by the algorithm's initializer.
+    /// with memories produced by the algorithm's initializer, on the default
+    /// (dense) occupancy backend.
     ///
     /// This corresponds to the paper's permitted initial configurations:
     /// connected (not enforced here — generators produce connected shapes and
@@ -67,16 +301,30 @@ impl<M> ParticleSystem<M> {
     where
         A: Algorithm<Memory = M> + ?Sized,
     {
+        ParticleSystem::from_shape_with_backend(shape, algorithm, OccupancyBackend::default())
+    }
+
+    /// As [`ParticleSystem::from_shape`], with an explicit occupancy backend
+    /// (differential tests run the same execution on both backends and
+    /// compare results bit for bit).
+    pub fn from_shape_with_backend<A>(
+        shape: &Shape,
+        algorithm: &A,
+        backend: OccupancyBackend,
+    ) -> ParticleSystem<M>
+    where
+        A: Algorithm<Memory = M> + ?Sized,
+    {
         let analysis = shape.analyze();
         let mut particles = Vec::with_capacity(shape.len());
-        let mut occupancy = HashMap::with_capacity(shape.len());
+        let mut occupancy = Occupancy::for_shape(shape, backend);
         for point in shape.iter() {
             let mut occupied = [false; 6];
             let mut outer = [false; 6];
             for (i, d) in DIRECTIONS.iter().enumerate() {
                 let n = point.neighbor(*d);
-                occupied[i] = shape.contains(n);
-                outer[i] = !shape.contains(n) && analysis.is_outer_face_point(n);
+                occupied[i] = analysis.contains(n);
+                outer[i] = !occupied[i] && analysis.is_outer_face_point(n);
             }
             let ctx = InitContext {
                 point,
@@ -92,6 +340,7 @@ impl<M> ParticleSystem<M> {
         ParticleSystem {
             particles,
             occupancy,
+            terminated: 0,
             expansions: 0,
             contractions: 0,
             handovers: 0,
@@ -131,24 +380,86 @@ impl<M> ParticleSystem<M> {
         &mut self.particles[id.0]
     }
 
+    /// Marks the particle as having reached a final state, keeping the
+    /// incremental terminated count in sync (this is the only way particles
+    /// terminate; the flag never reverts).
+    pub(crate) fn set_terminated(&mut self, id: ParticleId) {
+        let particle = &mut self.particles[id.0];
+        if !particle.terminated {
+            particle.terminated = true;
+            self.terminated += 1;
+        }
+    }
+
     /// The particle occupying `point` (as head or tail), if any.
+    #[inline]
     pub fn particle_at(&self, point: Point) -> Option<ParticleId> {
-        self.occupancy.get(&point).copied()
+        self.occupancy.get(point)
     }
 
     /// Whether `point` is occupied by some particle.
+    #[inline]
     pub fn is_occupied(&self, point: Point) -> bool {
-        self.occupancy.contains_key(&point)
+        self.occupancy.get(point).is_some()
     }
 
     /// The current shape of the particle system: the set of occupied points.
     pub fn shape(&self) -> Shape {
-        Shape::from_points(self.occupancy.keys().copied())
+        Shape::from_points(self.occupancy.points())
     }
 
     /// Whether the particle system's shape is currently connected.
+    ///
+    /// On the dense backend this runs a BFS directly over the occupancy grid
+    /// (no intermediate `Shape` is built).
     pub fn is_connected(&self) -> bool {
-        self.shape().is_connected()
+        let Occupancy::Dense {
+            rect,
+            cells,
+            overflow,
+            len,
+        } = &self.occupancy
+        else {
+            return self.shape().is_connected();
+        };
+        if *len == 0 {
+            return true;
+        }
+        let start = match cells.iter().position(|slot| slot.is_some()) {
+            Some(cell) => rect.point(cell),
+            None => *overflow.keys().next().expect("len > 0"),
+        };
+        let mut visited_cells = vec![false; cells.len()];
+        let mut visited_overflow: HashSet<Point> = HashSet::new();
+        let visit = |p: Point,
+                     visited_cells: &mut Vec<bool>,
+                     visited_overflow: &mut HashSet<Point>|
+         -> bool {
+            match rect.cell(p) {
+                Some(cell) => {
+                    if cells[cell].is_none() || visited_cells[cell] {
+                        false
+                    } else {
+                        visited_cells[cell] = true;
+                        true
+                    }
+                }
+                None => overflow.contains_key(&p) && visited_overflow.insert(p),
+            }
+        };
+        let mut stack = Vec::with_capacity(64);
+        visit(start, &mut visited_cells, &mut visited_overflow);
+        stack.push(start);
+        let mut seen = 1usize;
+        while let Some(p) = stack.pop() {
+            for n in p.neighbors() {
+                if visit(n, &mut visited_cells, &mut visited_overflow) {
+                    seen += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        seen == *len
     }
 
     /// Whether every particle is contracted.
@@ -156,23 +467,30 @@ impl<M> ParticleSystem<M> {
         self.particles.iter().all(|p| p.is_contracted())
     }
 
-    /// Whether every particle has reached a final state.
+    /// Whether every particle has reached a final state (`O(1)` — the count
+    /// is maintained incrementally).
     pub fn all_terminated(&self) -> bool {
-        self.particles.iter().all(|p| p.is_terminated())
+        self.terminated == self.particles.len()
     }
 
     /// The distinct particles adjacent to any point occupied by `id`
-    /// (the paper's `N(p)`), in deterministic order.
-    pub fn neighbors_of(&self, id: ParticleId) -> Vec<ParticleId> {
+    /// (the paper's `N(p)`), in deterministic (ascending id) order.
+    ///
+    /// The result is collected on the stack ([`Neighbors`]): a particle
+    /// occupies at most two points with at most twelve distinct neighbouring
+    /// particles, so the per-activation hot path performs no allocation.
+    pub fn neighbors_of(&self, id: ParticleId) -> Neighbors {
         let particle = self.particle(id);
-        let mut out: Vec<ParticleId> = particle
-            .occupied_points()
-            .flat_map(|p| p.neighbors())
-            .filter_map(|n| self.particle_at(n))
-            .filter(|other| *other != id)
-            .collect();
-        out.sort();
-        out.dedup();
+        let mut out = Neighbors::new();
+        for p in particle.occupied_points() {
+            for n in p.neighbors() {
+                if let Some(other) = self.particle_at(n) {
+                    if other != id {
+                        out.insert(other);
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -248,9 +566,7 @@ impl<M> ParticleSystem<M> {
         let tail = particle.tail;
         // The tail slot is released only if it still belongs to this
         // particle (it always does: handovers update occupancy eagerly).
-        if self.occupancy.get(&tail) == Some(&id) {
-            self.occupancy.remove(&tail);
-        }
+        self.occupancy.remove_if(tail, id);
         self.particles[id.0].tail = self.particles[id.0].head;
         self.contractions += 1;
         Ok(())
@@ -270,9 +586,7 @@ impl<M> ParticleSystem<M> {
             return Err(MoveError::NotExpanded);
         }
         let head = particle.head;
-        if self.occupancy.get(&head) == Some(&id) {
-            self.occupancy.remove(&head);
-        }
+        self.occupancy.remove_if(head, id);
         self.particles[id.0].head = self.particles[id.0].tail;
         self.contractions += 1;
         Ok(())
@@ -292,8 +606,8 @@ impl<M> ParticleSystem<M> {
     }
 
     /// Checks the internal occupancy invariants (every occupied point maps to
-    /// the particle occupying it, and vice versa); used by tests and debug
-    /// assertions.
+    /// the particle occupying it, and vice versa, and the terminated count
+    /// matches the flags); used by tests and debug assertions.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut expected: HashMap<Point, ParticleId> = HashMap::new();
         for (i, p) in self.particles.iter().enumerate() {
@@ -314,9 +628,16 @@ impl<M> ParticleSystem<M> {
             ));
         }
         for (pt, id) in &expected {
-            if self.occupancy.get(pt) != Some(id) {
+            if self.occupancy.get(*pt) != Some(*id) {
                 return Err(format!("occupancy map disagrees at {pt}"));
             }
+        }
+        let flagged = self.particles.iter().filter(|p| p.terminated).count();
+        if flagged != self.terminated {
+            return Err(format!(
+                "terminated count mismatch: counter {} vs flags {flagged}",
+                self.terminated
+            ));
         }
         Ok(())
     }
@@ -358,6 +679,24 @@ mod tests {
         let midpoint = sys.particle_at(Point::new(1, 0)).unwrap();
         assert_eq!(*sys.particle(endpoint).memory(), 1);
         assert_eq!(*sys.particle(midpoint).memory(), 2);
+    }
+
+    #[test]
+    fn both_backends_agree_on_construction() {
+        let shape = pm_grid::builder::hexagon(2);
+        let dense =
+            ParticleSystem::from_shape_with_backend(&shape, &Dummy, OccupancyBackend::Dense);
+        let hashed =
+            ParticleSystem::from_shape_with_backend(&shape, &Dummy, OccupancyBackend::Hashed);
+        dense.check_invariants().unwrap();
+        hashed.check_invariants().unwrap();
+        assert_eq!(dense.shape(), hashed.shape());
+        for p in shape.iter() {
+            assert_eq!(dense.particle_at(p), hashed.particle_at(p));
+        }
+        for (id, particle) in dense.iter() {
+            assert_eq!(particle.memory(), hashed.particle(id).memory());
+        }
     }
 
     #[test]
@@ -447,6 +786,31 @@ mod tests {
         sys.contract_to_head(middle).unwrap();
         assert!(!sys.is_connected());
         sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn particles_can_leave_the_dense_rectangle() {
+        // A particle that wanders far outside the initial bounding box lands
+        // in the overflow map; every query keeps working.
+        let mut sys = system_on_line(2);
+        let id = sys.particle_at(Point::new(1, 0)).unwrap();
+        for _ in 0..10 {
+            sys.expand(id, Direction::E).unwrap();
+            sys.contract_to_head(id).unwrap();
+            sys.check_invariants().unwrap();
+        }
+        let far = Point::new(11, 0);
+        assert_eq!(sys.particle_at(far), Some(id));
+        assert!(sys.is_occupied(far));
+        assert!(!sys.is_connected());
+        assert_eq!(sys.shape().len(), 2);
+        // And it can come back.
+        for _ in 0..10 {
+            sys.expand(id, Direction::W).unwrap();
+            sys.contract_to_head(id).unwrap();
+            sys.check_invariants().unwrap();
+        }
+        assert!(sys.is_connected());
     }
 
     #[test]

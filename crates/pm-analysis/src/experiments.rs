@@ -23,6 +23,7 @@ use pm_baselines::{ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary}
 use pm_core::api::{
     phase, Election, ElectionError, LeaderElection, PaperPipeline, RunOptions, RunReport,
 };
+use pm_core::batch::{BatchJob, BatchRunner, BatchScenario, SchedulerSpec};
 use pm_core::collect::CollectSimulator;
 use pm_core::obd::run_obd;
 use pm_grid::{Point, Shape};
@@ -47,20 +48,21 @@ fn measurement_scheduler() -> SeededRandom {
     SeededRandom::new(7)
 }
 
-/// Runs one contender and renders its round count as a table cell. A
+/// The [`SchedulerSpec`] equivalent of [`measurement_scheduler`], for runs
+/// that go through the thread-sharded [`BatchRunner`].
+const MEASUREMENT_SPEC: SchedulerSpec = SchedulerSpec::SeededRandom(7);
+
+/// Renders one contender's batch result as a table cell. A
 /// [`ElectionError::Stuck`] stall renders as the assumption violation it is
 /// (Table 1's assumption column — erosion on holes); any *other* failure is
 /// a bug in a contender that must terminate (the paper pipeline maps budget
 /// exhaustion to `ElectionError::Run`, Theorem 18), so it panics rather than
 /// shipping a quietly malformed table.
-fn rounds_cell(algorithm: &dyn LeaderElection, shape: &Shape, opts: &RunOptions) -> String {
-    match algorithm.elect(shape, &mut measurement_scheduler(), opts) {
+fn rounds_cell(label: &str, result: Result<RunReport, ElectionError>) -> String {
+    match result {
         Ok(report) => report.total_rounds.to_string(),
         Err(ElectionError::Stuck { .. }) => "stuck (holes)".to_string(),
-        Err(e) => panic!(
-            "{} must terminate on permitted inputs: {e}",
-            algorithm.name()
-        ),
+        Err(e) => panic!("{label} must terminate on permitted inputs: {e}"),
     }
 }
 
@@ -79,10 +81,12 @@ fn dle_report(shape: &Shape, scheduler: impl Scheduler + 'static) -> RunReport {
 
 /// **T1 — empirical Table 1.** Round counts of the paper's two variants and
 /// of the baseline families on a mixed shape family, next to the workload
-/// parameters each bound is stated in. One loop over `&dyn LeaderElection`
-/// contenders — no per-algorithm drivers.
+/// parameters each bound is stated in. The whole shape × contender grid is
+/// one [`BatchRunner`] submission: runs shard across worker threads, and the
+/// deterministic merge order guarantees the table is bit-identical to a
+/// sequential sweep.
 pub fn experiment_table1(scale: u32) -> Table {
-    let contenders: [(&str, &dyn LeaderElection, RunOptions); 5] = [
+    let contenders: [(&str, &(dyn LeaderElection + Sync), RunOptions); 5] = [
         (
             "DLE+Collect [this, O(D_A)]",
             &PaperPipeline,
@@ -114,7 +118,26 @@ pub fn experiment_table1(scale: u32) -> Table {
     headers.extend(contenders.iter().map(|(label, _, _)| *label));
     let mut table = Table::new(format!("T1: empirical Table 1 (scale {scale})"), &headers);
 
-    for (label, shape) in workloads::table1_family(scale) {
+    // Fan the whole grid out over the batch runner, row-major.
+    let family = workloads::table1_family(scale);
+    let jobs: Vec<BatchJob<'_>> = family
+        .iter()
+        .flat_map(|(label, shape)| {
+            // Warm the shape's analysis cache before cloning so all five
+            // contender scenarios (and ShapeStats below) share one Arc'd
+            // analysis instead of each recomputing it.
+            shape.analyze();
+            contenders.iter().map(|(_, algorithm, opts)| BatchJob {
+                algorithm: *algorithm,
+                scenario: BatchScenario::new(label.clone(), shape.clone())
+                    .options(*opts)
+                    .scheduler(MEASUREMENT_SPEC),
+            })
+        })
+        .collect();
+    let mut results = BatchRunner::new().run_jobs(jobs).into_iter();
+
+    for (label, shape) in family {
         let stats = ShapeStats::compute(&shape);
         let mut row = vec![
             label,
@@ -122,8 +145,9 @@ pub fn experiment_table1(scale: u32) -> Table {
             stats.d_a.to_string(),
             stats.lout_plus_d().to_string(),
         ];
-        for (_, algorithm, opts) in &contenders {
-            row.push(rounds_cell(*algorithm, &shape, opts));
+        for (contender_label, _, _) in &contenders {
+            let result = results.next().expect("one result per job");
+            row.push(rounds_cell(contender_label, result));
         }
         table.push_row(row);
     }

@@ -14,7 +14,6 @@
 //! hole-free initial shapes. Through the unified API the stall surfaces as
 //! [`ElectionError::Stuck`].
 
-use crate::{BaselineError, BaselineOutcome};
 use pm_amoebot::algorithm::{ActivationContext, Algorithm, InitContext};
 use pm_amoebot::scheduler::{RunError, Runner, Scheduler};
 use pm_amoebot::system::ParticleSystem;
@@ -100,7 +99,8 @@ impl LeaderElection for ErosionLeaderElection {
         let scheduler_name = scheduler.name();
         observer.on_phase_start(self.name(), phase::ELECTION);
 
-        let system = ParticleSystem::from_shape(shape, &ErosionLeaderElection);
+        let system =
+            ParticleSystem::from_shape_with_backend(shape, &ErosionLeaderElection, opts.occupancy);
         let mut runner = Runner::new(system, ErosionLeaderElection, scheduler);
         runner.track_connectivity = opts.track_connectivity;
         let budget = opts
@@ -168,32 +168,6 @@ impl LeaderElection for ErosionLeaderElection {
     }
 }
 
-/// Runs the erosion baseline.
-///
-/// # Errors
-///
-/// Returns [`BaselineError::Stuck`] when the erosion makes no progress within
-/// the round budget — this reliably happens on shapes with holes — and
-/// [`BaselineError::InvalidInput`] for empty or disconnected shapes.
-#[deprecated(
-    since = "0.2.0",
-    note = "use ErosionLeaderElection through the pm_core::api::LeaderElection trait"
-)]
-pub fn run_erosion_le<S: Scheduler>(
-    shape: &Shape,
-    mut scheduler: S,
-) -> Result<BaselineOutcome, BaselineError> {
-    match ErosionLeaderElection.elect(shape, &mut scheduler, &RunOptions::default()) {
-        Ok(report) => Ok(BaselineOutcome {
-            algorithm: "erosion-le",
-            rounds: report.total_rounds,
-            leaders: report.leaders,
-            leader: Some(report.leader),
-        }),
-        Err(e) => Err(crate::baseline_error_from(e)),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,23 +222,6 @@ mod tests {
         assert!(matches!(
             ErosionLeaderElection.elect(&disconnected, &mut rr, &RunOptions::default()),
             Err(ElectionError::InvalidInitialConfiguration(_))
-        ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_preserves_signature_and_behaviour() {
-        let outcome = run_erosion_le(&hexagon(3), RoundRobin).unwrap();
-        assert_eq!(outcome.algorithm, "erosion-le");
-        assert_eq!(outcome.leaders, 1);
-        assert!(outcome.leader.is_some());
-        assert!(matches!(
-            run_erosion_le(&annulus(4, 1), RoundRobin),
-            Err(BaselineError::Stuck { .. })
-        ));
-        assert!(matches!(
-            run_erosion_le(&Shape::new(), RoundRobin),
-            Err(BaselineError::InvalidInput(_))
         ));
     }
 

@@ -21,7 +21,8 @@
 //! [`LeaderElection`](pm_core::api::LeaderElection) trait and returns the
 //! same [`RunReport`](pm_core::api::RunReport) as the paper pipeline, so the
 //! analysis crate tabulates all contenders through one `&dyn LeaderElection`
-//! loop:
+//! loop (or ships them to the thread-sharded
+//! [`BatchRunner`](pm_core::batch::BatchRunner)):
 //!
 //! ```
 //! use pm_baselines::{ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary};
@@ -39,81 +40,14 @@
 //!     assert!(report.leaders >= 1);
 //! }
 //! ```
-//!
-//! The pre-0.2 free functions (`run_erosion_le`, …) remain as deprecated
-//! shims returning the old [`BaselineOutcome`].
 
 pub mod erosion_le;
 pub mod quadratic_boundary;
 pub mod randomized_boundary;
 
-use pm_core::api::ElectionError;
-use pm_grid::Point;
-use serde::{Deserialize, Serialize};
-
 pub use erosion_le::{ErosionLeaderElection, ErosionMemory, EROSION_MEMORY_BITS};
 pub use quadratic_boundary::{QuadraticBoundary, QUADRATIC_BOUNDARY_MEMORY_BITS};
 pub use randomized_boundary::{RandomizedBoundary, RANDOMIZED_BOUNDARY_MEMORY_BITS};
-
-#[allow(deprecated)]
-pub use erosion_le::run_erosion_le;
-#[allow(deprecated)]
-pub use quadratic_boundary::run_quadratic_boundary;
-#[allow(deprecated)]
-pub use randomized_boundary::run_randomized_boundary;
-
-/// The uniform result type of the **deprecated** baseline shims; new code
-/// receives a [`RunReport`](pm_core::api::RunReport) instead.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct BaselineOutcome {
-    /// A short identifier of the algorithm (used in tables).
-    pub algorithm: &'static str,
-    /// Rounds until termination.
-    pub rounds: u64,
-    /// Number of leaders elected (1 except for the multi-leader baselines).
-    pub leaders: usize,
-    /// A representative leader position, if any.
-    pub leader: Option<Point>,
-}
-
-/// Why a baseline failed on a given instance (error type of the deprecated
-/// shims; the unified API reports
-/// [`ElectionError`](pm_core::api::ElectionError)).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum BaselineError {
-    /// The algorithm made no progress (e.g. erosion on a shape with holes).
-    Stuck {
-        /// Rounds executed before declaring the run stuck.
-        after_rounds: u64,
-    },
-    /// The initial configuration is not supported (empty or disconnected).
-    InvalidInput(&'static str),
-}
-
-impl std::fmt::Display for BaselineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            BaselineError::Stuck { after_rounds } => {
-                write!(f, "baseline made no progress after {after_rounds} rounds")
-            }
-            BaselineError::InvalidInput(why) => write!(f, "invalid input: {why}"),
-        }
-    }
-}
-
-impl std::error::Error for BaselineError {}
-
-/// Maps a unified-API error onto the legacy [`BaselineError`] (used by the
-/// deprecated shims).
-pub(crate) fn baseline_error_from(e: ElectionError) -> BaselineError {
-    match e {
-        ElectionError::Stuck { after_rounds } => BaselineError::Stuck { after_rounds },
-        ElectionError::InvalidInitialConfiguration(why) => BaselineError::InvalidInput(why),
-        // The closed-form baselines never hit a runner budget; treat a
-        // hypothetical one as a stall.
-        ElectionError::Run(_) => BaselineError::Stuck { after_rounds: 0 },
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -160,14 +94,18 @@ mod tests {
     }
 
     #[test]
-    fn baseline_error_mapping_is_faithful() {
-        assert_eq!(
-            baseline_error_from(ElectionError::Stuck { after_rounds: 4 }),
-            BaselineError::Stuck { after_rounds: 4 }
-        );
-        assert_eq!(
-            baseline_error_from(ElectionError::InvalidInitialConfiguration("empty shape")),
-            BaselineError::InvalidInput("empty shape")
-        );
+    fn baselines_run_through_the_batch_runner() {
+        use pm_core::batch::{BatchRunner, BatchScenario, SchedulerSpec};
+        let scenarios: Vec<BatchScenario> = (0..4)
+            .map(|i| {
+                BatchScenario::new(format!("hexagon-{i}"), hexagon(3))
+                    .scheduler(SchedulerSpec::SeededRandom(i))
+            })
+            .collect();
+        let results = BatchRunner::with_threads(2).run(&ErosionLeaderElection, scenarios);
+        assert_eq!(results.len(), 4);
+        for result in results {
+            assert_eq!(result.unwrap().leaders, 1);
+        }
     }
 }

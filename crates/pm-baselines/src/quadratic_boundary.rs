@@ -10,7 +10,6 @@
 //! baseline elects the heads of the surviving outer-boundary segments — up to
 //! six leaders, exactly as in [3].
 
-use crate::{BaselineError, BaselineOutcome};
 use pm_amoebot::scheduler::Scheduler;
 use pm_core::api::{
     check_initial_configuration, phase, ConnectivityReport, ElectionError, LeaderElection,
@@ -98,28 +97,6 @@ impl LeaderElection for QuadraticBoundary {
     }
 }
 
-/// Runs the quadratic boundary-election baseline.
-///
-/// # Errors
-///
-/// Returns [`BaselineError::InvalidInput`] for empty or disconnected shapes.
-#[deprecated(
-    since = "0.2.0",
-    note = "use QuadraticBoundary through the pm_core::api::LeaderElection trait"
-)]
-pub fn run_quadratic_boundary(shape: &Shape) -> Result<BaselineOutcome, BaselineError> {
-    let mut scheduler = pm_amoebot::scheduler::RoundRobin;
-    match QuadraticBoundary.elect(shape, &mut scheduler, &RunOptions::default()) {
-        Ok(report) => Ok(BaselineOutcome {
-            algorithm: "quadratic-boundary",
-            rounds: report.total_rounds,
-            leaders: report.leaders,
-            leader: Some(report.leader),
-        }),
-        Err(e) => Err(crate::baseline_error_from(e)),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,15 +146,5 @@ mod tests {
     #[test]
     fn rejects_invalid_inputs() {
         assert!(elect(&Shape::new()).is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_preserves_signature_and_behaviour() {
-        let outcome = run_quadratic_boundary(&hexagon(3)).unwrap();
-        let report = elect(&hexagon(3)).unwrap();
-        assert_eq!(outcome.rounds, report.total_rounds);
-        assert_eq!(outcome.leaders, report.leaders);
-        assert!(run_quadratic_boundary(&Shape::new()).is_err());
     }
 }

@@ -11,7 +11,6 @@
 //! `O(L_out + D)` rounds, matching the bounds reported in Table 1 for the
 //! randomized algorithms.
 
-use crate::{BaselineError, BaselineOutcome};
 use pm_amoebot::scheduler::Scheduler;
 use pm_core::api::{
     check_initial_configuration, phase, ConnectivityReport, ElectionError, LeaderElection,
@@ -140,33 +139,6 @@ impl LeaderElection for RandomizedBoundary {
     }
 }
 
-/// Runs the randomized boundary-election baseline with the given seed.
-///
-/// # Errors
-///
-/// Returns [`BaselineError::InvalidInput`] for empty or disconnected shapes.
-#[deprecated(
-    since = "0.2.0",
-    note = "use RandomizedBoundary through the pm_core::api::LeaderElection trait \
-            (the seed moves into RunOptions::seed)"
-)]
-pub fn run_randomized_boundary(shape: &Shape, seed: u64) -> Result<BaselineOutcome, BaselineError> {
-    let opts = RunOptions {
-        seed,
-        ..RunOptions::default()
-    };
-    let mut scheduler = pm_amoebot::scheduler::RoundRobin;
-    match RandomizedBoundary.elect(shape, &mut scheduler, &opts) {
-        Ok(report) => Ok(BaselineOutcome {
-            algorithm: "randomized-boundary",
-            rounds: report.total_rounds,
-            leaders: report.leaders,
-            leader: Some(report.leader),
-        }),
-        Err(e) => Err(crate::baseline_error_from(e)),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,15 +206,5 @@ mod tests {
         let report = elect(&line(1), 0).unwrap();
         assert_eq!(report.leaders, 1);
         assert_eq!(report.total_rounds, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_preserves_signature_and_behaviour() {
-        let outcome = run_randomized_boundary(&hexagon(4), 11).unwrap();
-        let report = elect(&hexagon(4), 11).unwrap();
-        assert_eq!(outcome.rounds, report.total_rounds);
-        assert_eq!(outcome.leader, Some(report.leader));
-        assert!(run_randomized_boundary(&Shape::new(), 0).is_err());
     }
 }

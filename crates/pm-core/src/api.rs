@@ -31,7 +31,7 @@ use crate::collect::{CollectOutcome, CollectSimulator};
 use crate::dle::{default_round_budget, DleAlgorithm, DleMemory, DleOutcome};
 use crate::obd::{run_obd, ObdOutcome};
 use pm_amoebot::scheduler::{RunError, Runner, Scheduler, SeededRandom};
-use pm_amoebot::system::ParticleSystem;
+use pm_amoebot::system::{OccupancyBackend, ParticleSystem};
 use pm_grid::{Point, Shape};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -74,6 +74,11 @@ pub struct RunOptions {
     pub round_budget: Option<u64>,
     /// Seed for randomized algorithms and for the default scheduler.
     pub seed: u64,
+    /// Which occupancy data structure the particle system uses for
+    /// round-driven phases. The dense default is the fast path; the hashed
+    /// backend is the legacy reference, kept selectable so differential
+    /// tests can prove the two paths produce bit-identical reports.
+    pub occupancy: OccupancyBackend,
 }
 
 impl Default for RunOptions {
@@ -84,6 +89,7 @@ impl Default for RunOptions {
             track_connectivity: false,
             round_budget: None,
             seed: 7,
+            occupancy: OccupancyBackend::Dense,
         }
     }
 }
@@ -356,19 +362,18 @@ pub const COLLECT_MEMORY_BITS: u64 = 32;
 pub struct PaperPipeline;
 
 /// The phase outcomes of one pipeline run, before flattening into a
-/// [`RunReport`] (the deprecated `elect_leader` shim re-packages them as an
-/// `ElectionOutcome`).
-pub(crate) struct PipelinePhases {
-    pub obd: Option<ObdOutcome>,
-    pub dle: DleOutcome,
-    pub collect: Option<CollectOutcome>,
+/// [`RunReport`].
+struct PipelinePhases {
+    obd: Option<ObdOutcome>,
+    dle: DleOutcome,
+    collect: Option<CollectOutcome>,
     /// The per-phase statistics, built exactly once: the same structs are
     /// handed to the observer's `on_phase_end` and placed in the final
     /// [`RunReport::phases`], so the two can never diverge.
-    pub reports: Vec<PhaseReport>,
+    reports: Vec<PhaseReport>,
 }
 
-pub(crate) fn run_pipeline_phases(
+fn run_pipeline_phases(
     shape: &Shape,
     scheduler: &mut dyn Scheduler,
     opts: &RunOptions,
@@ -397,7 +402,7 @@ pub(crate) fn run_pipeline_phases(
 
     // Phase 2: disconnecting leader election, driven round by round.
     observer.on_phase_start(NAME, phase::DLE);
-    let system = ParticleSystem::from_shape(shape, &DleAlgorithm);
+    let system = ParticleSystem::from_shape_with_backend(shape, &DleAlgorithm, opts.occupancy);
     let mut runner = Runner::new(system, DleAlgorithm, scheduler);
     runner.track_connectivity = opts.track_connectivity;
     let budget = opts
@@ -587,6 +592,14 @@ impl<'a> ElectionBuilder<'a> {
     /// scheduler.
     pub fn seed(mut self, seed: u64) -> Self {
         self.opts.seed = seed;
+        self
+    }
+
+    /// Selects the occupancy backend for round-driven phases (the dense
+    /// fast path by default; the hashed legacy path for differential
+    /// testing).
+    pub fn occupancy(mut self, backend: OccupancyBackend) -> Self {
+        self.opts.occupancy = backend;
         self
     }
 

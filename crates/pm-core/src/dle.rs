@@ -126,16 +126,24 @@ impl Algorithm for DleAlgorithm {
         // Lines 20-26: if v has an adjacent empty point u in S_e, p expands
         // into u to keep the outer boundary of S_e occupied. By Claim 10
         // there is exactly one such point.
-        let empty_eligible: Vec<Direction> = DIRECTIONS
-            .into_iter()
-            .filter(|d| eligible[d.index()] && !ctx.occupied_at_head(*d))
-            .collect();
-        debug_assert!(
-            empty_eligible.len() <= 1,
-            "Claim 10: an SCE point has at most one empty eligible neighbour"
-        );
+        let mut dir_to_u: Option<Direction> = None;
+        for d in DIRECTIONS {
+            if eligible[d.index()] && !ctx.occupied_at_head(d) {
+                if dir_to_u.is_none() {
+                    dir_to_u = Some(d);
+                    if !cfg!(debug_assertions) {
+                        break;
+                    }
+                } else {
+                    debug_assert!(
+                        false,
+                        "Claim 10: an SCE point has at most one empty eligible neighbour"
+                    );
+                }
+            }
+        }
 
-        if let Some(&dir_to_u) = empty_eligible.first() {
+        if let Some(dir_to_u) = dir_to_u {
             // Line 23: once p expands, port(p, u, v) = port(p, v, u) + 3.
             let i_v = dir_to_u.opposite();
             // Lines 24-25: u is an interior point of S_e, so all of its

@@ -15,8 +15,10 @@
 //! * [`obd`] — the **Outer-Boundary Detection** primitive (Section 5):
 //!   removes the boundary-knowledge assumption at a cost of `O(L_out + D)`
 //!   rounds, using segment competition over virtual-node rings.
-//! * [`pipeline`] — deprecated pre-0.2 entry points (`elect_leader`,
-//!   `ElectionConfig`), kept as thin shims over [`api`].
+//! * [`batch`] — the **thread-sharded batch runner**: many independent
+//!   election scenarios fanned out over `std::thread` workers behind the
+//!   same [`LeaderElection`]/[`RunReport`] surface, with a deterministic
+//!   merge order (results are bit-identical to sequential runs).
 //!
 //! # Quickstart
 //!
@@ -38,17 +40,16 @@
 //! ```
 
 pub mod api;
+pub mod batch;
 pub mod collect;
 pub mod dle;
 pub mod obd;
-pub mod pipeline;
 
 pub use api::{
     Election, ElectionBuilder, ElectionError, LeaderElection, NoopObserver, PaperPipeline,
     PhaseReport, RunObserver, RunOptions, RunReport,
 };
+pub use batch::{BatchJob, BatchRunner, BatchScenario, SchedulerSpec};
 pub use collect::{CollectOutcome, CollectSimulator};
 pub use dle::{DleAlgorithm, DleMemory, DleOutcome, Status};
 pub use obd::{CompetitionCostModel, ObdOutcome, ObdSimulator};
-#[allow(deprecated)]
-pub use pipeline::{elect_leader, ElectionConfig, ElectionOutcome};

@@ -293,32 +293,38 @@ impl ObdSimulator {
     /// Rounds needed to flood the termination announcement from the outer
     /// boundary to every particle (at most the shape's diameter).
     fn flooding_rounds(&self, analysis: &pm_grid::ShapeAnalysis) -> u64 {
-        let sources: Vec<Point> = analysis.outer_boundary().iter().copied().collect();
-        if sources.is_empty() {
+        if analysis.outer_boundary().is_empty() {
             return 0;
         }
-        // Multi-source BFS: distance from the nearest outer-boundary point.
-        let mut best: HashMap<Point, u32> = HashMap::new();
-        let mut frontier: Vec<Point> = Vec::new();
-        for s in &sources {
-            best.insert(*s, 0);
+        // Multi-source BFS over the dense index: the flood depth is the
+        // largest distance from the nearest outer-boundary point.
+        let index = analysis.index().expect("non-empty shape has an index");
+        let rect = *index.rect();
+        let mut visited = vec![false; rect.cells()];
+        let mut frontier: Vec<Point> = Vec::with_capacity(analysis.outer_boundary().len());
+        for s in analysis.outer_boundary() {
+            visited[rect.cell(*s).expect("shape point is in bounds")] = true;
             frontier.push(*s);
         }
-        let mut depth = 0u32;
-        while !frontier.is_empty() {
-            let mut next = Vec::new();
-            for p in frontier {
-                for q in self.shape.neighbors_in(p) {
-                    if let std::collections::hash_map::Entry::Vacant(slot) = best.entry(q) {
-                        slot.insert(depth + 1);
-                        next.push(q);
+        let mut next: Vec<Point> = Vec::new();
+        let mut depth = 0u64;
+        loop {
+            for p in frontier.drain(..) {
+                for n in p.neighbors() {
+                    if let Some(cell) = rect.cell(n) {
+                        if !visited[cell] && index.contains_cell(cell) {
+                            visited[cell] = true;
+                            next.push(n);
+                        }
                     }
                 }
             }
-            frontier = next;
+            if next.is_empty() {
+                return depth;
+            }
             depth += 1;
+            std::mem::swap(&mut frontier, &mut next);
         }
-        best.values().copied().max().unwrap_or(0) as u64
     }
 
     /// The ground-truth outer flags from the geometric analysis, for

@@ -1,0 +1,78 @@
+//! End-to-end behaviour of the composed pipeline `OBD → DLE → Collect`
+//! through the unified API (these checks predate the API unification; they
+//! used to drive the removed `elect_leader` entry point).
+
+use pm_amoebot::generators::{dumbbell, random_blob, random_holey_hexagon};
+use pm_amoebot::scheduler::{RoundRobin, SeededRandom};
+use pm_core::api::{phase, Election, ElectionError};
+use pm_grid::builder::{annulus, comb, hexagon, line, swiss_cheese};
+use pm_grid::Metric;
+
+#[test]
+fn default_pipeline_elects_and_reconnects() {
+    for shape in [hexagon(3), annulus(5, 2), comb(5, 4), swiss_cheese(6, 3)] {
+        let n = shape.len();
+        let report = Election::on(&shape).scheduler(RoundRobin).run().unwrap();
+        assert!(report.predicate_holds());
+        assert_eq!(report.final_positions.len(), n);
+        assert!(report.phase_rounds(phase::OBD) > 0);
+        assert!(report.phase_rounds(phase::COLLECT) > 0);
+        assert!(report.rounds_consistent());
+    }
+}
+
+#[test]
+fn random_shapes_elect_under_random_schedulers() {
+    for seed in 0..3u64 {
+        let shape = random_blob(120, seed);
+        let report = Election::on(&shape)
+            .scheduler(SeededRandom::new(seed))
+            .run()
+            .unwrap();
+        assert!(report.predicate_holds(), "seed {seed}");
+    }
+    for seed in 0..2u64 {
+        let shape = random_holey_hexagon(6, 0.1, seed);
+        let report = Election::on(&shape).scheduler(RoundRobin).run().unwrap();
+        assert!(report.predicate_holds(), "holey seed {seed}");
+    }
+}
+
+#[test]
+fn total_rounds_scale_linearly_without_assumption() {
+    // The full pipeline is O(L_out + D) (Table 1, last row).
+    let mut ratios = Vec::new();
+    for radius in [3u32, 6, 9] {
+        let shape = hexagon(radius);
+        let metric = Metric::new(&shape);
+        let denom = shape.outer_boundary_len() as f64 + metric.grid_diameter() as f64;
+        let report = Election::on(&shape).scheduler(RoundRobin).run().unwrap();
+        ratios.push(report.total_rounds as f64 / denom);
+    }
+    assert!(
+        ratios.last().unwrap() < &(ratios.first().unwrap() * 2.0 + 2.0),
+        "ratios {ratios:?} suggest super-linear scaling"
+    );
+}
+
+#[test]
+fn dumbbell_large_diameter_shape_works() {
+    let shape = dumbbell(3, 12);
+    let report = Election::on(&shape).scheduler(RoundRobin).run().unwrap();
+    assert!(report.predicate_holds());
+}
+
+#[test]
+fn line_of_one_particle() {
+    let report = Election::on(&line(1)).scheduler(RoundRobin).run().unwrap();
+    assert!(report.predicate_holds());
+    assert_eq!(report.final_positions.len(), 1);
+}
+
+#[test]
+fn error_display() {
+    let e = ElectionError::InvalidInitialConfiguration("empty shape");
+    assert!(e.to_string().contains("empty shape"));
+    let stuck = ElectionError::Stuck { after_rounds: 9 };
+    assert!(stuck.to_string().contains("9 rounds"));
+}

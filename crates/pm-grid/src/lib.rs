@@ -32,6 +32,7 @@ pub mod boundary;
 pub mod builder;
 pub mod coords;
 pub mod erosion;
+pub mod index;
 pub mod metric;
 pub mod shape;
 pub mod vnode;
@@ -41,6 +42,7 @@ pub use coords::{Direction, Point, DIRECTIONS};
 pub use erosion::{
     is_erodable, is_redundant, is_sce, local_sce, membership_mask, sce_points, ErosionProcess,
 };
+pub use index::{GridIndex, GridRect};
 pub use metric::{DistanceMap, Metric};
 pub use shape::{BoundaryKind, PointClass, Shape, ShapeAnalysis};
 pub use vnode::{

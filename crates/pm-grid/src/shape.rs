@@ -2,8 +2,10 @@
 //! areas (Section 2.1 of the paper).
 
 use crate::coords::Point;
-use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use crate::index::GridIndex;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::sync::{Arc, OnceLock};
 
 /// Classification of a grid point relative to a [`Shape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -36,6 +38,10 @@ pub enum BoundaryKind {
 ///
 /// The point set is kept in a [`BTreeSet`] so that all iteration orders are
 /// deterministic, which keeps the simulator and the experiments reproducible.
+/// The first call to [`Shape::analyze`] additionally builds a dense
+/// [`GridIndex`] over the bounding box and caches the full [`ShapeAnalysis`]
+/// behind an [`Arc`]; until the shape is mutated again, membership queries
+/// run in `O(1)` against the index and repeated `analyze()` calls are free.
 ///
 /// ```
 /// use pm_grid::{Point, Shape};
@@ -44,9 +50,44 @@ pub enum BoundaryKind {
 /// assert!(shape.is_connected());
 /// assert!(shape.is_simply_connected());
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Default)]
 pub struct Shape {
     points: BTreeSet<Point>,
+    /// Lazily computed analysis (and dense index), shared by every caller
+    /// until the next mutation. Cloning a shape clones the handle (cheap);
+    /// mutating resets it.
+    cache: OnceLock<Arc<ShapeAnalysis>>,
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shape")
+            .field("points", &self.points)
+            .finish()
+    }
+}
+
+impl PartialEq for Shape {
+    fn eq(&self, other: &Shape) -> bool {
+        self.points == other.points
+    }
+}
+
+impl Eq for Shape {}
+
+impl Serialize for Shape {
+    fn to_value(&self) -> Value {
+        self.points.to_value()
+    }
+}
+
+impl Deserialize for Shape {
+    fn from_value(v: &Value) -> Result<Shape, DeError> {
+        Ok(Shape {
+            points: BTreeSet::from_value(v)?,
+            cache: OnceLock::new(),
+        })
+    }
 }
 
 impl Shape {
@@ -59,6 +100,24 @@ impl Shape {
     pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Shape {
         Shape {
             points: points.into_iter().collect(),
+            cache: OnceLock::new(),
+        }
+    }
+
+    /// A copy of this shape without the cached analysis (used internally so
+    /// the analysis stored *inside* the cache does not hold a second handle
+    /// to itself).
+    fn clone_uncached(&self) -> Shape {
+        Shape {
+            points: self.points.clone(),
+            cache: OnceLock::new(),
+        }
+    }
+
+    /// Drops the cached analysis; called by every mutation.
+    fn invalidate(&mut self) {
+        if self.cache.get().is_some() {
+            self.cache = OnceLock::new();
         }
     }
 
@@ -74,18 +133,33 @@ impl Shape {
     }
 
     /// Whether the given point belongs to the shape.
+    ///
+    /// `O(1)` once the shape has been analysed (the cached [`GridIndex`]
+    /// answers the query); `O(log n)` before that.
+    #[inline]
     pub fn contains(&self, p: Point) -> bool {
-        self.points.contains(&p)
+        match self.cache.get() {
+            Some(analysis) => analysis.contains(p),
+            None => self.points.contains(&p),
+        }
     }
 
     /// Inserts a point; returns whether it was newly inserted.
     pub fn insert(&mut self, p: Point) -> bool {
-        self.points.insert(p)
+        let newly = self.points.insert(p);
+        if newly {
+            self.invalidate();
+        }
+        newly
     }
 
     /// Removes a point; returns whether it was present.
     pub fn remove(&mut self, p: Point) -> bool {
-        self.points.remove(&p)
+        let removed = self.points.remove(&p);
+        if removed {
+            self.invalidate();
+        }
+        removed
     }
 
     /// Iterates over the points in deterministic (lexicographic) order.
@@ -131,21 +205,39 @@ impl Shape {
     /// Whether the induced subgraph is connected. The empty shape is
     /// considered connected (vacuously); the paper only ever considers
     /// non-empty shapes.
+    ///
+    /// Runs a BFS over a dense [`GridIndex`] (the cached one when the shape
+    /// has been analysed, a transient one otherwise) instead of hashing
+    /// every visited point.
     pub fn is_connected(&self) -> bool {
         let Some(start) = self.first_point() else {
             return true;
         };
-        let mut seen = HashSet::with_capacity(self.len());
-        seen.insert(start);
-        let mut queue = VecDeque::from([start]);
-        while let Some(p) = queue.pop_front() {
-            for n in self.neighbors_in(p) {
-                if seen.insert(n) {
-                    queue.push_back(n);
+        let transient;
+        let index = match self.cache.get() {
+            Some(analysis) => analysis.index().expect("non-empty shape has an index"),
+            None => {
+                transient = GridIndex::of_shape(self, 0).expect("non-empty shape has an index");
+                &transient
+            }
+        };
+        let rect = *index.rect();
+        let mut visited = vec![false; rect.cells()];
+        visited[rect.cell(start).expect("shape point is in bounds")] = true;
+        let mut stack = vec![start];
+        let mut seen = 1usize;
+        while let Some(p) = stack.pop() {
+            for n in p.neighbors() {
+                if let Some(cell) = rect.cell(n) {
+                    if !visited[cell] && index.contains_cell(cell) {
+                        visited[cell] = true;
+                        seen += 1;
+                        stack.push(n);
+                    }
                 }
             }
         }
-        seen.len() == self.len()
+        seen == self.len()
     }
 
     /// The connected components of the shape, each as its own [`Shape`], in
@@ -166,7 +258,7 @@ impl Shape {
                     }
                 }
             }
-            components.push(Shape { points: comp });
+            components.push(Shape::from_points(comp));
         }
         components
     }
@@ -183,12 +275,18 @@ impl Shape {
         self.contains(p) && p.neighbors().all(|n| self.contains(n))
     }
 
-    /// Computes the full face analysis (outer face, holes, boundaries).
+    /// Computes (or returns the cached) full face analysis: outer face,
+    /// holes, boundaries, dense index.
     ///
-    /// This is the potentially expensive classification; callers that need
-    /// several derived quantities should compute it once and reuse it.
-    pub fn analyze(&self) -> ShapeAnalysis {
-        ShapeAnalysis::new(self)
+    /// The analysis is computed once per shape state and shared behind an
+    /// [`Arc`]; callers anywhere in the stack (the particle system, OBD, the
+    /// erosion predicates, renderers) reuse the same computation instead of
+    /// re-deriving it. The returned handle stays valid even if the shape is
+    /// mutated afterwards — it describes the shape at the time of the call.
+    pub fn analyze(&self) -> Arc<ShapeAnalysis> {
+        self.cache
+            .get_or_init(|| Arc::new(ShapeAnalysis::compute(self)))
+            .clone()
     }
 
     /// All hole points of the shape (empty points in bounded faces), in
@@ -207,10 +305,7 @@ impl Shape {
     /// The area of the shape: the shape together with all of its hole points
     /// (Section 2.1).
     pub fn area(&self) -> Shape {
-        let analysis = self.analyze();
-        let mut points = self.points.clone();
-        points.extend(analysis.hole_points());
-        Shape { points }
+        self.analyze().area()
     }
 
     /// The number of points on the outer boundary, `L_out(S)`.
@@ -239,6 +334,7 @@ impl FromIterator<Point> for Shape {
 impl Extend<Point> for Shape {
     fn extend<I: IntoIterator<Item = Point>>(&mut self, iter: I) {
         self.points.extend(iter);
+        self.invalidate();
     }
 }
 
@@ -250,20 +346,32 @@ impl<'a> IntoIterator for &'a Shape {
     }
 }
 
+/// Per-cell hole id sentinel: the cell is not a hole point.
+const NO_HOLE: u32 = u32::MAX;
+
 /// The face decomposition of a shape: which empty points lie on the outer
 /// face, which lie in holes, and the induced global boundaries.
 ///
 /// All results refer to the shape at the time [`Shape::analyze`] was called.
+///
+/// Internally the analysis is computed over a dense [`GridIndex`] covering
+/// the shape's bounding box expanded by one cell: the flood fills run over
+/// flat arrays instead of hash sets, and the per-cell [`PointClass`] and
+/// hole-id grids make [`ShapeAnalysis::classify`],
+/// [`ShapeAnalysis::is_outer_face_point`] and
+/// [`ShapeAnalysis::face_of_empty_point`] `O(1)`.
 #[derive(Clone, Debug)]
 pub struct ShapeAnalysis {
     shape: Shape,
-    /// Empty points (within the expanded bounding box) that belong to the
-    /// unbounded outer face.
-    outer_face: HashSet<Point>,
+    /// Dense membership index over the expanded bounding box (`None` only
+    /// for the empty shape).
+    index: Option<GridIndex>,
+    /// Per-cell classification, indexed by the cells of `index`.
+    class: Vec<PointClass>,
+    /// Per-cell hole component id ([`NO_HOLE`] for non-hole cells).
+    hole_id: Vec<u32>,
     /// Hole components, each a set of empty points, ordered by smallest point.
     holes: Vec<BTreeSet<Point>>,
-    /// For each hole point, the index of its hole component.
-    hole_index: HashMap<Point, usize>,
     /// Shape points on the outer boundary.
     outer_boundary: BTreeSet<Point>,
     /// Shape points on each hole's inner boundary (same order as `holes`).
@@ -271,101 +379,146 @@ pub struct ShapeAnalysis {
 }
 
 impl ShapeAnalysis {
-    fn new(shape: &Shape) -> ShapeAnalysis {
-        let shape = shape.clone();
-        let Some((min, max)) = shape.bounding_box() else {
+    fn compute(shape: &Shape) -> ShapeAnalysis {
+        let shape = shape.clone_uncached();
+        let Some(index) = GridIndex::of_shape(&shape, 1) else {
             return ShapeAnalysis {
                 shape,
-                outer_face: HashSet::new(),
+                index: None,
+                class: Vec::new(),
+                hole_id: Vec::new(),
                 holes: Vec::new(),
-                hole_index: HashMap::new(),
                 outer_boundary: BTreeSet::new(),
                 inner_boundaries: Vec::new(),
             };
         };
-        // Expand the bounding box by one so the outer face is connected
-        // within it and surrounds the shape.
-        let (min_q, min_r) = (min.q - 1, min.r - 1);
-        let (max_q, max_r) = (max.q + 1, max.r + 1);
-        let in_box = |p: Point| p.q >= min_q && p.q <= max_q && p.r >= min_r && p.r <= max_r;
+        let rect = *index.rect();
+        let cells = rect.cells();
 
-        // Flood-fill empty points from a corner of the expanded box: those
-        // are (a superset within the box of) the outer face.
-        let start = Point::new(min_q, min_r);
-        debug_assert!(!shape.contains(start));
-        let mut outer_face = HashSet::new();
-        outer_face.insert(start);
-        let mut queue = VecDeque::from([start]);
-        while let Some(p) = queue.pop_front() {
+        // Pass 1 — outer flood fill: every empty cell on the expanded box's
+        // border ring is on the unbounded face (the margin guarantees the
+        // ring is empty and connected around the shape); flood inward over
+        // empty cells. `Interior` is used as a temporary "unvisited" marker
+        // for empty cells and fixed up below.
+        let mut class: Vec<PointClass> = (0..cells)
+            .map(|c| {
+                if index.contains_cell(c) {
+                    PointClass::Boundary // provisional; refined in pass 3
+                } else {
+                    PointClass::Interior // provisional "unvisited empty"
+                }
+            })
+            .collect();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let (w, h) = (rect.width(), rect.height());
+        let push_border =
+            |q: i32, r: i32, class: &mut Vec<PointClass>, queue: &mut VecDeque<usize>| {
+                let cell = rect
+                    .cell(Point::new(rect.min().q + q, rect.min().r + r))
+                    .expect("border cell is in bounds");
+                if class[cell] == PointClass::Interior {
+                    class[cell] = PointClass::Outer;
+                    queue.push_back(cell);
+                }
+            };
+        for q in 0..w {
+            push_border(q, 0, &mut class, &mut queue);
+            push_border(q, h - 1, &mut class, &mut queue);
+        }
+        for r in 0..h {
+            push_border(0, r, &mut class, &mut queue);
+            push_border(w - 1, r, &mut class, &mut queue);
+        }
+        while let Some(cell) = queue.pop_front() {
+            let p = rect.point(cell);
             for n in p.neighbors() {
-                if in_box(n) && !shape.contains(n) && !outer_face.contains(&n) {
-                    outer_face.insert(n);
-                    queue.push_back(n);
-                }
-            }
-        }
-
-        // Hole points: empty points inside the box not reachable from outside.
-        let mut hole_points: BTreeSet<Point> = BTreeSet::new();
-        for q in min_q..=max_q {
-            for r in min_r..=max_r {
-                let p = Point::new(q, r);
-                if !shape.contains(p) && !outer_face.contains(&p) {
-                    hole_points.insert(p);
-                }
-            }
-        }
-
-        // Group hole points into connected components (the holes).
-        let mut holes: Vec<BTreeSet<Point>> = Vec::new();
-        let mut hole_index: HashMap<Point, usize> = HashMap::new();
-        let mut remaining = hole_points;
-        while let Some(start) = remaining.iter().next().copied() {
-            let idx = holes.len();
-            let mut comp = BTreeSet::new();
-            comp.insert(start);
-            remaining.remove(&start);
-            let mut queue = VecDeque::from([start]);
-            while let Some(p) = queue.pop_front() {
-                hole_index.insert(p, idx);
-                for n in p.neighbors() {
-                    if remaining.remove(&n) {
-                        comp.insert(n);
-                        queue.push_back(n);
+                if let Some(nc) = rect.cell(n) {
+                    if class[nc] == PointClass::Interior {
+                        class[nc] = PointClass::Outer;
+                        queue.push_back(nc);
                     }
                 }
             }
-            holes.push(comp);
         }
 
-        // Boundary membership: a shape point is on the outer boundary iff it
-        // is adjacent to an outer-face point; it is on hole i's inner
-        // boundary iff it is adjacent to a point of hole i. A point can be on
-        // several boundaries at once.
+        // Pass 2 — hole components: empty cells not reached from the border.
+        // Seeds are scanned in lexicographic (q, r) point order so hole
+        // indices (and thus `BoundaryKind::Inner` numbering) are ordered by
+        // each component's smallest point.
+        let mut hole_id = vec![NO_HOLE; cells];
+        let mut holes: Vec<BTreeSet<Point>> = Vec::new();
+        let min = rect.min();
+        for q in 0..w {
+            for r in 0..h {
+                let seed = rect
+                    .cell(Point::new(min.q + q, min.r + r))
+                    .expect("scan stays in bounds");
+                if class[seed] != PointClass::Interior {
+                    continue;
+                }
+                let id = holes.len() as u32;
+                let mut comp = BTreeSet::new();
+                class[seed] = PointClass::Hole;
+                hole_id[seed] = id;
+                comp.insert(rect.point(seed));
+                let mut stack = vec![seed];
+                while let Some(cell) = stack.pop() {
+                    let p = rect.point(cell);
+                    for n in p.neighbors() {
+                        if let Some(nc) = rect.cell(n) {
+                            if class[nc] == PointClass::Interior {
+                                class[nc] = PointClass::Hole;
+                                hole_id[nc] = id;
+                                comp.insert(rect.point(nc));
+                                stack.push(nc);
+                            }
+                        }
+                    }
+                }
+                holes.push(comp);
+            }
+        }
+
+        // Pass 3 — boundary membership and the final shape-point classes: a
+        // shape point is on the outer boundary iff it is adjacent to an
+        // outer-face point, on hole i's inner boundary iff adjacent to a
+        // point of hole i, and interior iff all six neighbours are occupied.
+        // (A point can be on several boundaries at once.)
         let mut outer_boundary = BTreeSet::new();
         let mut inner_boundaries = vec![BTreeSet::new(); holes.len()];
         for p in shape.iter() {
+            let cell = rect.cell(p).expect("shape points are in bounds");
+            let mut interior = true;
             for n in p.neighbors() {
-                if shape.contains(n) {
+                // The margin keeps every neighbour of a shape point in
+                // bounds.
+                let nc = rect
+                    .cell(n)
+                    .expect("neighbour of a shape point is in bounds");
+                if index.contains_cell(nc) {
                     continue;
                 }
-                if let Some(&idx) = hole_index.get(&n) {
-                    inner_boundaries[idx].insert(p);
-                } else {
-                    // Any empty neighbour that is not a hole point is on the
-                    // outer face (it may fall outside the expanded box only
-                    // if the shape point is on the box edge, in which case it
-                    // is still outer).
+                interior = false;
+                let id = hole_id[nc];
+                if id == NO_HOLE {
                     outer_boundary.insert(p);
+                } else {
+                    inner_boundaries[id as usize].insert(p);
                 }
             }
+            class[cell] = if interior {
+                PointClass::Interior
+            } else {
+                PointClass::Boundary
+            };
         }
 
         ShapeAnalysis {
             shape,
-            outer_face,
+            index: Some(index),
+            class,
+            hole_id,
             holes,
-            hole_index,
             outer_boundary,
             inner_boundaries,
         }
@@ -374,6 +527,19 @@ impl ShapeAnalysis {
     /// The analysed shape.
     pub fn shape(&self) -> &Shape {
         &self.shape
+    }
+
+    /// The dense membership index over the expanded bounding box (`None` for
+    /// the empty shape). Hot paths use it for `O(1)` occupancy-style
+    /// membership queries.
+    pub fn index(&self) -> Option<&GridIndex> {
+        self.index.as_ref()
+    }
+
+    /// Whether `p` belongs to the analysed shape, in `O(1)`.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.index.as_ref().is_some_and(|index| index.contains(p))
     }
 
     /// The hole components (possibly empty), each a set of empty points.
@@ -420,54 +586,68 @@ impl ShapeAnalysis {
     pub fn area(&self) -> Shape {
         let mut points = self.shape.points.clone();
         points.extend(self.hole_points());
-        Shape { points }
+        Shape::from_points(points)
     }
 
-    /// Classifies an arbitrary grid point.
+    /// Classifies an arbitrary grid point, in `O(1)`.
+    #[inline]
     pub fn classify(&self, p: Point) -> PointClass {
-        if self.shape.contains(p) {
-            if self.shape.is_interior_point(p) {
-                PointClass::Interior
-            } else {
-                PointClass::Boundary
-            }
-        } else if self.hole_index.contains_key(&p) {
-            PointClass::Hole
-        } else {
-            PointClass::Outer
+        match &self.index {
+            None => PointClass::Outer,
+            Some(index) => match index.rect().cell(p) {
+                // Outside the expanded bounding box: empty, on the
+                // unbounded face.
+                None => PointClass::Outer,
+                Some(cell) => self.class[cell],
+            },
         }
     }
 
     /// Which kind of empty face the empty point `p` belongs to, or `None` if
-    /// `p` is in the shape.
+    /// `p` is in the shape. `O(1)`.
     ///
     /// Points far outside the analysed bounding box are reported as
     /// [`BoundaryKind::Outer`]-adjacent, i.e. on the outer face.
     pub fn face_of_empty_point(&self, p: Point) -> Option<BoundaryKind> {
-        if self.shape.contains(p) {
-            return None;
-        }
-        if let Some(&idx) = self.hole_index.get(&p) {
-            Some(BoundaryKind::Inner(idx))
-        } else {
-            Some(BoundaryKind::Outer)
+        match self.classify(p) {
+            PointClass::Boundary | PointClass::Interior => None,
+            PointClass::Hole => {
+                let cell = self
+                    .index
+                    .as_ref()
+                    .and_then(|index| index.rect().cell(p))
+                    .expect("hole points are in bounds");
+                Some(BoundaryKind::Inner(self.hole_id[cell] as usize))
+            }
+            PointClass::Outer => Some(BoundaryKind::Outer),
         }
     }
 
     /// Whether the empty point `p` lies on the outer (unbounded) face.
+    /// `O(1)`.
+    #[inline]
     pub fn is_outer_face_point(&self, p: Point) -> bool {
-        !self.shape.contains(p) && !self.hole_index.contains_key(&p)
+        self.classify(p) == PointClass::Outer
     }
 
-    /// Whether the empty point `p` lies inside some hole.
+    /// Whether the empty point `p` lies inside some hole. `O(1)`.
+    #[inline]
     pub fn is_hole_point(&self, p: Point) -> bool {
-        self.hole_index.contains_key(&p)
+        self.classify(p) == PointClass::Hole
     }
 
-    /// The outer face points discovered within the expanded bounding box
-    /// (useful for rendering).
-    pub fn outer_face_sample(&self) -> &HashSet<Point> {
-        &self.outer_face
+    /// The outer-face points within the analysed (expanded) bounding box
+    /// (useful for rendering). Computed on demand from the dense
+    /// classification grid.
+    pub fn outer_face_sample(&self) -> HashSet<Point> {
+        let Some(index) = &self.index else {
+            return HashSet::new();
+        };
+        let rect = index.rect();
+        (0..rect.cells())
+            .filter(|cell| self.class[*cell] == PointClass::Outer)
+            .map(|cell| rect.point(cell))
+            .collect()
     }
 }
 
@@ -494,6 +674,7 @@ mod tests {
         assert!(empty.is_connected());
         assert!(empty.is_simply_connected());
         assert_eq!(empty.outer_boundary_len(), 0);
+        assert_eq!(empty.classify(Point::ORIGIN), PointClass::Outer);
 
         let single = Shape::from_points([Point::ORIGIN]);
         assert_eq!(single.len(), 1);
@@ -567,6 +748,22 @@ mod tests {
     }
 
     #[test]
+    fn hole_numbering_follows_smallest_point_order() {
+        // Hole component indices are ordered by each hole's lexicographically
+        // smallest point, matching `BoundaryKind::Inner` numbering.
+        let mut s = ball(4);
+        let h1 = Point::new(-2, 0);
+        let h2 = Point::new(2, 0);
+        s.remove(h1);
+        s.remove(h2);
+        let a = s.analyze();
+        assert_eq!(a.face_of_empty_point(h1), Some(BoundaryKind::Inner(0)));
+        assert_eq!(a.face_of_empty_point(h2), Some(BoundaryKind::Inner(1)));
+        assert!(a.holes()[0].contains(&h1));
+        assert!(a.holes()[1].contains(&h2));
+    }
+
+    #[test]
     fn notch_is_not_a_hole() {
         // Removing a boundary point creates a notch, not a hole.
         let mut s = ball(2);
@@ -618,5 +815,59 @@ mod tests {
         s.extend([Point::ORIGIN]);
         assert_eq!(s.len(), 7);
         assert_eq!((&s).into_iter().count(), 7);
+    }
+
+    #[test]
+    fn analysis_is_cached_until_mutation() {
+        let mut s = ball(2);
+        let a = s.analyze();
+        let b = s.analyze();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "repeated analyze() must share the cache"
+        );
+        // Mutation invalidates; the new analysis reflects the new shape.
+        s.remove(Point::new(2, 0));
+        let c = s.analyze();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(!c.contains(Point::new(2, 0)));
+        // The old handle still describes the old state.
+        assert!(a.contains(Point::new(2, 0)));
+        // Non-mutating "mutations" (inserting an existing point, removing an
+        // absent one) keep the cache.
+        let before = s.analyze();
+        assert!(!s.insert(Point::ORIGIN));
+        assert!(!s.remove(Point::new(50, 50)));
+        assert!(Arc::ptr_eq(&before, &s.analyze()));
+    }
+
+    #[test]
+    fn contains_agrees_before_and_after_analysis() {
+        let s = ball(3);
+        let probes: Vec<Point> = (-5..=5)
+            .flat_map(|q| (-5..=5).map(move |r| Point::new(q, r)))
+            .collect();
+        let before: Vec<bool> = probes.iter().map(|p| s.contains(*p)).collect();
+        let _ = s.analyze();
+        let after: Vec<bool> = probes.iter().map(|p| s.contains(*p)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn shape_serde_round_trip_ignores_cache() {
+        let s = ball(2);
+        let _ = s.analyze();
+        let value = s.to_value();
+        let back = Shape::from_value(&value).expect("round trip");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn outer_face_sample_surrounds_the_shape() {
+        let s = ball(1);
+        let sample = s.analyze().outer_face_sample();
+        // The expanded box is 5x5 = 25 cells minus the 7 shape points.
+        assert_eq!(sample.len(), 25 - 7);
+        assert!(sample.iter().all(|p| !s.contains(*p)));
     }
 }

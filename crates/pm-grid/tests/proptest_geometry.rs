@@ -1,11 +1,113 @@
 //! Property-based tests of the low-level grid geometry (coordinates,
-//! rotations, rings, local boundaries).
+//! rotations, rings, local boundaries), plus the differential test of the
+//! dense indexed [`ShapeAnalysis`](pm_grid::ShapeAnalysis) against a naive
+//! hash-set reference classification.
 
-use pm_grid::{builder, Direction, LocalBoundary, Point, Shape, DIRECTIONS};
+use pm_grid::{builder, Direction, LocalBoundary, Point, PointClass, Shape, DIRECTIONS};
 use proptest::prelude::*;
+use std::collections::{BTreeSet, HashSet, VecDeque};
 
 fn point_strategy() -> impl Strategy<Value = Point> {
     (-40i32..40, -40i32..40).prop_map(|(q, r)| Point::new(q, r))
+}
+
+/// A deterministic pseudo-random connected blob grown with a bare LCG (no
+/// dependence on the shapes other crates generate).
+fn lcg_blob(n: usize, seed: u64) -> Shape {
+    let mut points = vec![Point::ORIGIN];
+    let mut state = seed | 1;
+    while points.len() < n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let base = points[(state >> 33) as usize % points.len()];
+        let dir = Direction::from_index((state >> 7) as i32);
+        let candidate = base.neighbor(dir);
+        if !points.contains(&candidate) {
+            points.push(candidate);
+        }
+    }
+    Shape::from_points(points)
+}
+
+/// The pre-indexed reference face decomposition: flood-fill over hash sets,
+/// exactly the shape of the algorithm the dense `ShapeAnalysis` replaced.
+/// Returns (outer face within the expanded box, holes ordered by smallest
+/// point, outer boundary, inner boundaries per hole).
+type ReferenceFaces = (
+    HashSet<Point>,
+    Vec<BTreeSet<Point>>,
+    BTreeSet<Point>,
+    Vec<BTreeSet<Point>>,
+);
+
+fn reference_faces(shape: &Shape) -> ReferenceFaces {
+    let Some((min, max)) = shape.bounding_box() else {
+        return (HashSet::new(), Vec::new(), BTreeSet::new(), Vec::new());
+    };
+    let (min_q, min_r) = (min.q - 1, min.r - 1);
+    let (max_q, max_r) = (max.q + 1, max.r + 1);
+    let in_box = |p: Point| p.q >= min_q && p.q <= max_q && p.r >= min_r && p.r <= max_r;
+
+    let start = Point::new(min_q, min_r);
+    let mut outer_face = HashSet::new();
+    outer_face.insert(start);
+    let mut queue = VecDeque::from([start]);
+    while let Some(p) = queue.pop_front() {
+        for n in p.neighbors() {
+            if in_box(n) && !shape.contains(n) && !outer_face.contains(&n) {
+                outer_face.insert(n);
+                queue.push_back(n);
+            }
+        }
+    }
+
+    let mut hole_points: BTreeSet<Point> = BTreeSet::new();
+    for q in min_q..=max_q {
+        for r in min_r..=max_r {
+            let p = Point::new(q, r);
+            if !shape.contains(p) && !outer_face.contains(&p) {
+                hole_points.insert(p);
+            }
+        }
+    }
+
+    let mut holes: Vec<BTreeSet<Point>> = Vec::new();
+    let mut remaining = hole_points;
+    while let Some(start) = remaining.iter().next().copied() {
+        let mut comp = BTreeSet::new();
+        comp.insert(start);
+        remaining.remove(&start);
+        let mut queue = VecDeque::from([start]);
+        while let Some(p) = queue.pop_front() {
+            for n in p.neighbors() {
+                if remaining.remove(&n) {
+                    comp.insert(n);
+                    queue.push_back(n);
+                }
+            }
+        }
+        holes.push(comp);
+    }
+
+    let mut outer_boundary = BTreeSet::new();
+    let mut inner_boundaries = vec![BTreeSet::new(); holes.len()];
+    for p in shape.iter() {
+        for n in p.neighbors() {
+            if shape.contains(n) {
+                continue;
+            }
+            match holes.iter().position(|h| h.contains(&n)) {
+                Some(idx) => {
+                    inner_boundaries[idx].insert(p);
+                }
+                None => {
+                    outer_boundary.insert(p);
+                }
+            }
+        }
+    }
+    (outer_face, holes, outer_boundary, inner_boundaries)
 }
 
 proptest! {
@@ -81,21 +183,9 @@ proptest! {
     /// documented range.
     #[test]
     fn local_boundaries_partition_empty_edges(n in 5usize..80, seed in any::<u64>()) {
-        // Deterministic blob built without rand: take the first n points of a
-        // seeded pseudo-random Eden growth implemented with a simple LCG, so
+        // Deterministic blob built without rand (seeded LCG Eden growth), so
         // this test exercises shapes other crates don't generate.
-        let mut points = vec![Point::ORIGIN];
-        let mut state = seed | 1;
-        while points.len() < n {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let base = points[(state >> 33) as usize % points.len()];
-            let dir = Direction::from_index((state >> 7) as i32);
-            let candidate = base.neighbor(dir);
-            if !points.contains(&candidate) {
-                points.push(candidate);
-            }
-        }
-        let shape = Shape::from_points(points);
+        let shape = lcg_blob(n, seed);
         for p in shape.iter() {
             let empty_edges = p.neighbors().filter(|q| !shape.contains(*q)).count();
             let lbs = LocalBoundary::of_point(&shape, p);
@@ -107,6 +197,52 @@ proptest! {
                 for edge in b.edges() {
                     prop_assert!(!shape.contains(p.neighbor(edge)));
                 }
+            }
+        }
+    }
+
+    /// Differential test: the dense indexed `ShapeAnalysis` agrees with the
+    /// naive hash-set flood-fill reference on random blobs — hole
+    /// decomposition (sets *and* ordering), boundary sets, per-point
+    /// classification over the expanded box and beyond, and the outer-face
+    /// sample.
+    #[test]
+    fn dense_analysis_matches_reference_classification(n in 3usize..90, seed in any::<u64>()) {
+        let shape = lcg_blob(n, seed);
+        let (ref_outer_face, ref_holes, ref_outer_boundary, ref_inner) = reference_faces(&shape);
+        let analysis = shape.analyze();
+
+        prop_assert_eq!(analysis.hole_count(), ref_holes.len());
+        for (i, hole) in ref_holes.iter().enumerate() {
+            prop_assert_eq!(&analysis.holes()[i], hole, "hole {} differs", i);
+            prop_assert_eq!(analysis.inner_boundary(i), &ref_inner[i], "inner boundary {}", i);
+        }
+        prop_assert_eq!(analysis.outer_boundary(), &ref_outer_boundary);
+        prop_assert_eq!(analysis.outer_face_sample(), ref_outer_face);
+
+        // Per-point classification over the expanded bounding box plus a
+        // ring beyond it (everything out there must be Outer).
+        let (min, max) = shape.bounding_box().expect("non-empty");
+        for q in (min.q - 2)..=(max.q + 2) {
+            for r in (min.r - 2)..=(max.r + 2) {
+                let p = Point::new(q, r);
+                let expected = if shape.contains(p) {
+                    if p.neighbors().all(|m| shape.contains(m)) {
+                        PointClass::Interior
+                    } else {
+                        PointClass::Boundary
+                    }
+                } else if ref_holes.iter().any(|h| h.contains(&p)) {
+                    PointClass::Hole
+                } else {
+                    PointClass::Outer
+                };
+                prop_assert_eq!(analysis.classify(p), expected, "classify({}) differs", p);
+                prop_assert_eq!(analysis.contains(p), shape.contains(p));
+                prop_assert_eq!(
+                    analysis.is_outer_face_point(p),
+                    !shape.contains(p) && expected == PointClass::Outer
+                );
             }
         }
     }
