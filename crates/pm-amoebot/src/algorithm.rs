@@ -54,6 +54,27 @@ pub trait Algorithm {
     fn is_complete(&self, system: &ParticleSystem<Self::Memory>) -> bool {
         system.all_terminated()
     }
+
+    /// Whether activations are pure functions of the particle's *local view*
+    /// — its own memory, its neighbours' memories and the occupancy of the
+    /// points around its head and tail — as the amoebot model prescribes.
+    ///
+    /// When `true`, the runner may **park** a particle whose activation
+    /// changed nothing (no memory write, no move, no termination) and skip
+    /// it until something in its local view changes: repeating a no-op
+    /// activation on an unchanged view is provably another no-op, so parked
+    /// particles are skipped without altering which executions are possible.
+    /// Every mutation path wakes the affected particles (memory writes
+    /// through the activation context, movement operations, perturbation
+    /// removals), and the runner falls back to unparking everyone if only
+    /// parked particles remain, so fairness is preserved.
+    ///
+    /// The default is `false` (no parking): opt in only for algorithms whose
+    /// `activate` reads nothing beyond the activation context's local
+    /// queries.
+    fn supports_quiescence(&self) -> bool {
+        false
+    }
 }
 
 /// The local view and action interface of the particle being activated.
@@ -68,6 +89,12 @@ pub struct ActivationContext<'a, M> {
     system: &'a mut ParticleSystem<M>,
     id: ParticleId,
     moved: bool,
+    mutated: bool,
+    /// Whether this activation already woke the neighbours for a write to
+    /// the particle's own memory (the wake set cannot change between writes
+    /// within one atomic activation — moves issue their own wakes — so one
+    /// sweep per activation suffices).
+    self_wake_done: bool,
 }
 
 impl<'a, M> ActivationContext<'a, M> {
@@ -77,6 +104,8 @@ impl<'a, M> ActivationContext<'a, M> {
             system,
             id,
             moved: false,
+            mutated: false,
+            self_wake_done: false,
         }
     }
 
@@ -92,6 +121,13 @@ impl<'a, M> ActivationContext<'a, M> {
 
     /// Mutable access to the activated particle's own memory.
     pub fn memory_mut(&mut self) -> &mut M {
+        self.mutated = true;
+        // The particle's memory is part of its neighbours' local views;
+        // wake them once per activation.
+        if !self.self_wake_done {
+            self.self_wake_done = true;
+            self.system.wake_neighbors_of(self.id);
+        }
         self.system.particle_mut(self.id).memory_mut()
     }
 
@@ -166,6 +202,11 @@ impl<'a, M> ActivationContext<'a, M> {
     /// neighbours during its activation; this is how Algorithm DLE clears the
     /// `eligible` flags of the particles around an eroded point.
     pub fn neighbor_memory_mut(&mut self, id: ParticleId) -> &mut M {
+        self.mutated = true;
+        // The neighbour's memory is part of its own and its neighbours'
+        // local views.
+        self.system.wake(id);
+        self.system.wake_neighbors_of(id);
         self.system.particle_mut(id).memory_mut()
     }
 
@@ -178,6 +219,7 @@ impl<'a, M> ActivationContext<'a, M> {
     /// Propagates [`MoveError`] from the underlying system operation.
     pub fn expand(&mut self, dir: Direction) -> Result<(), MoveError> {
         self.moved = true;
+        self.mutated = true;
         self.system.expand(self.id, dir)
     }
 
@@ -188,6 +230,7 @@ impl<'a, M> ActivationContext<'a, M> {
     /// Propagates [`MoveError`] from the underlying system operation.
     pub fn contract_to_head(&mut self) -> Result<(), MoveError> {
         self.moved = true;
+        self.mutated = true;
         self.system.contract_to_head(self.id)
     }
 
@@ -198,17 +241,27 @@ impl<'a, M> ActivationContext<'a, M> {
     /// Propagates [`MoveError`] from the underlying system operation.
     pub fn contract_to_tail(&mut self) -> Result<(), MoveError> {
         self.moved = true;
+        self.mutated = true;
         self.system.contract_to_tail(self.id)
     }
 
     /// Marks the activated particle as having reached a final state.
     pub fn terminate(&mut self) {
+        self.mutated = true;
         self.system.set_terminated(self.id);
     }
 
     /// Whether a movement operation was performed during this activation.
     pub fn has_moved(&self) -> bool {
         self.moved
+    }
+
+    /// Whether the activation changed any state at all (memory writes —
+    /// own or neighbours' —, moves, or termination). The runner uses this
+    /// to park quiescent particles (see
+    /// [`Algorithm::supports_quiescence`]).
+    pub fn has_mutated(&self) -> bool {
+        self.mutated
     }
 }
 

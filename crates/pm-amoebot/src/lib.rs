@@ -20,10 +20,12 @@
 //! * [`scheduler`] — fair strong schedulers (round robin, reversed, seeded
 //!   random, double-activation adversary) and the [`scheduler::Runner`] that
 //!   executes an algorithm to termination while counting rounds.
-//! * [`generators`] — workload shapes (deterministic families re-exported
-//!   from `pm-grid` plus random blobs with and without holes).
 //! * [`ascii`] — rendering of configurations in the style of the paper's
 //!   figures.
+//!
+//! Workload shapes live in `pm-grid` (`builder` for deterministic families,
+//! `random` for seeded random ones); the `pm-scenarios` crate re-exports both
+//! behind its generator registry.
 //! * [`trace`] — execution statistics (rounds, moves, disconnection events).
 //!
 //! # Example: a trivial algorithm
@@ -52,7 +54,6 @@
 
 pub mod algorithm;
 pub mod ascii;
-pub mod generators;
 pub mod particle;
 pub mod scheduler;
 pub mod system;
@@ -63,5 +64,5 @@ pub use particle::{Particle, ParticleId};
 pub use scheduler::{
     DoubleActivation, ReverseRoundRobin, RoundRobin, Runner, Scheduler, SeededRandom,
 };
-pub use system::{MoveError, Neighbors, OccupancyBackend, ParticleSystem};
+pub use system::{MoveError, Neighbors, OccupancyBackend, ParticleSystem, SystemControl};
 pub use trace::RunStats;

@@ -14,8 +14,9 @@
 
 use crate::algorithm::{ActivationContext, Algorithm};
 use crate::particle::ParticleId;
-use crate::system::ParticleSystem;
+use crate::system::{ParticleSystem, SystemControl};
 use crate::trace::RunStats;
+use pm_grid::{Point, Shape};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -168,24 +169,72 @@ pub struct Runner<A: Algorithm, S: Scheduler> {
     system: ParticleSystem<A::Memory>,
     algorithm: A,
     scheduler: S,
-    /// Live (non-terminated) particles, in creation order. Primed on the
-    /// first round and *retained* down thereafter: termination is monotone,
-    /// so filtering the previous live list is equivalent to re-filtering all
-    /// ids, at `O(live)` instead of `O(n)` per round.
+    /// Live (non-terminated, non-parked) particles, in creation order.
+    /// Primed on the first round and *retained* down thereafter (termination
+    /// is monotone), with woken particles merged back in id order — `O(live
+    /// + woken)` instead of `O(n)` per round.
     live: Vec<ParticleId>,
     live_primed: bool,
     /// The activation order buffer, reused (cleared, capacity kept) across
     /// rounds.
     order: Vec<ParticleId>,
+    /// Scratch buffers for the woken-particle merge, reused across rounds.
+    woken: Vec<ParticleId>,
+    merge_buf: Vec<ParticleId>,
     /// When set, connectivity of the occupied shape is checked after every
     /// round and the results are reported in [`RunStats`]. Costs one BFS per
     /// round.
     pub track_connectivity: bool,
 }
 
+/// The [`SystemControl`] view the runner hands to pre-round hooks: mutable
+/// system access paired with the algorithm (whose initializer
+/// [`SystemControl::reinitialize`] needs), recording whether the hook
+/// mutated anything so the runner can rebuild its live list.
+struct RunnerControl<'a, A: Algorithm> {
+    system: &'a mut ParticleSystem<A::Memory>,
+    algorithm: &'a A,
+    mutated: bool,
+}
+
+impl<A: Algorithm> SystemControl for RunnerControl<'_, A> {
+    fn particle_count(&self) -> usize {
+        self.system.len()
+    }
+
+    fn particle_positions(&self) -> Vec<Point> {
+        self.system.particle_positions()
+    }
+
+    fn occupied_shape(&self) -> Shape {
+        self.system.shape()
+    }
+
+    fn is_connected(&self) -> bool {
+        self.system.is_connected()
+    }
+
+    fn remove_at(&mut self, p: Point) -> bool {
+        match self.system.particle_at(p) {
+            Some(id) => {
+                let removed = self.system.remove_particle(id);
+                self.mutated |= removed;
+                removed
+            }
+            None => false,
+        }
+    }
+
+    fn reinitialize(&mut self) {
+        self.system.reinitialize(self.algorithm);
+        self.mutated = true;
+    }
+}
+
 impl<A: Algorithm, S: Scheduler> Runner<A, S> {
     /// Creates a runner.
-    pub fn new(system: ParticleSystem<A::Memory>, algorithm: A, scheduler: S) -> Runner<A, S> {
+    pub fn new(mut system: ParticleSystem<A::Memory>, algorithm: A, scheduler: S) -> Runner<A, S> {
+        system.set_parking(algorithm.supports_quiescence());
         Runner {
             system,
             algorithm,
@@ -193,6 +242,8 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
             live: Vec::new(),
             live_primed: false,
             order: Vec::new(),
+            woken: Vec::new(),
+            merge_buf: Vec::new(),
             track_connectivity: false,
         }
     }
@@ -239,12 +290,32 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
     /// # Errors
     ///
     /// Same as [`Runner::run`].
-    pub fn run_observed<F>(
+    pub fn run_observed<F>(&mut self, max_rounds: u64, on_round: F) -> Result<RunStats, RunError>
+    where
+        F: FnMut(&ParticleSystem<A::Memory>, &RunStats),
+    {
+        self.run_hooked(max_rounds, |_, _| {}, on_round)
+    }
+
+    /// Like [`Runner::run_observed`], with an additional *pre-round* hook
+    /// that receives mutable access to the particle system (as a
+    /// [`SystemControl`]) before each round — the entry point for mid-run
+    /// perturbations (`pm-scenarios`). If the hook mutates the system, the
+    /// runner rebuilds its live-particle list from scratch before the round
+    /// runs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runner::run`]; additionally [`RunError::EmptySystem`] if a
+    /// perturbation removes every particle.
+    pub fn run_hooked<P, F>(
         &mut self,
         max_rounds: u64,
+        mut pre_round: P,
         mut on_round: F,
     ) -> Result<RunStats, RunError>
     where
+        P: FnMut(u64, &mut dyn SystemControl),
         F: FnMut(&ParticleSystem<A::Memory>, &RunStats),
     {
         if self.system.is_empty() {
@@ -254,6 +325,20 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
         while !self.algorithm.is_complete(&self.system) {
             if stats.rounds >= max_rounds {
                 return Err(RunError::RoundLimitExceeded { limit: max_rounds });
+            }
+            let mut control = RunnerControl {
+                system: &mut self.system,
+                algorithm: &self.algorithm,
+                mutated: false,
+            };
+            pre_round(stats.rounds, &mut control);
+            if control.mutated {
+                // The configuration changed under the algorithm's feet:
+                // rebuild the live list from scratch next round.
+                self.live_primed = false;
+                if self.system.is_empty() {
+                    return Err(RunError::EmptySystem);
+                }
             }
             self.run_round(&mut stats);
             on_round(&self.system, &stats);
@@ -266,23 +351,74 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
         Ok(stats)
     }
 
-    /// Executes a single asynchronous round and updates `stats`.
-    pub fn run_round(&mut self, stats: &mut RunStats) {
-        if self.live_primed {
-            let system = &self.system;
-            self.live.retain(|id| !system.particle(*id).is_terminated());
-        } else {
+    /// Brings the live list up to date: drops terminated, removed and parked
+    /// particles, and merges woken particles back in ascending id order.
+    fn refresh_live(&mut self) {
+        if !self.live_primed {
             self.live.clear();
             let system = &self.system;
             self.live.extend(
                 system
                     .ids()
-                    .filter(|id| !system.particle(*id).is_terminated()),
+                    .filter(|id| !system.particle(*id).is_terminated() && !system.is_parked(*id)),
             );
+            // Queued wakes are already represented in the fresh list.
+            self.system.drain_woken(&mut self.woken);
             self.live_primed = true;
-        }
-        if self.live.is_empty() {
             return;
+        }
+        let system = &self.system;
+        self.live.retain(|id| {
+            !system.particle(*id).is_terminated()
+                && !system.is_removed(*id)
+                && !system.is_parked(*id)
+        });
+        self.system.drain_woken(&mut self.woken);
+        if self.woken.is_empty() {
+            return;
+        }
+        self.woken.sort_unstable();
+        self.woken.dedup();
+        // Merge the woken ids into the ascending live list (skipping any
+        // that are already present, or terminated/removed/re-parked since).
+        self.merge_buf.clear();
+        let mut li = 0;
+        let system = &self.system;
+        for &w in &self.woken {
+            if system.particle(w).is_terminated() || system.is_removed(w) || system.is_parked(w) {
+                continue;
+            }
+            while li < self.live.len() && self.live[li] < w {
+                self.merge_buf.push(self.live[li]);
+                li += 1;
+            }
+            if li < self.live.len() && self.live[li] == w {
+                continue;
+            }
+            self.merge_buf.push(w);
+        }
+        self.merge_buf.extend_from_slice(&self.live[li..]);
+        std::mem::swap(&mut self.live, &mut self.merge_buf);
+    }
+
+    /// Executes a single asynchronous round and updates `stats`.
+    pub fn run_round(&mut self, stats: &mut RunStats) {
+        self.refresh_live();
+        if self.live.is_empty() {
+            // Everything left is parked. The parking invariant says those
+            // activations are all no-ops, but fairness demands every
+            // particle be activated infinitely often: unpark everyone and
+            // retry (liveness fallback — with complete wake hooks this only
+            // triggers for genuinely stalled algorithms, e.g. erosion on
+            // shapes with holes, which then burn their round budget exactly
+            // as without parking).
+            if !self.system.all_terminated() && self.system.unpark_all() > 0 {
+                self.live_primed = false;
+                self.refresh_live();
+            }
+            if self.live.is_empty() {
+                return;
+            }
         }
         self.order.clear();
         self.scheduler
@@ -293,13 +429,21 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
         );
         for i in 0..self.order.len() {
             let id = self.order[i];
-            // A particle in a final state does nothing when activated.
-            if self.system.particle(id).is_terminated() {
+            // A particle in a final state — or parked earlier this round
+            // with an unchanged view since — does nothing when activated.
+            if self.system.particle(id).is_terminated()
+                || self.system.is_removed(id)
+                || self.system.is_parked(id)
+            {
                 continue;
             }
             let mut ctx = ActivationContext::new(&mut self.system, id);
             self.algorithm.activate(&mut ctx);
+            let quiet = !ctx.has_mutated();
             stats.activations += 1;
+            if quiet && self.system.parking_enabled() {
+                self.system.park(id);
+            }
         }
         stats.rounds += 1;
         if self.track_connectivity && !self.system.is_connected() {
@@ -441,6 +585,86 @@ mod tests {
         }
         assert_eq!(runner.live.capacity(), live_cap);
         assert_eq!(runner.order.capacity(), order_cap);
+    }
+
+    /// A left-to-right wave: a particle acts only once its west neighbour
+    /// has (or it has no west neighbour); everyone else is quiescent. Under
+    /// `ReverseRoundRobin` exactly one particle progresses per round, so
+    /// without parking a line of `n` burns `Θ(n²)` activations and with
+    /// parking only `Θ(n)`.
+    #[derive(Clone, Copy)]
+    struct Wave {
+        quiescence: bool,
+    }
+    impl Algorithm for Wave {
+        type Memory = bool;
+        fn init(&self, _ctx: &InitContext) -> bool {
+            false
+        }
+        fn supports_quiescence(&self) -> bool {
+            self.quiescence
+        }
+        fn activate(&self, ctx: &mut ActivationContext<'_, bool>) {
+            let west = ctx.neighbor_at_head(pm_grid::Direction::W);
+            let ready = match west {
+                None => true,
+                Some(w) => *ctx.neighbor_memory(w),
+            };
+            if ready && !*ctx.memory() {
+                *ctx.memory_mut() = true;
+                ctx.terminate();
+            }
+        }
+    }
+
+    #[test]
+    fn quiescence_parking_skips_waiting_particles_without_changing_rounds() {
+        let n = 24;
+        let run = |quiescence| {
+            let algorithm = Wave { quiescence };
+            let sys = ParticleSystem::from_shape(&line(n), &algorithm);
+            let mut runner = Runner::new(sys, algorithm, ReverseRoundRobin);
+            let stats = runner.run(10 * n as u64).unwrap();
+            assert!(runner.system().all_terminated());
+            stats
+        };
+        let parked = run(true);
+        let unparked = run(false);
+        // Parking skips provably-no-op activations; it cannot change what
+        // the activations that do run observe, so the wave finishes in the
+        // same number of rounds.
+        assert_eq!(parked.rounds, unparked.rounds);
+        assert_eq!(parked.rounds, n as u64);
+        // Without parking every live particle is activated every round
+        // (quadratic); with parking only the wavefront is.
+        assert_eq!(unparked.activations, (n as u64 * (n as u64 + 1)) / 2);
+        assert!(
+            parked.activations <= 3 * n as u64,
+            "expected Θ(n) activations with parking, got {}",
+            parked.activations
+        );
+    }
+
+    #[test]
+    fn stalled_quiescent_algorithms_still_hit_the_round_budget() {
+        /// Quiescent and never progresses: every activation is a no-op.
+        struct Stuck;
+        impl Algorithm for Stuck {
+            type Memory = ();
+            fn init(&self, _ctx: &InitContext) {}
+            fn supports_quiescence(&self) -> bool {
+                true
+            }
+            fn activate(&self, _ctx: &mut ActivationContext<'_, ()>) {}
+        }
+        let sys = ParticleSystem::from_shape(&line(4), &Stuck);
+        let mut runner = Runner::new(sys, Stuck, RoundRobin);
+        // The unpark fallback keeps rounds counting, so the budget (not an
+        // infinite loop) surfaces the stall.
+        assert_eq!(
+            runner.run(7),
+            Err(RunError::RoundLimitExceeded { limit: 7 })
+        );
     }
 
     #[test]

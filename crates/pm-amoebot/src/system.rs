@@ -268,6 +268,66 @@ impl IntoIterator for Neighbors {
     }
 }
 
+/// Builds the [`InitContext`] of a particle at `point` from a shape
+/// analysis — the single definition of what a particle sees at
+/// initialization time, shared by initial construction
+/// ([`ParticleSystem::from_shape_with_backend`]) and perturbation resets
+/// ([`ParticleSystem::reinitialize`]), so the two can never diverge.
+fn init_context(analysis: &pm_grid::ShapeAnalysis, point: Point) -> InitContext {
+    let mut occupied = [false; 6];
+    let mut outer = [false; 6];
+    for (i, d) in DIRECTIONS.iter().enumerate() {
+        let n = point.neighbor(*d);
+        occupied[i] = analysis.contains(n);
+        outer[i] = !occupied[i] && analysis.is_outer_face_point(n);
+    }
+    InitContext {
+        point,
+        occupied,
+        outer,
+        is_boundary: occupied.iter().any(|o| !o),
+    }
+}
+
+/// The mutation surface a perturbation script sees mid-run.
+///
+/// The runner hands a `&mut dyn SystemControl` to
+/// `RunObserver::on_round_start` (in `pm-core`) at the start of every round
+/// of a round-driven phase, so observers can inject adversarial
+/// perturbations — remove particles, split the configuration — without
+/// knowing the algorithm's memory type. After mutating, a perturbation calls
+/// [`SystemControl::reinitialize`]: the adversary resets the survivors into a
+/// fresh permitted initial configuration and the algorithm restarts its
+/// election on the perturbed shape (modelling the recovery that
+/// self-stabilising leader election automates, cf. arXiv 2408.08775).
+pub trait SystemControl {
+    /// Number of particles still in the system.
+    fn particle_count(&self) -> usize;
+
+    /// Head positions of the particles still in the system, in creation
+    /// (id) order — a deterministic enumeration for seeded perturbations.
+    fn particle_positions(&self) -> Vec<Point>;
+
+    /// The currently occupied shape.
+    fn occupied_shape(&self) -> Shape;
+
+    /// Whether the occupied shape is currently connected.
+    fn is_connected(&self) -> bool;
+
+    /// Removes the particle occupying `p` (head or tail; the particle
+    /// vanishes entirely). Returns whether a particle was removed.
+    fn remove_at(&mut self, p: Point) -> bool;
+
+    /// Re-initializes every surviving particle from the current
+    /// configuration: expanded particles are force-contracted into their
+    /// heads, memories are rebuilt by the algorithm's initializer on the
+    /// current shape (fresh outer-boundary flags via the
+    /// invalidate-on-mutation analysis cache), and termination flags are
+    /// cleared. Movement counters are *not* reset — the reset is the
+    /// adversary's action, and the report keeps the whole run's totals.
+    fn reinitialize(&mut self);
+}
+
 /// The particle system: a set of particles on the triangular grid together
 /// with the occupancy map, movement operations and movement counters.
 ///
@@ -281,9 +341,25 @@ impl IntoIterator for Neighbors {
 pub struct ParticleSystem<M> {
     particles: Vec<Particle<M>>,
     occupancy: Occupancy,
-    /// Number of particles that have reached a final state (kept incremental
-    /// so the runner's per-round completion check is `O(1)`).
+    /// `removed[i]` iff particle `i` was removed by a perturbation; removed
+    /// slots stay in `particles` so ids remain stable, but are excluded from
+    /// every query.
+    removed: Vec<bool>,
+    /// Number of particles not removed.
+    alive: usize,
+    /// Number of *alive* particles that have reached a final state (kept
+    /// incremental so the runner's per-round completion check is `O(1)`).
     terminated: usize,
+    /// Quiescence parking (see [`crate::algorithm::Algorithm::supports_quiescence`]):
+    /// `parked[i]` iff particle `i`'s last activation changed nothing and
+    /// nothing in its local view has changed since, so the runner may skip it.
+    parked: Vec<bool>,
+    /// Parked particles whose local view changed since they parked; drained
+    /// by the runner at the next round boundary.
+    woken: Vec<ParticleId>,
+    /// Whether parking/waking bookkeeping is active (set by the runner from
+    /// the algorithm's opt-in; all hooks are no-ops when disabled).
+    parking: bool,
     expansions: u64,
     contractions: u64,
     handovers: u64,
@@ -319,47 +395,48 @@ impl<M> ParticleSystem<M> {
         let mut particles = Vec::with_capacity(shape.len());
         let mut occupancy = Occupancy::for_shape(shape, backend);
         for point in shape.iter() {
-            let mut occupied = [false; 6];
-            let mut outer = [false; 6];
-            for (i, d) in DIRECTIONS.iter().enumerate() {
-                let n = point.neighbor(*d);
-                occupied[i] = analysis.contains(n);
-                outer[i] = !occupied[i] && analysis.is_outer_face_point(n);
-            }
-            let ctx = InitContext {
-                point,
-                occupied,
-                outer,
-                is_boundary: occupied.iter().any(|o| !o),
-            };
+            let ctx = init_context(&analysis, point);
             let memory = algorithm.init(&ctx);
             let id = ParticleId(particles.len());
             occupancy.insert(point, id);
             particles.push(Particle::contracted(point, memory));
         }
+        let n = particles.len();
         ParticleSystem {
             particles,
             occupancy,
+            removed: vec![false; n],
+            alive: n,
             terminated: 0,
+            parked: vec![false; n],
+            woken: Vec::new(),
+            parking: false,
             expansions: 0,
             contractions: 0,
             handovers: 0,
         }
     }
 
-    /// Number of particles.
+    /// Number of particles (excluding any removed by perturbations).
     pub fn len(&self) -> usize {
-        self.particles.len()
+        self.alive
     }
 
     /// Whether the system has no particles.
     pub fn is_empty(&self) -> bool {
-        self.particles.is_empty()
+        self.alive == 0
     }
 
-    /// All particle ids, in creation order.
-    pub fn ids(&self) -> impl Iterator<Item = ParticleId> {
-        (0..self.particles.len()).map(ParticleId)
+    /// All particle ids (excluding removed particles), in creation order.
+    pub fn ids(&self) -> impl Iterator<Item = ParticleId> + '_ {
+        (0..self.particles.len())
+            .filter(|i| !self.removed[*i])
+            .map(ParticleId)
+    }
+
+    /// Whether the particle was removed by a perturbation.
+    pub fn is_removed(&self, id: ParticleId) -> bool {
+        self.removed[id.0]
     }
 
     /// The particle with the given id.
@@ -464,13 +541,13 @@ impl<M> ParticleSystem<M> {
 
     /// Whether every particle is contracted.
     pub fn all_contracted(&self) -> bool {
-        self.particles.iter().all(|p| p.is_contracted())
+        self.iter().all(|(_, p)| p.is_contracted())
     }
 
     /// Whether every particle has reached a final state (`O(1)` — the count
     /// is maintained incrementally).
     pub fn all_terminated(&self) -> bool {
-        self.terminated == self.particles.len()
+        self.terminated == self.alive
     }
 
     /// The distinct particles adjacent to any point occupied by `id`
@@ -527,6 +604,8 @@ impl<M> ParticleSystem<M> {
                 // Tail stays at `origin`.
                 self.occupancy.insert(target, id);
                 self.expansions += 1;
+                self.wake_adjacent_to(origin);
+                self.wake_adjacent_to(target);
                 Ok(())
             }
             Some(other_id) => {
@@ -536,15 +615,23 @@ impl<M> ParticleSystem<M> {
                 }
                 // Handover: `other` contracts out of `target`, `id` expands
                 // into it.
-                if other.tail == target {
+                let other_kept = if other.tail == target {
                     self.particles[other_id.0].tail = self.particles[other_id.0].head;
+                    self.particles[other_id.0].head
                 } else {
                     debug_assert_eq!(other.head, target);
                     self.particles[other_id.0].head = self.particles[other_id.0].tail;
-                }
+                    self.particles[other_id.0].tail
+                };
                 self.particles[id.0].head = target;
                 self.occupancy.insert(target, id);
                 self.handovers += 1;
+                if self.parking {
+                    self.wake(other_id);
+                    self.wake_adjacent_to(origin);
+                    self.wake_adjacent_to(target);
+                    self.wake_adjacent_to(other_kept);
+                }
                 Ok(())
             }
         }
@@ -564,11 +651,14 @@ impl<M> ParticleSystem<M> {
             return Err(MoveError::NotExpanded);
         }
         let tail = particle.tail;
+        let head = particle.head;
         // The tail slot is released only if it still belongs to this
         // particle (it always does: handovers update occupancy eagerly).
         self.occupancy.remove_if(tail, id);
         self.particles[id.0].tail = self.particles[id.0].head;
         self.contractions += 1;
+        self.wake_adjacent_to(tail);
+        self.wake_adjacent_to(head);
         Ok(())
     }
 
@@ -586,23 +676,193 @@ impl<M> ParticleSystem<M> {
             return Err(MoveError::NotExpanded);
         }
         let head = particle.head;
+        let tail = particle.tail;
         self.occupancy.remove_if(head, id);
         self.particles[id.0].head = self.particles[id.0].tail;
         self.contractions += 1;
+        self.wake_adjacent_to(head);
+        self.wake_adjacent_to(tail);
         Ok(())
     }
 
-    /// Consumes the system and returns the particles.
+    /// Consumes the system and returns the particles (removed slots
+    /// excluded).
     pub fn into_particles(self) -> Vec<Particle<M>> {
+        let removed = self.removed;
         self.particles
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !removed[*i])
+            .map(|(_, p)| p)
+            .collect()
     }
 
-    /// Iterates over `(id, particle)` pairs.
+    /// Iterates over `(id, particle)` pairs (removed particles excluded).
     pub fn iter(&self) -> impl Iterator<Item = (ParticleId, &Particle<M>)> {
         self.particles
             .iter()
             .enumerate()
+            .filter(|(i, _)| !self.removed[*i])
             .map(|(i, p)| (ParticleId(i), p))
+    }
+
+    /// Head positions of all particles, in creation (id) order — the
+    /// deterministic enumeration used by seeded perturbations.
+    pub fn particle_positions(&self) -> Vec<Point> {
+        self.iter().map(|(_, p)| p.head()).collect()
+    }
+
+    /// Removes a particle from the system entirely (perturbation support):
+    /// its points are vacated and it is excluded from all further queries and
+    /// activations. Returns `false` if the id was already removed.
+    pub fn remove_particle(&mut self, id: ParticleId) -> bool {
+        if id.0 >= self.particles.len() || self.removed[id.0] {
+            return false;
+        }
+        let (head, tail) = {
+            let p = &self.particles[id.0];
+            (p.head, p.tail)
+        };
+        self.occupancy.remove_if(head, id);
+        if tail != head {
+            self.occupancy.remove_if(tail, id);
+        }
+        self.removed[id.0] = true;
+        self.alive -= 1;
+        if self.particles[id.0].terminated {
+            self.terminated -= 1;
+        }
+        // Neighbouring particles observe the vacated points.
+        self.wake_adjacent_to(head);
+        if tail != head {
+            self.wake_adjacent_to(tail);
+        }
+        true
+    }
+
+    /// Re-initializes every surviving particle from the current
+    /// configuration (see [`SystemControl::reinitialize`]). Expanded
+    /// particles are force-contracted into their heads without charging the
+    /// movement counters: the reset is the adversary's action, not the
+    /// algorithm's.
+    pub fn reinitialize<A>(&mut self, algorithm: &A)
+    where
+        A: Algorithm<Memory = M> + ?Sized,
+    {
+        for i in 0..self.particles.len() {
+            if self.removed[i] {
+                continue;
+            }
+            let (head, tail) = (self.particles[i].head, self.particles[i].tail);
+            if head != tail {
+                self.occupancy.remove_if(tail, ParticleId(i));
+                self.particles[i].tail = head;
+            }
+        }
+        let shape = Shape::from_points(self.iter().map(|(_, p)| p.head()));
+        let analysis = shape.analyze();
+        for i in 0..self.particles.len() {
+            if self.removed[i] {
+                continue;
+            }
+            let point = self.particles[i].head;
+            let ctx = init_context(&analysis, point);
+            self.particles[i].memory = algorithm.init(&ctx);
+            self.particles[i].terminated = false;
+        }
+        self.terminated = 0;
+        self.parked.iter_mut().for_each(|p| *p = false);
+        self.woken.clear();
+    }
+
+    // -- Quiescence parking ------------------------------------------------
+    //
+    // A particle may be *parked* by the runner when its algorithm declares
+    // activations to be pure functions of the local view
+    // (`Algorithm::supports_quiescence`) and an activation changed nothing.
+    // Re-running such an activation stays a no-op until something in the
+    // particle's local view changes, so every mutation path below wakes the
+    // particles whose view it touches: memory writes (via the activation
+    // context), movement operations, and perturbation removals.
+
+    /// Enables or disables parking/waking bookkeeping (runner-controlled).
+    pub(crate) fn set_parking(&mut self, enabled: bool) {
+        self.parking = enabled;
+        if !enabled {
+            self.parked.iter_mut().for_each(|p| *p = false);
+            self.woken.clear();
+        }
+    }
+
+    /// Whether parking bookkeeping is active.
+    pub(crate) fn parking_enabled(&self) -> bool {
+        self.parking
+    }
+
+    /// Whether the particle is currently parked.
+    pub(crate) fn is_parked(&self, id: ParticleId) -> bool {
+        self.parked[id.0]
+    }
+
+    /// Parks a particle (its last activation was a no-op).
+    pub(crate) fn park(&mut self, id: ParticleId) {
+        self.parked[id.0] = true;
+    }
+
+    /// Wakes a parked particle (its local view changed).
+    pub(crate) fn wake(&mut self, id: ParticleId) {
+        if self.parked[id.0] {
+            self.parked[id.0] = false;
+            self.woken.push(id);
+        }
+    }
+
+    /// Wakes every particle occupying a point adjacent to `p` (and at `p`
+    /// itself).
+    pub(crate) fn wake_adjacent_to(&mut self, p: Point) {
+        if !self.parking {
+            return;
+        }
+        if let Some(id) = self.occupancy.get(p) {
+            self.wake(id);
+        }
+        for n in p.neighbors() {
+            if let Some(id) = self.occupancy.get(n) {
+                self.wake(id);
+            }
+        }
+    }
+
+    /// Wakes every particle adjacent to `id` (its memory — part of their
+    /// local views — is about to change).
+    pub(crate) fn wake_neighbors_of(&mut self, id: ParticleId) {
+        if !self.parking {
+            return;
+        }
+        let neighbors = self.neighbors_of(id);
+        for n in neighbors {
+            self.wake(n);
+        }
+    }
+
+    /// Moves the woken queue into `out` (cleared first; capacity retained).
+    pub(crate) fn drain_woken(&mut self, out: &mut Vec<ParticleId>) {
+        out.clear();
+        out.append(&mut self.woken);
+    }
+
+    /// Clears every parked flag (liveness fallback); returns how many
+    /// particles were unparked.
+    pub(crate) fn unpark_all(&mut self) -> usize {
+        let mut count = 0;
+        for p in &mut self.parked {
+            if *p {
+                *p = false;
+                count += 1;
+            }
+        }
+        self.woken.clear();
+        count
     }
 
     /// Checks the internal occupancy invariants (every occupied point maps to
@@ -611,6 +871,9 @@ impl<M> ParticleSystem<M> {
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut expected: HashMap<Point, ParticleId> = HashMap::new();
         for (i, p) in self.particles.iter().enumerate() {
+            if self.removed[i] {
+                continue;
+            }
             for pt in p.occupied_points() {
                 if let Some(prev) = expected.insert(pt, ParticleId(i)) {
                     return Err(format!("point {pt} occupied by both {prev} and P{i}"));
@@ -632,12 +895,15 @@ impl<M> ParticleSystem<M> {
                 return Err(format!("occupancy map disagrees at {pt}"));
             }
         }
-        let flagged = self.particles.iter().filter(|p| p.terminated).count();
+        let flagged = self.iter().filter(|(_, p)| p.terminated).count();
         if flagged != self.terminated {
             return Err(format!(
                 "terminated count mismatch: counter {} vs flags {flagged}",
                 self.terminated
             ));
+        }
+        if self.removed.iter().filter(|r| !**r).count() != self.alive {
+            return Err("alive count disagrees with removed flags".to_string());
         }
         Ok(())
     }
@@ -811,6 +1077,74 @@ mod tests {
             sys.check_invariants().unwrap();
         }
         assert!(sys.is_connected());
+    }
+
+    #[test]
+    fn remove_particle_vacates_points_and_updates_counts() {
+        let mut sys = system_on_line(3);
+        let middle = sys.particle_at(Point::new(1, 0)).unwrap();
+        assert!(sys.remove_particle(middle));
+        assert!(!sys.remove_particle(middle), "double removal is a no-op");
+        assert_eq!(sys.len(), 2);
+        assert!(!sys.is_occupied(Point::new(1, 0)));
+        assert!(sys.is_removed(middle));
+        assert_eq!(sys.ids().count(), 2);
+        assert_eq!(sys.iter().count(), 2);
+        assert!(!sys.is_connected());
+        sys.check_invariants().unwrap();
+        assert_eq!(
+            sys.particle_positions(),
+            vec![Point::new(0, 0), Point::new(2, 0)]
+        );
+    }
+
+    #[test]
+    fn removing_a_terminated_particle_keeps_all_terminated_consistent() {
+        let mut sys = system_on_line(2);
+        let left = sys.particle_at(Point::new(0, 0)).unwrap();
+        let right = sys.particle_at(Point::new(1, 0)).unwrap();
+        sys.set_terminated(left);
+        assert!(!sys.all_terminated());
+        sys.remove_particle(left);
+        // The only remaining particle is unterminated.
+        assert!(!sys.all_terminated());
+        sys.set_terminated(right);
+        assert!(sys.all_terminated());
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn removing_an_expanded_particle_frees_both_points() {
+        let mut sys = system_on_line(1);
+        let id = sys.particle_at(Point::new(0, 0)).unwrap();
+        sys.expand(id, Direction::E).unwrap();
+        sys.remove_particle(id);
+        assert!(!sys.is_occupied(Point::new(0, 0)));
+        assert!(!sys.is_occupied(Point::new(1, 0)));
+        assert!(sys.is_empty());
+        sys.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reinitialize_contracts_resets_memories_and_clears_termination() {
+        let mut sys = ParticleSystem::from_shape(&line(3), &Dummy);
+        let left = sys.particle_at(Point::new(0, 0)).unwrap();
+        let right = sys.particle_at(Point::new(2, 0)).unwrap();
+        sys.set_terminated(left);
+        sys.expand(right, Direction::E).unwrap();
+        sys.remove_particle(sys.particle_at(Point::new(1, 0)).unwrap());
+        sys.reinitialize(&Dummy);
+        sys.check_invariants().unwrap();
+        assert!(sys.all_contracted(), "expanded survivors are contracted");
+        assert!(!sys.particle(left).is_terminated());
+        assert_eq!(sys.len(), 2);
+        // Dummy's init records the occupied-neighbour count of the *current*
+        // configuration: the survivors at (0,0) and (2,0) are isolated.
+        for (_, p) in sys.iter() {
+            assert_eq!(*p.memory(), 0, "memory rebuilt from the perturbed shape");
+        }
+        // Movement counters survive the reset (the report keeps run totals).
+        assert_eq!(sys.move_counts().0, 1);
     }
 
     #[test]

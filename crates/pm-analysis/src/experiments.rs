@@ -127,11 +127,13 @@ pub fn experiment_table1(scale: u32) -> Table {
             // contender scenarios (and ShapeStats below) share one Arc'd
             // analysis instead of each recomputing it.
             shape.analyze();
-            contenders.iter().map(|(_, algorithm, opts)| BatchJob {
-                algorithm: *algorithm,
-                scenario: BatchScenario::new(label.clone(), shape.clone())
-                    .options(*opts)
-                    .scheduler(MEASUREMENT_SPEC),
+            contenders.iter().map(|(_, algorithm, opts)| {
+                BatchJob::new(
+                    *algorithm,
+                    BatchScenario::new(label.clone(), shape.clone())
+                        .options(*opts)
+                        .scheduler(MEASUREMENT_SPEC),
+                )
             })
         })
         .collect();

@@ -2,107 +2,113 @@
 //!
 //! Each family is a list of `(label, shape)` pairs whose instances grow along
 //! the parameter the corresponding experiment sweeps (diameter, boundary
-//! length, eccentricity, …).
+//! length, eccentricity, …). Shapes come exclusively from the `pm-scenarios`
+//! generator registry — the workspace's single source of workload shapes —
+//! via [`GeneratorSpec`]; the labels are the specs' display form, so every
+//! experiment row names the exact spec that reproduces its shape.
 
-use pm_amoebot::generators::{
-    annulus, comb, dumbbell, hexagon, random_blob, random_holey_hexagon,
-    random_simply_connected_blob, spiral, swiss_cheese,
+pub use pm_scenarios::generators::{
+    annulus, caterpillar, comb, dumbbell, hexagon, k_hole_hexagon, line, parallelogram,
+    random_blob, random_holey_hexagon, random_simply_connected_blob, spiral, swiss_cheese,
 };
+
 use pm_grid::Shape;
+use pm_scenarios::GeneratorSpec;
 
 /// A named workload instance.
 pub type Workload = (String, Shape);
 
+fn instantiate(specs: impl IntoIterator<Item = GeneratorSpec>) -> Vec<Workload> {
+    specs
+        .into_iter()
+        .map(|spec| (spec.to_string(), spec.build()))
+        .collect()
+}
+
 /// Hexagonal balls of the given radii (hole-free, `n = Θ(D²)`).
 pub fn hexagons(radii: &[u32]) -> Vec<Workload> {
-    radii
-        .iter()
-        .map(|r| (format!("hexagon({r})"), hexagon(*r)))
-        .collect()
+    instantiate(radii.iter().map(|r| GeneratorSpec::Hexagon { radius: *r }))
 }
 
 /// Annuli with a hole of half the outer radius (`D_A < D`, one large hole).
 pub fn annuli(outer_radii: &[u32]) -> Vec<Workload> {
-    outer_radii
-        .iter()
-        .map(|r| (format!("annulus({r},{})", r / 2), annulus(*r, r / 2)))
-        .collect()
+    instantiate(outer_radii.iter().map(|r| GeneratorSpec::Annulus {
+        outer: *r,
+        inner: r / 2,
+    }))
 }
 
 /// Thin annuli of width one (worst case for reconnection: DLE leaves sparse
 /// breadcrumbs across the hole).
 pub fn thin_annuli(outer_radii: &[u32]) -> Vec<Workload> {
-    outer_radii
-        .iter()
-        .map(|r| (format!("annulus({r},{})", r - 1), annulus(*r, r - 1)))
-        .collect()
+    instantiate(outer_radii.iter().map(|r| GeneratorSpec::Annulus {
+        outer: *r,
+        inner: r - 1,
+    }))
 }
 
 /// Swiss-cheese hexagons (many small holes).
 pub fn swiss(radii: &[u32]) -> Vec<Workload> {
-    radii
-        .iter()
-        .map(|r| (format!("swiss({r})"), swiss_cheese(*r, 3)))
-        .collect()
+    instantiate(radii.iter().map(|r| GeneratorSpec::SwissCheese {
+        radius: *r,
+        spacing: 3,
+    }))
 }
 
 /// Random Eden-growth blobs of the given sizes (may contain holes).
 pub fn blobs(sizes: &[usize], seed: u64) -> Vec<Workload> {
-    sizes
-        .iter()
-        .map(|n| (format!("blob({n})"), random_blob(*n, seed ^ *n as u64)))
-        .collect()
+    instantiate(sizes.iter().map(|n| GeneratorSpec::RandomBlob {
+        n: *n as u32,
+        seed: seed ^ *n as u64,
+    }))
 }
 
 /// Random simply-connected blobs (holes filled).
 pub fn simply_connected_blobs(sizes: &[usize], seed: u64) -> Vec<Workload> {
-    sizes
-        .iter()
-        .map(|n| {
-            (
-                format!("sc-blob({n})"),
-                random_simply_connected_blob(*n, seed ^ *n as u64),
-            )
-        })
-        .collect()
+    instantiate(sizes.iter().map(|n| GeneratorSpec::SimplyConnectedBlob {
+        n: *n as u32,
+        seed: seed ^ *n as u64,
+    }))
 }
 
 /// Randomly perforated hexagons (a fixed fraction of single-point holes).
 pub fn holey_hexagons(radii: &[u32], seed: u64) -> Vec<Workload> {
-    radii
-        .iter()
-        .map(|r| {
-            (
-                format!("holey({r})"),
-                random_holey_hexagon(*r, 0.08, seed ^ *r as u64),
-            )
-        })
-        .collect()
+    instantiate(radii.iter().map(|r| GeneratorSpec::HoleyHexagon {
+        radius: *r,
+        hole_pct: 8,
+        seed: seed ^ *r as u64,
+    }))
 }
 
 /// Spirals (simply-connected, erosion-hostile: few SCE points at any time).
 pub fn spirals(sizes: &[u32]) -> Vec<Workload> {
-    sizes
-        .iter()
-        .map(|n| (format!("spiral({n})"), spiral(*n)))
-        .collect()
+    instantiate(sizes.iter().map(|n| GeneratorSpec::Spiral { n: *n }))
 }
 
 /// Combs (long thin teeth; diameter close to `n`).
 pub fn combs(teeth: &[u32]) -> Vec<Workload> {
-    teeth
-        .iter()
-        .map(|t| (format!("comb({t},{t})"), comb(*t, *t)))
-        .collect()
+    instantiate(teeth.iter().map(|t| GeneratorSpec::Comb {
+        teeth: *t,
+        tooth_len: *t,
+    }))
 }
 
 /// Dumbbells (two balls joined by a corridor; very large diameter for their
 /// size).
 pub fn dumbbells(radii: &[u32]) -> Vec<Workload> {
-    radii
-        .iter()
-        .map(|r| (format!("dumbbell({r},{})", 4 * r), dumbbell(*r, 4 * r)))
-        .collect()
+    instantiate(radii.iter().map(|r| GeneratorSpec::Dumbbell {
+        radius: *r,
+        corridor: 4 * r,
+    }))
+}
+
+/// Caterpillars (seeded random teeth on a line spine).
+pub fn caterpillars(spines: &[u32], seed: u64) -> Vec<Workload> {
+    instantiate(spines.iter().map(|s| GeneratorSpec::Caterpillar {
+        spine: *s,
+        max_tooth: (s / 3).max(1),
+        seed: seed ^ *s as u64,
+    }))
 }
 
 /// The mixed family used by the empirical Table 1: one representative of each
@@ -135,6 +141,7 @@ mod tests {
             spirals(&[30]),
             combs(&[4]),
             dumbbells(&[2]),
+            caterpillars(&[12], 3),
             table1_family(4),
         ];
         for family in families {
@@ -155,5 +162,11 @@ mod tests {
         for (label, shape) in spirals(&[40]) {
             assert!(shape.is_simply_connected(), "{label}");
         }
+    }
+
+    #[test]
+    fn labels_are_generator_specs() {
+        assert_eq!(hexagons(&[4])[0].0, "hexagon(4)");
+        assert_eq!(annuli(&[6])[0].0, "annulus(6,3)");
     }
 }

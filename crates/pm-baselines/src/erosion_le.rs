@@ -44,6 +44,16 @@ pub struct ErosionLeaderElection;
 impl Algorithm for ErosionLeaderElection {
     type Memory = ErosionMemory;
 
+    /// Erosion activations only read neighbour statuses and adjacent
+    /// occupancy, so quiescent particles (interior candidates, decided
+    /// particles waiting on their neighbourhood) may be parked. On stalled
+    /// workloads (shapes with holes) the runner's unpark fallback re-scans
+    /// everyone each round, exactly as without parking, until the budget
+    /// surfaces the stall as `ElectionError::Stuck`.
+    fn supports_quiescence(&self) -> bool {
+        true
+    }
+
     fn init(&self, _ctx: &InitContext) -> ErosionMemory {
         ErosionMemory {
             status: Status::Undecided,
@@ -106,10 +116,17 @@ impl LeaderElection for ErosionLeaderElection {
         let budget = opts
             .round_budget
             .unwrap_or_else(|| 8 * (shape.len() as u64 + 8));
+        let shared = std::cell::RefCell::new(observer);
         let stats = runner
-            .run_observed(budget, |_, stats| {
-                observer.on_round(phase::ELECTION, stats.rounds);
-            })
+            .run_hooked(
+                budget,
+                |round, system| {
+                    shared
+                        .borrow_mut()
+                        .on_round_start(phase::ELECTION, round, system)
+                },
+                |_, stats| shared.borrow_mut().on_round(phase::ELECTION, stats.rounds),
+            )
             .map_err(|e| match e {
                 // The erosion stalling (reliably: shapes with holes) is a
                 // documented limitation of the family, not an execution bug.
@@ -118,8 +135,14 @@ impl LeaderElection for ErosionLeaderElection {
                 },
                 RunError::EmptySystem => ElectionError::InvalidInitialConfiguration("empty shape"),
             })?;
+        let observer = shared.into_inner();
 
         let system = runner.into_system();
+        // No particle ever moves, but a perturbation observer may have
+        // removed particles mid-run, so the final configuration is read off
+        // the post-run system rather than assumed to be the initial shape.
+        let final_positions: Vec<_> = system.iter().map(|(_, p)| p.head()).collect();
+        let final_connected = system.is_connected();
         let mut leaders = 0usize;
         let mut followers = 0usize;
         let mut undecided = 0usize;
@@ -160,10 +183,8 @@ impl LeaderElection for ErosionLeaderElection {
                 ever_disconnected: stats.ever_disconnected,
                 disconnected_rounds: stats.disconnected_rounds,
             },
-            // No particle ever moves, so the configuration stays the initial
-            // (connected) shape.
-            final_connected: true,
-            final_positions: shape.iter().collect(),
+            final_connected,
+            final_positions,
         })
     }
 }

@@ -2,10 +2,10 @@
 //! cost of the per-activation simulation across shape families and sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pm_amoebot::generators::random_blob;
 use pm_amoebot::scheduler::RoundRobin;
 use pm_core::dle::run_dle;
 use pm_grid::builder::{annulus, hexagon};
+use pm_grid::random::random_blob;
 use std::hint::black_box;
 use std::time::Duration;
 

@@ -16,13 +16,12 @@
 //! Usage: `cargo run --release -p pm-bench --bin throughput [max_n]`
 //! (`max_n` caps the scenario size; CI smoke runs pass a small value).
 
-use pm_amoebot::generators::random_holey_hexagon;
 use pm_amoebot::scheduler::SeededRandom;
 use pm_bench::arg_or;
 use pm_core::api::{Election, PaperPipeline, RunReport};
 use pm_core::batch::{BatchRunner, BatchScenario, SchedulerSpec};
-use pm_grid::builder::{annulus, hexagon};
 use pm_grid::Shape;
+use pm_scenarios::GeneratorSpec;
 use serde_json::Value;
 use std::time::Instant;
 
@@ -34,37 +33,65 @@ struct Scenario {
     reps: u32,
 }
 
-/// A shape family: label prefix, constructor, and the radii that land the
-/// point count near 100 / 1k / 10k.
+/// A shape family: label prefix and the registry specs that land the point
+/// count near 100 / 1k / 10k.
 struct Family {
     labels: [&'static str; 3],
-    build: fn(u32) -> Shape,
-    radii: [u32; 3],
+    specs: [GeneratorSpec; 3],
 }
 
+/// The bench corpus, expressed through the `pm-scenarios` generator
+/// registry (the single source of workload shapes).
 const FAMILIES: [Family; 3] = [
     Family {
         labels: ["ball-100", "ball-1k", "ball-10k"],
-        build: hexagon,
-        radii: [5, 18, 57],
+        specs: [
+            GeneratorSpec::Hexagon { radius: 5 },
+            GeneratorSpec::Hexagon { radius: 18 },
+            GeneratorSpec::Hexagon { radius: 57 },
+        ],
     },
     Family {
         labels: ["annulus-100", "annulus-1k", "annulus-10k"],
-        build: |r| annulus(r, r / 2),
-        radii: [7, 21, 66],
+        specs: [
+            GeneratorSpec::Annulus { outer: 7, inner: 3 },
+            GeneratorSpec::Annulus {
+                outer: 21,
+                inner: 10,
+            },
+            GeneratorSpec::Annulus {
+                outer: 66,
+                inner: 33,
+            },
+        ],
     },
     Family {
         labels: ["holey-100", "holey-1k", "holey-10k"],
-        build: |r| random_holey_hexagon(r, 0.08, 7),
-        radii: [5, 18, 57],
+        specs: [
+            GeneratorSpec::HoleyHexagon {
+                radius: 5,
+                hole_pct: 8,
+                seed: 7,
+            },
+            GeneratorSpec::HoleyHexagon {
+                radius: 18,
+                hole_pct: 8,
+                seed: 7,
+            },
+            GeneratorSpec::HoleyHexagon {
+                radius: 57,
+                hole_pct: 8,
+                seed: 7,
+            },
+        ],
     },
 ];
 
 fn scenarios(max_n: u32) -> Vec<Scenario> {
     let mut all = Vec::new();
     for family in &FAMILIES {
-        for (label, radius) in family.labels.iter().zip(family.radii) {
-            let shape = (family.build)(radius);
+        for (label, spec) in family.labels.iter().zip(family.specs) {
+            let shape = spec.build();
             if shape.len() > max_n as usize {
                 continue;
             }

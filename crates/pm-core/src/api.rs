@@ -31,7 +31,7 @@ use crate::collect::{CollectOutcome, CollectSimulator};
 use crate::dle::{default_round_budget, DleAlgorithm, DleMemory, DleOutcome};
 use crate::obd::{run_obd, ObdOutcome};
 use pm_amoebot::scheduler::{RunError, Runner, Scheduler, SeededRandom};
-use pm_amoebot::system::{OccupancyBackend, ParticleSystem};
+use pm_amoebot::system::{OccupancyBackend, ParticleSystem, SystemControl};
 use pm_grid::{Point, Shape};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -263,6 +263,17 @@ pub trait RunObserver {
         let _ = (algorithm, phase);
     }
 
+    /// A round of a round-driven phase is about to run, with **mutable**
+    /// access to the particle system: the entry point for mid-run
+    /// perturbations (remove particles, split the configuration — see
+    /// `pm-scenarios`). `round` counts rounds within the current phase,
+    /// starting at 0. Mutating observers should finish with
+    /// [`SystemControl::reinitialize`] so the algorithm restarts cleanly on
+    /// the perturbed configuration.
+    fn on_round_start(&mut self, phase: &str, round: u64, system: &mut dyn SystemControl) {
+        let _ = (phase, round, system);
+    }
+
     /// A round of a round-driven phase completed. `rounds_so_far` counts
     /// rounds within the current phase.
     fn on_round(&mut self, phase: &str, rounds_so_far: u64) {
@@ -408,9 +419,19 @@ fn run_pipeline_phases(
     let budget = opts
         .round_budget
         .unwrap_or_else(|| default_round_budget(shape));
-    let stats = runner.run_observed(budget, |_, stats| {
-        observer.on_round(phase::DLE, stats.rounds);
-    })?;
+    // Both hooks need the observer; a RefCell lets the pre-round (mutation)
+    // and post-round (instrumentation) closures share it.
+    let shared = std::cell::RefCell::new(observer);
+    let stats = runner.run_hooked(
+        budget,
+        |round, system| {
+            shared
+                .borrow_mut()
+                .on_round_start(phase::DLE, round, system)
+        },
+        |_, stats| shared.borrow_mut().on_round(phase::DLE, stats.rounds),
+    )?;
+    let observer = shared.into_inner();
     let dle = DleOutcome::from_run(stats, runner.into_system());
     reports.push(PhaseReport {
         name: phase::DLE.to_string(),

@@ -13,7 +13,7 @@
 //! Nothing here uses external dependencies (the build environment is
 //! offline): sharding is a scoped-thread pool over an atomic work counter.
 
-use crate::api::{ElectionError, LeaderElection, RunOptions, RunReport};
+use crate::api::{ElectionError, LeaderElection, RunObserver, RunOptions, RunReport};
 use pm_amoebot::scheduler::{
     DoubleActivation, ReverseRoundRobin, RoundRobin, Scheduler, SeededRandom,
 };
@@ -101,6 +101,12 @@ impl BatchScenario {
     }
 }
 
+/// A factory building a fresh per-run [`RunObserver`]; jobs carry factories
+/// rather than observers because observers are stateful and runs execute on
+/// worker threads (each worker builds its own instance, so batched runs stay
+/// bit-identical to sequential ones).
+pub type ObserverFactory<'a> = &'a (dyn Fn() -> Box<dyn RunObserver> + Sync);
+
 /// A job of [`BatchRunner::run_jobs`]: a scenario bound to the algorithm
 /// that should run it (sweeps that compare contenders mix algorithms within
 /// one batch).
@@ -109,6 +115,48 @@ pub struct BatchJob<'a> {
     pub algorithm: &'a (dyn LeaderElection + Sync),
     /// The scenario to run it on.
     pub scenario: BatchScenario,
+    /// Builds the run's observer (`None` runs unobserved). `pm-scenarios`
+    /// uses this to attach perturbation scripts to batched runs.
+    pub observer: Option<ObserverFactory<'a>>,
+}
+
+impl<'a> BatchJob<'a> {
+    /// An unobserved job.
+    pub fn new(
+        algorithm: &'a (dyn LeaderElection + Sync),
+        scenario: BatchScenario,
+    ) -> BatchJob<'a> {
+        BatchJob {
+            algorithm,
+            scenario,
+            observer: None,
+        }
+    }
+
+    /// Attaches a per-run observer factory.
+    pub fn observed(mut self, observer: ObserverFactory<'a>) -> BatchJob<'a> {
+        self.observer = Some(observer);
+        self
+    }
+}
+
+/// Runs one job on the calling thread.
+fn run_job(job: &BatchJob<'_>) -> Result<RunReport, ElectionError> {
+    let mut scheduler = job.scenario.scheduler.build();
+    match job.observer {
+        Some(make_observer) => {
+            let mut observer = make_observer();
+            job.algorithm.elect_observed(
+                &job.scenario.shape,
+                &mut *scheduler,
+                &job.scenario.options,
+                &mut *observer,
+            )
+        }
+        None => job
+            .algorithm
+            .elect(&job.scenario.shape, &mut *scheduler, &job.scenario.options),
+    }
 }
 
 /// Shards independent election runs across OS threads.
@@ -159,10 +207,7 @@ impl BatchRunner {
         self.run_jobs(
             scenarios
                 .into_iter()
-                .map(|scenario| BatchJob {
-                    algorithm,
-                    scenario,
-                })
+                .map(|scenario| BatchJob::new(algorithm, scenario))
                 .collect(),
         )
     }
@@ -178,14 +223,7 @@ impl BatchRunner {
         }
         let workers = self.threads.min(total);
         if workers <= 1 {
-            return jobs
-                .into_iter()
-                .map(|job| {
-                    let mut scheduler = job.scenario.scheduler.build();
-                    job.algorithm
-                        .elect(&job.scenario.shape, &mut *scheduler, &job.scenario.options)
-                })
-                .collect();
+            return jobs.iter().map(run_job).collect();
         }
 
         let next = AtomicUsize::new(0);
@@ -200,14 +238,7 @@ impl BatchRunner {
                         if i >= total {
                             break;
                         }
-                        let job = &jobs[i];
-                        let mut scheduler = job.scenario.scheduler.build();
-                        let result = job.algorithm.elect(
-                            &job.scenario.shape,
-                            &mut *scheduler,
-                            &job.scenario.options,
-                        );
-                        local.push((i, result));
+                        local.push((i, run_job(&jobs[i])));
                     }
                     let mut slots = results.lock().expect("no worker panics while holding");
                     for (i, result) in local {
@@ -280,18 +311,15 @@ mod tests {
     fn heterogeneous_jobs_keep_their_algorithms() {
         use crate::api::phase;
         let jobs = vec![
-            BatchJob {
-                algorithm: &PaperPipeline,
-                scenario: BatchScenario::new("full", hexagon(3)),
-            },
-            BatchJob {
-                algorithm: &PaperPipeline,
-                scenario: BatchScenario::new("dle-only", hexagon(3)).options(RunOptions {
+            BatchJob::new(&PaperPipeline, BatchScenario::new("full", hexagon(3))),
+            BatchJob::new(
+                &PaperPipeline,
+                BatchScenario::new("dle-only", hexagon(3)).options(RunOptions {
                     assume_outer_boundary_known: true,
                     reconnect: false,
                     ..RunOptions::default()
                 }),
-            },
+            ),
         ];
         let results = BatchRunner::with_threads(2).run_jobs(jobs);
         let full = results[0].as_ref().unwrap();

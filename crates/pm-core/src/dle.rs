@@ -58,6 +58,15 @@ pub struct DleAlgorithm;
 impl Algorithm for DleAlgorithm {
     type Memory = DleMemory;
 
+    /// DLE activations read nothing beyond the local view (own memory,
+    /// neighbour memories, adjacent occupancy), so the runner may park
+    /// quiescent particles: decided particles waiting for their
+    /// neighbourhood to decide, and undecided interior particles the erosion
+    /// front has not reached yet.
+    fn supports_quiescence(&self) -> bool {
+        true
+    }
+
     fn init(&self, ctx: &InitContext) -> DleMemory {
         // Line 6: eligible[i] := (outer[i] = false), i.e. true for occupied
         // or hole neighbours.

@@ -352,8 +352,8 @@ pub fn run_obd(shape: &Shape) -> ObdOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pm_amoebot::generators::{random_blob, random_holey_hexagon};
     use pm_grid::builder::{annulus, hexagon, line, parallelogram, swiss_cheese};
+    use pm_grid::random::{random_blob, random_holey_hexagon};
     use pm_grid::Metric;
 
     fn check_flags_match_ground_truth(shape: &Shape) -> ObdOutcome {

@@ -135,6 +135,6 @@ fn invariants_hold_on_swiss_cheese() {
 #[test]
 fn invariants_hold_across_random_seeds_on_a_small_blob() {
     for seed in 0..5 {
-        check_dle_invariants_on(pm_amoebot::generators::random_blob(60, seed), seed);
+        check_dle_invariants_on(pm_grid::random::random_blob(60, seed), seed);
     }
 }

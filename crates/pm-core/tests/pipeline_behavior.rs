@@ -2,10 +2,11 @@
 //! through the unified API (these checks predate the API unification; they
 //! used to drive the removed `elect_leader` entry point).
 
-use pm_amoebot::generators::{dumbbell, random_blob, random_holey_hexagon};
 use pm_amoebot::scheduler::{RoundRobin, SeededRandom};
 use pm_core::api::{phase, Election, ElectionError};
+use pm_grid::builder::dumbbell;
 use pm_grid::builder::{annulus, comb, hexagon, line, swiss_cheese};
+use pm_grid::random::{random_blob, random_holey_hexagon};
 use pm_grid::Metric;
 
 #[test]

@@ -141,6 +141,23 @@ pub fn comb(teeth: u32, tooth_len: u32) -> Shape {
     Shape::from_points(pts)
 }
 
+/// A connected "dumbbell": two hexagonal balls of the given radius joined by
+/// a thin corridor of the given length. Its diameter is much larger than the
+/// diameter suggested by its point count, stressing diameter-sensitive
+/// algorithms.
+pub fn dumbbell(radius: u32, corridor: u32) -> Shape {
+    let left = hexagon(radius);
+    let offset = Point::new((2 * radius + corridor + 1) as i32, 0);
+    let mut shape = left;
+    for p in Point::ORIGIN.ball(radius) {
+        shape.insert(p + offset);
+    }
+    for i in 0..=(2 * radius + corridor) as i32 {
+        shape.insert(Point::new(i, 0));
+    }
+    shape
+}
+
 /// A hexagonal spiral of `n` points: the ball-filling order `origin, ring 1,
 /// ring 2, …` truncated to `n` points. Always connected and simply-connected.
 pub fn spiral(n: u32) -> Shape {
@@ -222,5 +239,15 @@ mod tests {
     #[should_panic(expected = "annulus requires inner < outer")]
     fn annulus_validates_arguments() {
         let _ = annulus(2, 3);
+    }
+
+    #[test]
+    fn dumbbell_is_connected_with_large_diameter() {
+        let s = dumbbell(3, 10);
+        assert!(s.is_connected());
+        assert!(s.is_simply_connected());
+        let metric = crate::Metric::new(&s);
+        let d = metric.grid_diameter();
+        assert!(d as usize >= 20, "diameter {d} should exceed the corridor");
     }
 }

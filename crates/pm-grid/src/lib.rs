@@ -34,6 +34,7 @@ pub mod coords;
 pub mod erosion;
 pub mod index;
 pub mod metric;
+pub mod random;
 pub mod shape;
 pub mod vnode;
 

@@ -1,14 +1,14 @@
-//! Workload shape generators.
+//! Seeded random shape families.
 //!
-//! The deterministic parametric families (line, hexagon, annulus, comb,
-//! spiral, Swiss cheese, parallelogram) are re-exported from
-//! [`pm_grid::builder`]; this module adds the random families used by the
-//! experiments: random connected blobs, their hole-free variants, and
-//! hexagons with randomly punched holes.
+//! Every generator is deterministic given its parameters and seed, so random
+//! workloads are exactly reproducible across runs, machines and thread
+//! counts. The deterministic parametric families live in [`crate::builder`];
+//! `pm-scenarios` re-exports both behind its generator registry, which is the
+//! single import surface for workload shapes.
 
-pub use pm_grid::builder::{annulus, comb, hexagon, line, parallelogram, spiral, swiss_cheese};
-
-use pm_grid::{Point, Shape};
+use crate::builder::hexagon;
+use crate::coords::Point;
+use crate::shape::Shape;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -52,12 +52,34 @@ pub fn random_simply_connected_blob(n: usize, seed: u64) -> Shape {
 /// with each other or with the outer face, and the shape stays connected.
 /// Deterministic given `(radius, hole_fraction, seed)`.
 pub fn random_holey_hexagon(radius: u32, hole_fraction: f64, seed: u64) -> Shape {
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut shape = hexagon(radius);
     if radius < 2 {
         return shape;
     }
     let budget = ((shape.len() as f64) * hole_fraction.clamp(0.0, 0.4)) as usize;
+    punch_holes(&mut shape, radius, budget, seed);
+    shape
+}
+
+/// A hexagonal ball of the given radius with **exactly** `holes` single-point
+/// holes punched at seeded random interior positions (fewer if the radius
+/// cannot accommodate that many mutually separated holes).
+///
+/// Deterministic given `(radius, holes, seed)`.
+pub fn k_hole_hexagon(radius: u32, holes: u32, seed: u64) -> Shape {
+    let mut shape = hexagon(radius);
+    if radius < 2 {
+        return shape;
+    }
+    punch_holes(&mut shape, radius, holes as usize, seed);
+    shape
+}
+
+/// Punches up to `budget` single-point holes into a hexagonal ball, keeping
+/// every hole's full 2-hop neighbourhood occupied (holes never merge with
+/// each other or with the outer face, and the shape stays connected).
+fn punch_holes(shape: &mut Shape, radius: u32, budget: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut candidates: Vec<Point> = Point::ORIGIN.ball(radius.saturating_sub(2));
     candidates.shuffle(&mut rng);
     let mut punched = 0;
@@ -73,24 +95,25 @@ pub fn random_holey_hexagon(radius: u32, hole_fraction: f64, seed: u64) -> Shape
             punched += 1;
         }
     }
-    shape
 }
 
-/// A connected "dumbbell": two hexagonal balls of the given radius joined by
-/// a thin corridor of the given length. Its diameter is much larger than the
-/// diameter suggested by its point count, stressing diameter-sensitive
-/// algorithms.
-pub fn dumbbell(radius: u32, corridor: u32) -> Shape {
-    let left = hexagon(radius);
-    let offset = Point::new((2 * radius + corridor + 1) as i32, 0);
-    let mut shape = left;
-    for p in Point::ORIGIN.ball(radius) {
-        shape.insert(p + offset);
+/// A "caterpillar": a straight spine of `spine` points heading east with a
+/// tooth of seeded random length `0..=max_tooth` hanging south of every spine
+/// point. Always connected and simply-connected; its diameter is large
+/// relative to its point count, like a comb, but irregular.
+///
+/// Deterministic given `(spine, max_tooth, seed)`.
+pub fn caterpillar(spine: u32, max_tooth: u32, seed: u64) -> Shape {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::new();
+    for i in 0..spine.max(1) as i32 {
+        pts.push(Point::new(i, 0));
+        let tooth = rng.gen_range(0..max_tooth + 1);
+        for j in 1..=tooth as i32 {
+            pts.push(Point::new(i, j));
+        }
     }
-    for i in 0..=(2 * radius + corridor) as i32 {
-        shape.insert(Point::new(i, 0));
-    }
-    shape
+    Shape::from_points(pts)
 }
 
 #[cfg(test)]
@@ -135,12 +158,26 @@ mod tests {
     }
 
     #[test]
-    fn dumbbell_is_connected_with_large_diameter() {
-        let s = dumbbell(3, 10);
-        assert!(s.is_connected());
-        assert!(s.is_simply_connected());
-        let metric = pm_grid::Metric::new(&s);
-        let d = metric.grid_diameter();
-        assert!(d as usize >= 20, "diameter {d} should exceed the corridor");
+    fn k_hole_hexagon_punches_exactly_k() {
+        for (radius, holes) in [(5u32, 1u32), (6, 3), (8, 5)] {
+            let s = k_hole_hexagon(radius, holes, 13);
+            assert!(s.is_connected());
+            assert_eq!(s.analyze().hole_count(), holes as usize);
+        }
+        // A radius too small for the request punches what fits.
+        let tiny = k_hole_hexagon(2, 50, 1);
+        assert!(tiny.is_connected());
+        assert!(tiny.analyze().hole_count() <= 1);
+    }
+
+    #[test]
+    fn caterpillar_is_connected_and_deterministic() {
+        let a = caterpillar(12, 4, 5);
+        assert_eq!(a, caterpillar(12, 4, 5));
+        assert!(a.is_connected());
+        assert!(a.is_simply_connected());
+        assert!(a.len() >= 12);
+        // With max_tooth = 0 the caterpillar degenerates to a line.
+        assert_eq!(caterpillar(9, 0, 1), crate::builder::line(9));
     }
 }

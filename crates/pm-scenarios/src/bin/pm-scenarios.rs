@@ -1,0 +1,238 @@
+//! The corpus-driven scenario CLI.
+//!
+//! ```text
+//! pm-scenarios list   [--corpus FILE]
+//! pm-scenarios suites [--corpus FILE]
+//! pm-scenarios render <name>  [--corpus FILE]
+//! pm-scenarios run <suite>    [--corpus FILE] [--threads N] [--out FILE]
+//! pm-scenarios regen
+//! ```
+//!
+//! `run` prints a human-readable summary to stderr and the `RunReport` JSON
+//! array to stdout (or `--out FILE`). `regen` rewrites the committed corpus
+//! and the smoke golden file from the built-in corpus (a dev tool; a test
+//! pins the committed files to the code).
+
+use pm_amoebot::ascii::render_shape;
+use pm_scenarios::corpus::{self, SMOKE};
+use pm_scenarios::{report_json, run_suite, select, suite_tags, ScenarioSpec};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    operand: Option<String>,
+    corpus: Option<PathBuf>,
+    out: Option<PathBuf>,
+    threads: usize,
+}
+
+const USAGE: &str = "usage: pm-scenarios <list|suites|render <name>|run <suite>|regen> \
+                     [--corpus FILE] [--threads N] [--out FILE]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or(USAGE)?;
+    let mut parsed = Args {
+        command,
+        operand: None,
+        corpus: None,
+        out: None,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--corpus" => {
+                parsed.corpus = Some(PathBuf::from(
+                    args.next().ok_or("--corpus needs a file argument")?,
+                ))
+            }
+            "--out" => {
+                parsed.out = Some(PathBuf::from(
+                    args.next().ok_or("--out needs a file argument")?,
+                ))
+            }
+            "--threads" => {
+                parsed.threads = args
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?
+            }
+            other if parsed.operand.is_none() && !other.starts_with("--") => {
+                parsed.operand = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn load_corpus(args: &Args) -> Result<Vec<ScenarioSpec>, String> {
+    match &args.corpus {
+        Some(path) => corpus::load_file(path),
+        None => corpus::load_embedded(),
+    }
+}
+
+fn cmd_list(specs: &[ScenarioSpec]) {
+    println!(
+        "{:<32} {:<28} {:>6} {:<20} {:<18} {:>8}",
+        "name", "generator", "n", "algorithm", "scheduler", "perturb"
+    );
+    for spec in specs {
+        println!(
+            "{:<32} {:<28} {:>6} {:<20} {:<18} {:>8}",
+            spec.name,
+            spec.generator.to_string(),
+            spec.build_shape().len(),
+            spec.algorithm.name(),
+            spec.scheduler.name(),
+            spec.perturbations.len(),
+        );
+    }
+}
+
+fn cmd_render(specs: &[ScenarioSpec], name: &str) -> Result<(), String> {
+    let spec = specs
+        .iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("no scenario named `{name}` (try `pm-scenarios list`)"))?;
+    let shape = spec.build_shape();
+    println!(
+        "{} — {} (n = {}, algorithm = {}, scheduler = {})",
+        spec.name,
+        spec.generator,
+        shape.len(),
+        spec.algorithm.name(),
+        spec.scheduler.name(),
+    );
+    for p in &spec.perturbations {
+        println!("perturbation: {p}");
+    }
+    println!("{}", render_shape(&shape));
+    Ok(())
+}
+
+fn cmd_run(specs: &[ScenarioSpec], args: &Args, suite: &str) -> Result<(), String> {
+    let selected = select(specs, suite);
+    if selected.is_empty() {
+        return Err(format!(
+            "suite `{suite}` selects no scenarios (suites: {}, or a scenario name / `all`)",
+            suite_tags(specs).join(", ")
+        ));
+    }
+    let reports = run_suite(&selected, args.threads.max(1));
+    eprintln!(
+        "{:<32} {:>6} {:>8} {:>12} {:>9} {:>8} {:<8}",
+        "scenario", "n", "rounds", "activations", "leaders", "perturb", "outcome"
+    );
+    let mut failures = 0usize;
+    for r in &reports {
+        let (rounds, activations, leaders, outcome) = match &r.report {
+            Some(report) => (
+                report.total_rounds.to_string(),
+                report.activations.to_string(),
+                report.leaders.to_string(),
+                "ok".to_string(),
+            ),
+            None => {
+                failures += 1;
+                (
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    r.error.clone().unwrap_or_else(|| "error".into()),
+                )
+            }
+        };
+        eprintln!(
+            "{:<32} {:>6} {:>8} {:>12} {:>9} {:>8} {:<8}",
+            r.scenario, r.n, rounds, activations, leaders, r.perturbations, outcome
+        );
+    }
+    eprintln!(
+        "{} scenario(s), {} ok, {} error(s)",
+        reports.len(),
+        reports.len() - failures,
+        failures
+    );
+    let json = report_json(&reports);
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{json}"),
+    }
+    // Error entries are legitimate data for assumption-violation scenarios,
+    // so they do not affect the exit status; only smoke promises all-ok
+    // (CI pins that via the golden diff).
+    Ok(())
+}
+
+/// Rewrites the committed corpus and smoke golden file from the built-in
+/// corpus (paths resolved relative to this crate's manifest).
+fn cmd_regen() -> Result<(), String> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let corpus = pm_scenarios::builtin_corpus();
+    let mut corpus_json =
+        serde_json::to_string_pretty(&corpus).map_err(|e| format!("serialize corpus: {e}"))?;
+    corpus_json.push('\n');
+    let corpus_path = root.join("corpus/scenarios.json");
+    std::fs::write(&corpus_path, corpus_json)
+        .map_err(|e| format!("write {}: {e}", corpus_path.display()))?;
+    eprintln!("wrote {}", corpus_path.display());
+
+    let smoke = select(&corpus, SMOKE);
+    let golden = report_json(&run_suite(&smoke, 1));
+    let golden_path = root.join("golden/smoke.json");
+    if let Some(parent) = golden_path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+    }
+    std::fs::write(&golden_path, golden)
+        .map_err(|e| format!("write {}: {e}", golden_path.display()))?;
+    eprintln!("wrote {}", golden_path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "regen" => cmd_regen(),
+        command => match load_corpus(&args) {
+            Err(e) => Err(e),
+            Ok(specs) => match (command, args.operand.as_deref()) {
+                ("list", _) => {
+                    cmd_list(&specs);
+                    Ok(())
+                }
+                ("suites", _) => {
+                    for tag in suite_tags(&specs) {
+                        println!("{tag}");
+                    }
+                    println!("all");
+                    Ok(())
+                }
+                ("render", Some(name)) => cmd_render(&specs, name),
+                ("render", None) => Err("render needs a scenario name".to_string()),
+                ("run", Some(suite)) => cmd_run(&specs, &args, suite),
+                ("run", None) => Err("run needs a suite name (try `smoke` or `all`)".to_string()),
+                (other, _) => Err(format!("unknown command `{other}`\n{USAGE}")),
+            },
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

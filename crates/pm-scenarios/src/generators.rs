@@ -1,0 +1,322 @@
+//! The generator registry: every workload shape the workspace can build,
+//! behind one serializable enum.
+//!
+//! [`GeneratorSpec`] is the declarative form — a JSON-roundtrippable value
+//! naming a shape family and its parameters — and [`GeneratorSpec::build`]
+//! is the single place shapes are constructed. The underlying functions live
+//! in `pm_grid::builder` (deterministic families) and `pm_grid::random`
+//! (seeded random families) and are re-exported here so that callers that
+//! want a bare function (`pm-analysis` workloads, tests) and callers that
+//! want data (the corpus, the CLI) share exactly one source of shapes.
+
+pub use pm_grid::builder::{
+    annulus, comb, dumbbell, hexagon, line, parallelogram, parse_ascii, spiral, swiss_cheese,
+    to_ascii,
+};
+pub use pm_grid::random::{
+    caterpillar, k_hole_hexagon, random_blob, random_holey_hexagon, random_simply_connected_blob,
+};
+
+use pm_grid::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A declarative, serializable description of a workload shape.
+///
+/// Every variant is deterministic given its parameters (random families take
+/// an explicit seed), so a spec pins a shape exactly — across runs, machines
+/// and thread counts. Sizes are validated loosely by [`GeneratorSpec::build`]
+/// (degenerate parameters are clamped to the smallest valid instance rather
+/// than panicking, so arbitrary deserialized specs are safe to build).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GeneratorSpec {
+    /// A straight line of `n` points.
+    Line { n: u32 },
+    /// A filled hexagonal ball (`3r(r+1)+1` points).
+    Hexagon { radius: u32 },
+    /// A filled parallelogram (rhombus).
+    Parallelogram { width: u32, height: u32 },
+    /// A hexagonal ball minus a concentric ball (`inner < outer`; one hole).
+    Annulus { outer: u32, inner: u32 },
+    /// A hexagon with a regular pattern of single-point holes.
+    SwissCheese { radius: u32, spacing: u32 },
+    /// A spine with teeth every other point (large diameter per point).
+    Comb { teeth: u32, tooth_len: u32 },
+    /// The first `n` points of the hexagonal spiral order.
+    Spiral { n: u32 },
+    /// Two balls joined by a thin corridor (diameter stress test).
+    Dumbbell { radius: u32, corridor: u32 },
+    /// A line spine with seeded random teeth of length `0..=max_tooth`.
+    Caterpillar {
+        spine: u32,
+        max_tooth: u32,
+        seed: u64,
+    },
+    /// A random Eden-growth blob of exactly `n` points (may contain holes).
+    RandomBlob { n: u32, seed: u64 },
+    /// A random blob with its holes filled (at least `n` points).
+    SimplyConnectedBlob { n: u32, seed: u64 },
+    /// A hexagon with ~`hole_pct`% of its points punched as single-point
+    /// holes (the percentage is an integer so specs stay exactly
+    /// JSON-roundtrippable).
+    HoleyHexagon {
+        radius: u32,
+        hole_pct: u32,
+        seed: u64,
+    },
+    /// A hexagon with exactly `holes` single-point holes.
+    KHoleHexagon { radius: u32, holes: u32, seed: u64 },
+}
+
+/// The number of shape families in the registry.
+pub const FAMILY_COUNT: usize = 13;
+
+impl GeneratorSpec {
+    /// Builds the shape. Degenerate parameters (zero sizes, `inner >=
+    /// outer`) are clamped to the smallest valid instance, so any
+    /// deserialized spec builds a non-empty connected shape.
+    pub fn build(&self) -> Shape {
+        match *self {
+            GeneratorSpec::Line { n } => line(n.max(1)),
+            GeneratorSpec::Hexagon { radius } => hexagon(radius),
+            GeneratorSpec::Parallelogram { width, height } => {
+                parallelogram(width.max(1), height.max(1))
+            }
+            GeneratorSpec::Annulus { outer, inner } => {
+                let outer = outer.max(1);
+                annulus(outer, inner.min(outer - 1))
+            }
+            GeneratorSpec::SwissCheese { radius, spacing } => swiss_cheese(radius, spacing),
+            GeneratorSpec::Comb { teeth, tooth_len } => comb(teeth.max(1), tooth_len),
+            GeneratorSpec::Spiral { n } => spiral(n.max(1)),
+            GeneratorSpec::Dumbbell { radius, corridor } => dumbbell(radius, corridor),
+            GeneratorSpec::Caterpillar {
+                spine,
+                max_tooth,
+                seed,
+            } => caterpillar(spine.max(1), max_tooth, seed),
+            GeneratorSpec::RandomBlob { n, seed } => random_blob(n.max(1) as usize, seed),
+            GeneratorSpec::SimplyConnectedBlob { n, seed } => {
+                random_simply_connected_blob(n.max(1) as usize, seed)
+            }
+            GeneratorSpec::HoleyHexagon {
+                radius,
+                hole_pct,
+                seed,
+            } => random_holey_hexagon(radius, f64::from(hole_pct.min(40)) / 100.0, seed),
+            GeneratorSpec::KHoleHexagon {
+                radius,
+                holes,
+                seed,
+            } => k_hole_hexagon(radius, holes, seed),
+        }
+    }
+
+    /// The family name (stable identifiers for the CLI and reports).
+    pub fn family(&self) -> &'static str {
+        match self {
+            GeneratorSpec::Line { .. } => "line",
+            GeneratorSpec::Hexagon { .. } => "hexagon",
+            GeneratorSpec::Parallelogram { .. } => "parallelogram",
+            GeneratorSpec::Annulus { .. } => "annulus",
+            GeneratorSpec::SwissCheese { .. } => "swiss-cheese",
+            GeneratorSpec::Comb { .. } => "comb",
+            GeneratorSpec::Spiral { .. } => "spiral",
+            GeneratorSpec::Dumbbell { .. } => "dumbbell",
+            GeneratorSpec::Caterpillar { .. } => "caterpillar",
+            GeneratorSpec::RandomBlob { .. } => "random-blob",
+            GeneratorSpec::SimplyConnectedBlob { .. } => "simply-connected-blob",
+            GeneratorSpec::HoleyHexagon { .. } => "holey-hexagon",
+            GeneratorSpec::KHoleHexagon { .. } => "k-hole-hexagon",
+        }
+    }
+
+    /// All family names, in [`GeneratorSpec::sample`] index order.
+    pub fn families() -> [&'static str; FAMILY_COUNT] {
+        [
+            "line",
+            "hexagon",
+            "parallelogram",
+            "annulus",
+            "swiss-cheese",
+            "comb",
+            "spiral",
+            "dumbbell",
+            "caterpillar",
+            "random-blob",
+            "simply-connected-blob",
+            "holey-hexagon",
+            "k-hole-hexagon",
+        ]
+    }
+
+    /// A valid spec of the family with the given index (`family %
+    /// FAMILY_COUNT`), scaled by `size >= 1`, seeded by `seed` — the uniform
+    /// entry point property tests use to sweep the whole registry.
+    pub fn sample(family: usize, size: u32, seed: u64) -> GeneratorSpec {
+        let size = size.max(1);
+        match family % FAMILY_COUNT {
+            0 => GeneratorSpec::Line { n: size },
+            1 => GeneratorSpec::Hexagon { radius: size },
+            2 => GeneratorSpec::Parallelogram {
+                width: size,
+                height: (size / 2).max(1),
+            },
+            3 => GeneratorSpec::Annulus {
+                outer: size + 1,
+                inner: size / 2,
+            },
+            4 => GeneratorSpec::SwissCheese {
+                radius: size,
+                spacing: 2 + (seed % 3) as u32,
+            },
+            5 => GeneratorSpec::Comb {
+                teeth: size,
+                tooth_len: (size / 2).max(1),
+            },
+            6 => GeneratorSpec::Spiral { n: 3 * size + 1 },
+            7 => GeneratorSpec::Dumbbell {
+                radius: (size / 2).max(1),
+                corridor: size,
+            },
+            8 => GeneratorSpec::Caterpillar {
+                spine: size + 1,
+                max_tooth: (size / 3).max(1),
+                seed,
+            },
+            9 => GeneratorSpec::RandomBlob {
+                n: 3 * size + 1,
+                seed,
+            },
+            10 => GeneratorSpec::SimplyConnectedBlob {
+                n: 3 * size + 1,
+                seed,
+            },
+            11 => GeneratorSpec::HoleyHexagon {
+                radius: size,
+                hole_pct: (seed % 20) as u32,
+                seed,
+            },
+            _ => GeneratorSpec::KHoleHexagon {
+                radius: size,
+                holes: (size / 2).max(1),
+                seed,
+            },
+        }
+    }
+
+    /// An upper bound on the grid distance of any shape point from the
+    /// origin region — the "in-bounds" contract property tests check, so a
+    /// buggy generator cannot silently scatter points across the grid.
+    pub fn radius_bound(&self) -> u32 {
+        match *self {
+            GeneratorSpec::Line { n } => n.max(1),
+            GeneratorSpec::Hexagon { radius } => radius + 1,
+            GeneratorSpec::Parallelogram { width, height } => width.max(1) + height.max(1),
+            GeneratorSpec::Annulus { outer, .. } => outer.max(1) + 1,
+            GeneratorSpec::SwissCheese { radius, .. } => radius + 1,
+            GeneratorSpec::Comb { teeth, tooth_len } => 2 * teeth.max(1) + tooth_len + 1,
+            GeneratorSpec::Spiral { n } => n.max(1),
+            GeneratorSpec::Dumbbell { radius, corridor } => 3 * radius + corridor + 2,
+            GeneratorSpec::Caterpillar {
+                spine, max_tooth, ..
+            } => spine.max(1) + max_tooth + 1,
+            GeneratorSpec::RandomBlob { n, .. } => n.max(1),
+            GeneratorSpec::SimplyConnectedBlob { n, .. } => n.max(1),
+            GeneratorSpec::HoleyHexagon { radius, .. } => radius + 1,
+            GeneratorSpec::KHoleHexagon { radius, .. } => radius + 1,
+        }
+    }
+}
+
+impl fmt::Display for GeneratorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GeneratorSpec::Line { n } => write!(f, "line({n})"),
+            GeneratorSpec::Hexagon { radius } => write!(f, "hexagon({radius})"),
+            GeneratorSpec::Parallelogram { width, height } => {
+                write!(f, "parallelogram({width},{height})")
+            }
+            GeneratorSpec::Annulus { outer, inner } => write!(f, "annulus({outer},{inner})"),
+            GeneratorSpec::SwissCheese { radius, spacing } => {
+                write!(f, "swiss-cheese({radius},{spacing})")
+            }
+            GeneratorSpec::Comb { teeth, tooth_len } => write!(f, "comb({teeth},{tooth_len})"),
+            GeneratorSpec::Spiral { n } => write!(f, "spiral({n})"),
+            GeneratorSpec::Dumbbell { radius, corridor } => {
+                write!(f, "dumbbell({radius},{corridor})")
+            }
+            GeneratorSpec::Caterpillar {
+                spine,
+                max_tooth,
+                seed,
+            } => write!(f, "caterpillar({spine},{max_tooth};{seed})"),
+            GeneratorSpec::RandomBlob { n, seed } => write!(f, "random-blob({n};{seed})"),
+            GeneratorSpec::SimplyConnectedBlob { n, seed } => {
+                write!(f, "sc-blob({n};{seed})")
+            }
+            GeneratorSpec::HoleyHexagon {
+                radius,
+                hole_pct,
+                seed,
+            } => write!(f, "holey-hexagon({radius},{hole_pct}%;{seed})"),
+            GeneratorSpec::KHoleHexagon {
+                radius,
+                holes,
+                seed,
+            } => write!(f, "k-hole-hexagon({radius},{holes};{seed})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_is_sampleable_and_buildable() {
+        for (i, family) in GeneratorSpec::families().iter().enumerate() {
+            let spec = GeneratorSpec::sample(i, 4, 7);
+            assert_eq!(spec.family(), *family, "family order mismatch at {i}");
+            let shape = spec.build();
+            assert!(!shape.is_empty(), "{spec} is empty");
+            assert!(shape.is_connected(), "{spec} is disconnected");
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_clamp_instead_of_panicking() {
+        for spec in [
+            GeneratorSpec::Line { n: 0 },
+            GeneratorSpec::Hexagon { radius: 0 },
+            GeneratorSpec::Parallelogram {
+                width: 0,
+                height: 0,
+            },
+            GeneratorSpec::Annulus { outer: 0, inner: 9 },
+            GeneratorSpec::Spiral { n: 0 },
+            GeneratorSpec::RandomBlob { n: 0, seed: 1 },
+            GeneratorSpec::HoleyHexagon {
+                radius: 1,
+                hole_pct: 100,
+                seed: 1,
+            },
+        ] {
+            let shape = spec.build();
+            assert!(!shape.is_empty(), "{spec}");
+            assert!(shape.is_connected(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn display_labels_are_stable() {
+        assert_eq!(
+            GeneratorSpec::Hexagon { radius: 5 }.to_string(),
+            "hexagon(5)"
+        );
+        assert_eq!(
+            GeneratorSpec::RandomBlob { n: 40, seed: 3 }.to_string(),
+            "random-blob(40;3)"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Declarative scenarios for the leader-election workspace.
+//!
+//! The paper's evaluation (Table 1) sweeps algorithms across shape families
+//! and variant knobs; this crate turns that axis into *data*:
+//!
+//! * [`generators`] — the shape registry: a serializable [`GeneratorSpec`]
+//!   naming every workload family (deterministic and seeded-random), and the
+//!   single re-export surface for the underlying builder functions.
+//! * [`spec`] — [`ScenarioSpec`]: one election run as a JSON value (shape,
+//!   algorithm, scheduler, [`RunOptions`](pm_core::api::RunOptions) knobs,
+//!   perturbation script).
+//! * [`perturb`] — mid-run fault injection: remove-k-at-round-r and
+//!   split-along-a-column events with reset-and-recover semantics, threaded
+//!   through the runner via `RunObserver::on_round_start`.
+//! * [`corpus`] — the committed scenario corpus (`corpus/scenarios.json`)
+//!   and suite selection.
+//! * [`runner`] — drives suites through `pm_core::batch::BatchRunner` and
+//!   serializes the per-scenario [`RunReport`](pm_core::api::RunReport)s.
+//!
+//! The `pm-scenarios` binary exposes all of it on the command line:
+//!
+//! ```text
+//! pm-scenarios list                 # every scenario of the corpus
+//! pm-scenarios render smoke-annulus # ASCII-render a scenario's shape
+//! pm-scenarios run smoke            # run a suite, emit RunReport JSON
+//! ```
+
+pub mod corpus;
+pub mod generators;
+pub mod perturb;
+pub mod runner;
+pub mod spec;
+
+pub use corpus::{builtin_corpus, load_embedded, load_file, select, suite_tags};
+pub use generators::GeneratorSpec;
+pub use perturb::{PerturbationObserver, PerturbationSpec};
+pub use runner::{report_json, run_suite, ScenarioReport};
+pub use spec::{AlgorithmSpec, ScenarioSpec};

@@ -1,0 +1,206 @@
+//! Driving scenario suites through the thread-sharded batch runner.
+
+use crate::perturb::PerturbationObserver;
+use crate::spec::ScenarioSpec;
+use pm_core::api::{RunObserver, RunReport};
+use pm_core::batch::{BatchJob, BatchRunner, BatchScenario};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one scenario: either a full [`RunReport`] or the error the
+/// run surfaced (an *expected* datum for assumption-violation scenarios,
+/// e.g. erosion on shapes with holes).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// The scenario's name.
+    pub scenario: String,
+    /// The algorithm's stable name.
+    pub algorithm: String,
+    /// The generator label (family + parameters).
+    pub generator: String,
+    /// Initial particle count.
+    pub n: usize,
+    /// Number of scripted perturbation events.
+    pub perturbations: usize,
+    /// Whether the run produced a report.
+    pub ok: bool,
+    /// The election report (`null` when the run errored).
+    pub report: Option<RunReport>,
+    /// The error message (`null` when the run succeeded).
+    pub error: Option<String>,
+}
+
+/// Runs a suite through [`BatchRunner`] with the given worker count.
+///
+/// Results come back in scenario order and are **bit-identical across thread
+/// counts and repeated runs**: every shape, scheduler and perturbation is
+/// seeded, the batch merge is deterministic, and perturbation observers are
+/// built fresh per run.
+pub fn run_suite(specs: &[&ScenarioSpec], threads: usize) -> Vec<ScenarioReport> {
+    type BoxedFactory = Box<dyn Fn() -> Box<dyn RunObserver> + Sync>;
+    // Perturbation observers are built per *run* (inside the worker) from
+    // per-scenario factories, so batched perturbed runs equal sequential
+    // ones.
+    let factories: Vec<Option<BoxedFactory>> = specs
+        .iter()
+        .map(|spec| {
+            if spec.perturbations.is_empty() {
+                None
+            } else {
+                let script = spec.perturbations.clone();
+                let factory: BoxedFactory = Box::new(move || {
+                    Box::new(PerturbationObserver::new(script.clone())) as Box<dyn RunObserver>
+                });
+                Some(factory)
+            }
+        })
+        .collect();
+
+    // A perturbation script on an algorithm with no round-driven phase
+    // would never fire; reject the scenario up front rather than report a
+    // fault-free run as perturbed.
+    let rejections: Vec<Option<String>> = specs
+        .iter()
+        .map(|spec| {
+            if !spec.perturbations.is_empty() && !spec.algorithm.supports_perturbations() {
+                Some(format!(
+                    "perturbation script attached to `{}`, which runs no round-driven \
+                     phase — the script would never fire",
+                    spec.algorithm.name()
+                ))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let shapes: Vec<_> = specs.iter().map(|spec| spec.build_shape()).collect();
+    let sizes: Vec<usize> = shapes.iter().map(|shape| shape.len()).collect();
+    let mut jobs = Vec::with_capacity(specs.len());
+    for (((spec, factory), rejection), shape) in
+        specs.iter().zip(&factories).zip(&rejections).zip(shapes)
+    {
+        if rejection.is_some() {
+            continue;
+        }
+        let mut job = BatchJob::new(
+            spec.algorithm.instance(),
+            BatchScenario::new(spec.name.clone(), shape)
+                .options(spec.options)
+                .scheduler(spec.scheduler),
+        );
+        if let Some(factory) = factory {
+            job = job.observed(factory.as_ref());
+        }
+        jobs.push(job);
+    }
+
+    let mut results = BatchRunner::with_threads(threads)
+        .run_jobs(jobs)
+        .into_iter();
+
+    specs
+        .iter()
+        .zip(sizes)
+        .zip(rejections)
+        .map(|((spec, n), rejection)| {
+            let (ok, report, error) = match rejection {
+                Some(why) => (false, None, Some(why)),
+                None => match results.next().expect("one result per accepted job") {
+                    Ok(report) => (true, Some(report), None),
+                    Err(e) => (false, None, Some(e.to_string())),
+                },
+            };
+            ScenarioReport {
+                scenario: spec.name.clone(),
+                algorithm: spec.algorithm.name().to_string(),
+                generator: spec.generator.to_string(),
+                n,
+                perturbations: spec.perturbations.len(),
+                ok,
+                report,
+                error,
+            }
+        })
+        .collect()
+}
+
+/// Serializes a suite result as pretty JSON (newline-terminated — the byte
+/// format the golden determinism test and the CI smoke diff pin).
+pub fn report_json(reports: &[ScenarioReport]) -> String {
+    let mut text = serde_json::to_string_pretty(&reports.to_vec()).expect("reports serialize");
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{builtin_corpus, select, SMOKE};
+
+    #[test]
+    fn suite_results_are_identical_across_thread_counts() {
+        let corpus = builtin_corpus();
+        let smoke = select(&corpus, SMOKE);
+        let sequential = run_suite(&smoke, 1);
+        let sharded = run_suite(&smoke, 4);
+        assert_eq!(sequential, sharded);
+        assert!(sequential.iter().all(|r| r.ok), "smoke runs must succeed");
+        assert!(sequential.iter().any(|r| r.perturbations > 0));
+    }
+
+    #[test]
+    fn perturbation_scripts_on_closed_form_baselines_are_rejected() {
+        use crate::generators::GeneratorSpec;
+        use crate::perturb::PerturbationSpec;
+        use crate::spec::{AlgorithmSpec, ScenarioSpec};
+        let spec = ScenarioSpec::new("bad", GeneratorSpec::Hexagon { radius: 3 })
+            .algorithm(AlgorithmSpec::RandomizedBoundary)
+            .perturb(PerturbationSpec::RemoveRandom {
+                round: 1,
+                count: 2,
+                seed: 0,
+            });
+        let reports = run_suite(&[&spec], 1);
+        assert_eq!(reports.len(), 1);
+        assert!(!reports[0].ok);
+        assert!(
+            reports[0]
+                .error
+                .as_deref()
+                .unwrap_or_default()
+                .contains("would never fire"),
+            "{:?}",
+            reports[0].error
+        );
+        // The same script on erosion fires (round-driven phase exists). A
+        // line stays hole-free after removal + largest-component pruning,
+        // so the erosion family's hole-free assumption still holds.
+        let erosion = ScenarioSpec::new("ok", GeneratorSpec::Line { n: 20 })
+            .algorithm(AlgorithmSpec::Erosion)
+            .perturb(PerturbationSpec::RemoveRandom {
+                round: 0,
+                count: 5,
+                seed: 0,
+            });
+        let reports = run_suite(&[&erosion], 1);
+        let report = reports[0].report.as_ref().expect("erosion run succeeds");
+        assert!(report.final_positions.len() < report.n);
+        assert_eq!(
+            report.final_positions.len(),
+            report.leaders + report.followers
+        );
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let corpus = builtin_corpus();
+        let one = select(&corpus, "smoke-perturbed-remove");
+        let reports = run_suite(&one, 1);
+        let text = report_json(&reports);
+        let back: Vec<ScenarioReport> = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, reports);
+        let report = reports[0].report.as_ref().unwrap();
+        assert!(report.unique_leader());
+        assert!(report.final_positions.len() < report.n);
+    }
+}

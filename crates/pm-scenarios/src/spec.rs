@@ -1,0 +1,174 @@
+//! The declarative scenario: everything one election run needs, as data.
+
+use crate::generators::GeneratorSpec;
+use crate::perturb::PerturbationSpec;
+use pm_baselines::{ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary};
+use pm_core::api::{LeaderElection, PaperPipeline, RunOptions};
+use pm_core::batch::SchedulerSpec;
+use pm_grid::Shape;
+use serde::{Deserialize, Serialize};
+
+static PIPELINE: PaperPipeline = PaperPipeline;
+static EROSION: ErosionLeaderElection = ErosionLeaderElection;
+static RANDOMIZED: RandomizedBoundary = RandomizedBoundary;
+static QUADRATIC: QuadraticBoundary = QuadraticBoundary;
+
+/// A serializable name for each algorithm behind the unified
+/// [`LeaderElection`] trait.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlgorithmSpec {
+    /// The paper pipeline (`OBD → DLE → Collect`; phases selected through
+    /// [`RunOptions`]).
+    #[default]
+    Pipeline,
+    /// The no-movement erosion baseline (stalls on shapes with holes —
+    /// scenarios pairing the two are *expected* to report an error).
+    Erosion,
+    /// The randomized boundary baseline.
+    RandomizedBoundary,
+    /// The quadratic deterministic boundary baseline.
+    QuadraticBoundary,
+}
+
+impl AlgorithmSpec {
+    /// The algorithm instance.
+    pub fn instance(&self) -> &'static (dyn LeaderElection + Sync) {
+        match self {
+            AlgorithmSpec::Pipeline => &PIPELINE,
+            AlgorithmSpec::Erosion => &EROSION,
+            AlgorithmSpec::RandomizedBoundary => &RANDOMIZED,
+            AlgorithmSpec::QuadraticBoundary => &QUADRATIC,
+        }
+    }
+
+    /// The name the instance reports (`LeaderElection::name`).
+    pub fn name(&self) -> &'static str {
+        self.instance().name()
+    }
+
+    /// Whether the algorithm executes a round-driven phase that perturbation
+    /// scripts can target (`RunObserver::on_round_start`). The boundary
+    /// baselines are simulated in closed form — a script attached to them
+    /// would never fire, so the suite runner rejects such scenarios instead
+    /// of silently reporting a fault-free run as perturbed.
+    pub fn supports_perturbations(&self) -> bool {
+        matches!(self, AlgorithmSpec::Pipeline | AlgorithmSpec::Erosion)
+    }
+}
+
+/// One named, fully declarative election scenario: a generated shape, the
+/// algorithm and scheduler to run it with, the run options, and an optional
+/// perturbation script. Serializable, so whole workload suites live as JSON
+/// corpora (`corpus/scenarios.json`) instead of code.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Unique scenario name (referenced by the CLI's `render`/`run`).
+    pub name: String,
+    /// Suite tags (`run <tag>` selects every scenario carrying the tag).
+    pub tags: Vec<String>,
+    /// The workload shape.
+    pub generator: GeneratorSpec,
+    /// The algorithm to run.
+    pub algorithm: AlgorithmSpec,
+    /// The activation scheduler.
+    pub scheduler: SchedulerSpec,
+    /// Run options (variant knobs: boundary knowledge, reconnection,
+    /// occupancy backend, budgets).
+    pub options: RunOptions,
+    /// Adversarial events fired mid-run (empty = fault-free).
+    pub perturbations: Vec<PerturbationSpec>,
+}
+
+impl ScenarioSpec {
+    /// A scenario with the default algorithm (paper pipeline), the default
+    /// measurement scheduler (`SeededRandom(7)`), default options, no tags
+    /// and no perturbations.
+    pub fn new(name: impl Into<String>, generator: GeneratorSpec) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.into(),
+            tags: Vec::new(),
+            generator,
+            algorithm: AlgorithmSpec::Pipeline,
+            scheduler: SchedulerSpec::SeededRandom(7),
+            options: RunOptions::default(),
+            perturbations: Vec::new(),
+        }
+    }
+
+    /// Adds a suite tag.
+    pub fn tag(mut self, tag: &str) -> ScenarioSpec {
+        self.tags.push(tag.to_string());
+        self
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, algorithm: AlgorithmSpec) -> ScenarioSpec {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the scheduler.
+    pub fn scheduler(mut self, scheduler: SchedulerSpec) -> ScenarioSpec {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Replaces the run options.
+    pub fn options(mut self, options: RunOptions) -> ScenarioSpec {
+        self.options = options;
+        self
+    }
+
+    /// Appends a perturbation event.
+    pub fn perturb(mut self, perturbation: PerturbationSpec) -> ScenarioSpec {
+        self.perturbations.push(perturbation);
+        self
+    }
+
+    /// Builds the scenario's initial shape.
+    pub fn build_shape(&self) -> Shape {
+        self.generator.build()
+    }
+
+    /// Whether the scenario carries the given suite tag.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_specs_name_their_instances() {
+        assert_eq!(AlgorithmSpec::Pipeline.name(), "dle+collect");
+        assert_eq!(AlgorithmSpec::Erosion.name(), "erosion-le");
+        assert_eq!(
+            AlgorithmSpec::RandomizedBoundary.name(),
+            "randomized-boundary"
+        );
+        assert_eq!(
+            AlgorithmSpec::QuadraticBoundary.name(),
+            "quadratic-boundary"
+        );
+    }
+
+    #[test]
+    fn builder_composes() {
+        let spec = ScenarioSpec::new("s", GeneratorSpec::Hexagon { radius: 3 })
+            .tag("smoke")
+            .algorithm(AlgorithmSpec::Erosion)
+            .scheduler(SchedulerSpec::RoundRobin)
+            .perturb(PerturbationSpec::RemoveRandom {
+                round: 2,
+                count: 3,
+                seed: 1,
+            });
+        assert!(spec.has_tag("smoke"));
+        assert!(!spec.has_tag("full"));
+        assert_eq!(spec.algorithm, AlgorithmSpec::Erosion);
+        assert_eq!(spec.perturbations.len(), 1);
+        assert_eq!(spec.build_shape().len(), 37);
+    }
+}

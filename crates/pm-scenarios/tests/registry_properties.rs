@@ -1,0 +1,49 @@
+//! Property tests of the generator registry: every family, at arbitrary
+//! sizes and seeds, yields a non-empty connected in-bounds shape, and specs
+//! are lossless through JSON.
+
+use pm_grid::Point;
+use pm_scenarios::generators::FAMILY_COUNT;
+use pm_scenarios::GeneratorSpec;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = GeneratorSpec> {
+    (0usize..FAMILY_COUNT, 1u32..12, any::<u64>())
+        .prop_map(|(family, size, seed)| GeneratorSpec::sample(family, size, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every registry generator yields a connected, non-empty shape whose
+    /// points stay within the spec's declared radius bound.
+    #[test]
+    fn registry_shapes_are_connected_and_in_bounds(spec in spec_strategy()) {
+        let shape = spec.build();
+        prop_assert!(!shape.is_empty(), "{spec} is empty");
+        prop_assert!(shape.is_connected(), "{spec} is disconnected");
+        let bound = spec.radius_bound();
+        for p in shape.iter() {
+            prop_assert!(
+                Point::ORIGIN.grid_distance(p) <= bound,
+                "{spec}: point {p} beyond radius bound {bound}"
+            );
+        }
+    }
+
+    /// Generator specs are lossless through JSON text.
+    #[test]
+    fn generator_specs_round_trip_through_json(spec in spec_strategy()) {
+        let text = serde_json::to_string(&spec).expect("spec serializes");
+        let back: GeneratorSpec = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        prop_assert_eq!(back, spec);
+    }
+
+    /// Seeded families are deterministic: the same spec builds the same
+    /// shape twice.
+    #[test]
+    fn registry_shapes_are_deterministic(spec in spec_strategy()) {
+        prop_assert_eq!(spec.build(), spec.build(), "{} not deterministic", spec);
+    }
+}

@@ -15,6 +15,9 @@
 //!   trait, the [`Election`] builder and the serializable [`RunReport`].
 //! * [`baselines`] (`pm-baselines`) — the comparison algorithms of Table 1,
 //!   all behind the same [`LeaderElection`] trait.
+//! * [`scenarios`] (`pm-scenarios`) — the declarative scenario subsystem:
+//!   the generator registry, serializable `ScenarioSpec`s with perturbation
+//!   scripts, the committed corpus and the `pm-scenarios` CLI.
 //! * [`analysis`] (`pm-analysis`) — experiment harness regenerating the
 //!   paper's table and the scaling figures over `&dyn LeaderElection`.
 //!
@@ -55,6 +58,7 @@ pub use pm_analysis as analysis;
 pub use pm_baselines as baselines;
 pub use pm_core as leader_election;
 pub use pm_grid as grid;
+pub use pm_scenarios as scenarios;
 
 pub use pm_core::api::{
     Election, ElectionBuilder, ElectionError, LeaderElection, RunObserver, RunOptions, RunReport,

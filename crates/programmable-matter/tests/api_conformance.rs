@@ -7,7 +7,6 @@
 //! expected assumption violations (erosion on shapes with holes) must surface
 //! as `ElectionError::Stuck`, not as wrong answers.
 
-use programmable_matter::amoebot::generators::{dumbbell, random_blob};
 use programmable_matter::amoebot::scheduler::{
     DoubleActivation, ReverseRoundRobin, RoundRobin, Scheduler, SeededRandom,
 };
@@ -17,6 +16,7 @@ use programmable_matter::baselines::{
 use programmable_matter::grid::builder::{annulus, comb, hexagon, line, swiss_cheese};
 use programmable_matter::grid::Shape;
 use programmable_matter::leader_election::PaperPipeline;
+use programmable_matter::scenarios::generators::{dumbbell, random_blob};
 use programmable_matter::{Election, ElectionError, LeaderElection, RunReport};
 
 /// The shared scenario matrix: `(label, shape, has_holes)`.

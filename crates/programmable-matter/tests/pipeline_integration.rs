@@ -2,7 +2,6 @@
 //! verification, plus the relative ordering of the paper's algorithm and the
 //! baselines — all through the unified `Election`/`LeaderElection` API.
 
-use programmable_matter::amoebot::generators::{self, random_blob, random_holey_hexagon};
 use programmable_matter::amoebot::scheduler::{
     DoubleActivation, ReverseRoundRobin, RoundRobin, SeededRandom,
 };
@@ -11,6 +10,7 @@ use programmable_matter::baselines::{QuadraticBoundary, RandomizedBoundary};
 use programmable_matter::grid::Shape;
 use programmable_matter::leader_election::api::phase;
 use programmable_matter::leader_election::obd::run_obd;
+use programmable_matter::scenarios::generators::{self, random_blob, random_holey_hexagon};
 use programmable_matter::Election;
 
 /// A representative mix of workloads spanning every structural class.

@@ -3,13 +3,13 @@
 //! bounds and the OBD correctness — all driven through the unified
 //! `Election` API.
 
-use programmable_matter::amoebot::generators::{random_blob, random_holey_hexagon};
 use programmable_matter::amoebot::scheduler::SeededRandom;
 use programmable_matter::analysis::ShapeStats;
 use programmable_matter::grid::Shape;
 use programmable_matter::leader_election::api::phase;
 use programmable_matter::leader_election::collect::CollectSimulator;
 use programmable_matter::leader_election::obd::ObdSimulator;
+use programmable_matter::scenarios::generators::{random_blob, random_holey_hexagon};
 use programmable_matter::Election;
 use proptest::prelude::*;
 

@@ -1,10 +1,10 @@
 //! Property-based tests of the geometric substrate, driven by randomly
 //! generated connected shapes.
 
-use programmable_matter::amoebot::generators::{
+use programmable_matter::grid::{boundary_rings, sce_points, ErosionProcess, Metric, Point, Shape};
+use programmable_matter::scenarios::generators::{
     random_blob, random_holey_hexagon, random_simply_connected_blob,
 };
-use programmable_matter::grid::{boundary_rings, sce_points, ErosionProcess, Metric, Point, Shape};
 use proptest::prelude::*;
 
 fn blob_strategy() -> impl Strategy<Value = Shape> {
