@@ -165,6 +165,13 @@ impl std::error::Error for RunError {}
 
 /// Executes an [`Algorithm`] on a [`ParticleSystem`] under a [`Scheduler`],
 /// counting asynchronous rounds and movement operations.
+///
+/// The runner is *resumable*: [`Runner::step`] executes exactly one
+/// asynchronous round against the persistent [`Runner::stats`], and
+/// [`Runner::control`] hands out a [`SystemControl`] for mid-run mutation
+/// between rounds — the substrate of the steppable `Execution` handle in
+/// `pm-core`. [`Runner::run`] and [`Runner::run_observed`] are loops over
+/// the same stepping surface.
 pub struct Runner<A: Algorithm, S: Scheduler> {
     system: ParticleSystem<A::Memory>,
     algorithm: A,
@@ -181,20 +188,24 @@ pub struct Runner<A: Algorithm, S: Scheduler> {
     /// Scratch buffers for the woken-particle merge, reused across rounds.
     woken: Vec<ParticleId>,
     merge_buf: Vec<ParticleId>,
+    /// Cumulative statistics across all rounds stepped so far (persistent:
+    /// stepping is resumable, so the counters survive between calls).
+    stats: RunStats,
     /// When set, connectivity of the occupied shape is checked after every
     /// round and the results are reported in [`RunStats`]. Costs one BFS per
     /// round.
     pub track_connectivity: bool,
 }
 
-/// The [`SystemControl`] view the runner hands to pre-round hooks: mutable
+/// The [`SystemControl`] view handed out by [`Runner::control`]: mutable
 /// system access paired with the algorithm (whose initializer
-/// [`SystemControl::reinitialize`] needs), recording whether the hook
-/// mutated anything so the runner can rebuild its live list.
-struct RunnerControl<'a, A: Algorithm> {
+/// [`SystemControl::reinitialize`] needs). Any mutation un-primes the
+/// runner's live-particle list, so the next round rebuilds it from the
+/// perturbed configuration.
+pub struct RunnerControl<'a, A: Algorithm> {
     system: &'a mut ParticleSystem<A::Memory>,
     algorithm: &'a A,
-    mutated: bool,
+    live_primed: &'a mut bool,
 }
 
 impl<A: Algorithm> SystemControl for RunnerControl<'_, A> {
@@ -218,7 +229,11 @@ impl<A: Algorithm> SystemControl for RunnerControl<'_, A> {
         match self.system.particle_at(p) {
             Some(id) => {
                 let removed = self.system.remove_particle(id);
-                self.mutated |= removed;
+                if removed {
+                    // The configuration changed under the algorithm's feet:
+                    // rebuild the live list from scratch next round.
+                    *self.live_primed = false;
+                }
                 removed
             }
             None => false,
@@ -227,7 +242,7 @@ impl<A: Algorithm> SystemControl for RunnerControl<'_, A> {
 
     fn reinitialize(&mut self) {
         self.system.reinitialize(self.algorithm);
-        self.mutated = true;
+        *self.live_primed = false;
     }
 }
 
@@ -244,6 +259,7 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
             order: Vec::new(),
             woken: Vec::new(),
             merge_buf: Vec::new(),
+            stats: RunStats::default(),
             track_connectivity: false,
         }
     }
@@ -270,8 +286,60 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
         self.system
     }
 
+    /// The cumulative statistics of all rounds stepped so far. Movement
+    /// counters and final connectivity are folded in by
+    /// [`Runner::finalize`]; until then only rounds, activations and the
+    /// connectivity-tracking fields are populated.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Whether the algorithm reports completion on the current system state.
+    pub fn is_complete(&self) -> bool {
+        self.algorithm.is_complete(&self.system)
+    }
+
+    /// Mutable access to the particle system between rounds, as the
+    /// [`SystemControl`] mutation surface: the entry point for mid-run
+    /// perturbations (remove particles, reset the survivors). Mutations
+    /// un-prime the live-particle list, so the next [`Runner::step`]
+    /// rebuilds it from the perturbed configuration.
+    pub fn control(&mut self) -> RunnerControl<'_, A> {
+        RunnerControl {
+            system: &mut self.system,
+            algorithm: &self.algorithm,
+            live_primed: &mut self.live_primed,
+        }
+    }
+
+    /// Executes exactly one asynchronous round against the persistent
+    /// [`Runner::stats`] and returns the updated statistics. Stepping a
+    /// completed algorithm is harmless (every activation is a no-op) but
+    /// still counts a round; callers normally consult
+    /// [`Runner::is_complete`] first.
+    pub fn step(&mut self) -> &RunStats {
+        let mut stats = self.stats;
+        self.run_round(&mut stats);
+        self.stats = stats;
+        &self.stats
+    }
+
+    /// Folds the movement counters and the final-connectivity check into the
+    /// persistent statistics and returns them — the last step of a completed
+    /// run.
+    pub fn finalize(&mut self) -> RunStats {
+        let (e, c, h) = self.system.move_counts();
+        self.stats.expansions = e;
+        self.stats.contractions = c;
+        self.stats.handovers = h;
+        self.stats.final_connected = Some(self.system.is_connected());
+        self.stats
+    }
+
     /// Runs the algorithm until it reports completion, or fails after
-    /// `max_rounds` rounds.
+    /// `max_rounds` *total* rounds (the budget spans resumed runs: stepping
+    /// is persistent, so a runner that already stepped `k` rounds has
+    /// `max_rounds - k` left).
     ///
     /// # Errors
     ///
@@ -284,71 +352,30 @@ impl<A: Algorithm, S: Scheduler> Runner<A, S> {
 
     /// Like [`Runner::run`], but invokes `on_round` with the system and the
     /// cumulative statistics after every completed asynchronous round — the
-    /// hook behind round-by-round instrumentation (`RunObserver` in
-    /// `pm-core`) and tracing tools.
+    /// hook behind round-by-round tracing tools.
     ///
     /// # Errors
     ///
     /// Same as [`Runner::run`].
-    pub fn run_observed<F>(&mut self, max_rounds: u64, on_round: F) -> Result<RunStats, RunError>
-    where
-        F: FnMut(&ParticleSystem<A::Memory>, &RunStats),
-    {
-        self.run_hooked(max_rounds, |_, _| {}, on_round)
-    }
-
-    /// Like [`Runner::run_observed`], with an additional *pre-round* hook
-    /// that receives mutable access to the particle system (as a
-    /// [`SystemControl`]) before each round — the entry point for mid-run
-    /// perturbations (`pm-scenarios`). If the hook mutates the system, the
-    /// runner rebuilds its live-particle list from scratch before the round
-    /// runs.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Runner::run`]; additionally [`RunError::EmptySystem`] if a
-    /// perturbation removes every particle.
-    pub fn run_hooked<P, F>(
+    pub fn run_observed<F>(
         &mut self,
         max_rounds: u64,
-        mut pre_round: P,
         mut on_round: F,
     ) -> Result<RunStats, RunError>
     where
-        P: FnMut(u64, &mut dyn SystemControl),
         F: FnMut(&ParticleSystem<A::Memory>, &RunStats),
     {
         if self.system.is_empty() {
             return Err(RunError::EmptySystem);
         }
-        let mut stats = RunStats::default();
-        while !self.algorithm.is_complete(&self.system) {
-            if stats.rounds >= max_rounds {
+        while !self.is_complete() {
+            if self.stats.rounds >= max_rounds {
                 return Err(RunError::RoundLimitExceeded { limit: max_rounds });
             }
-            let mut control = RunnerControl {
-                system: &mut self.system,
-                algorithm: &self.algorithm,
-                mutated: false,
-            };
-            pre_round(stats.rounds, &mut control);
-            if control.mutated {
-                // The configuration changed under the algorithm's feet:
-                // rebuild the live list from scratch next round.
-                self.live_primed = false;
-                if self.system.is_empty() {
-                    return Err(RunError::EmptySystem);
-                }
-            }
-            self.run_round(&mut stats);
-            on_round(&self.system, &stats);
+            self.step();
+            on_round(&self.system, &self.stats);
         }
-        let (e, c, h) = self.system.move_counts();
-        stats.expansions = e;
-        stats.contractions = c;
-        stats.handovers = h;
-        stats.final_connected = Some(self.system.is_connected());
-        Ok(stats)
+        Ok(self.finalize())
     }
 
     /// Brings the live list up to date: drops terminated, removed and parked
@@ -665,6 +692,52 @@ mod tests {
             runner.run(7),
             Err(RunError::RoundLimitExceeded { limit: 7 })
         );
+    }
+
+    #[test]
+    fn stepping_is_resumable_and_equals_one_shot_runs() {
+        // Driving the runner round by round must produce exactly the
+        // statistics of a one-shot `run`, and `run` must resume seamlessly
+        // from a partially stepped runner.
+        let one_shot = {
+            let sys = ParticleSystem::from_shape(&hexagon(2), &CountToThree);
+            let mut runner = Runner::new(sys, CountToThree, RoundRobin);
+            runner.run(10).unwrap()
+        };
+        let sys = ParticleSystem::from_shape(&hexagon(2), &CountToThree);
+        let mut runner = Runner::new(sys, CountToThree, RoundRobin);
+        runner.step();
+        assert_eq!(runner.stats().rounds, 1);
+        assert!(!runner.is_complete());
+        let resumed = runner.run(10).unwrap();
+        assert_eq!(resumed, one_shot);
+        assert!(runner.is_complete());
+    }
+
+    #[test]
+    fn control_mutations_rebuild_the_live_list() {
+        // Remove a particle and reset between rounds: the run must continue
+        // on the perturbed configuration and still complete.
+        let sys = ParticleSystem::from_shape(&line(6), &CountToThree);
+        let mut runner = Runner::new(sys, CountToThree, RoundRobin);
+        runner.step();
+        {
+            let mut control = runner.control();
+            assert_eq!(control.particle_count(), 6);
+            assert!(control.remove_at(pm_grid::Point::new(5, 0)));
+            assert!(
+                !control.remove_at(pm_grid::Point::new(5, 0)),
+                "already gone"
+            );
+            control.reinitialize();
+            assert_eq!(control.particle_count(), 5);
+            assert!(control.is_connected());
+            assert_eq!(control.occupied_shape().len(), 5);
+        }
+        let stats = runner.run(20).unwrap();
+        assert!(runner.system().all_terminated());
+        // One round before the reset, three after it (memories restarted).
+        assert_eq!(stats.rounds, 4);
     }
 
     #[test]

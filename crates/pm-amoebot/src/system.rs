@@ -291,9 +291,9 @@ fn init_context(analysis: &pm_grid::ShapeAnalysis, point: Point) -> InitContext 
 
 /// The mutation surface a perturbation script sees mid-run.
 ///
-/// The runner hands a `&mut dyn SystemControl` to
-/// `RunObserver::on_round_start` (in `pm-core`) at the start of every round
-/// of a round-driven phase, so observers can inject adversarial
+/// [`Runner::control`](crate::scheduler::Runner::control) hands out a
+/// `SystemControl` between rounds of a round-driven phase (surfaced upward
+/// as `Execution::system` in `pm-core`), so callers can inject adversarial
 /// perturbations — remove particles, split the configuration — without
 /// knowing the algorithm's memory type. After mutating, a perturbation calls
 /// [`SystemControl::reinitialize`]: the adversary resets the survivors into a

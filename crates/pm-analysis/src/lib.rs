@@ -16,7 +16,7 @@
 //! * [`table`] — plain-text/markdown tables printed by the benchmark
 //!   binaries.
 //! * [`workloads`] — the named shape families used across the experiments.
-//! * [`experiments`] — one function per experiment id (T1, F2, …, F8).
+//! * [`experiments`] — one function per experiment id (T1, F2, …, F9).
 
 pub mod experiments;
 pub mod fit;
@@ -25,9 +25,9 @@ pub mod table;
 pub mod workloads;
 
 pub use experiments::{
-    experiment_breadcrumbs, experiment_collect_scaling, experiment_dle_scaling,
-    experiment_erosion_ablation, experiment_full_pipeline, experiment_obd_scaling,
-    experiment_scheduler_robustness, experiment_table1,
+    experiment_breadcrumbs, experiment_collect_scaling, experiment_convergence,
+    experiment_dle_scaling, experiment_erosion_ablation, experiment_full_pipeline,
+    experiment_obd_scaling, experiment_scheduler_robustness, experiment_table1,
 };
 pub use fit::{linear_fit, loglog_slope, Fit};
 pub use stats::ShapeStats;

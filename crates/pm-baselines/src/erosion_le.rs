@@ -1,5 +1,5 @@
-//! The no-movement erosion baseline (the Di Luna et al. [22] / Gastineau et
-//! al. [27] family).
+//! The no-movement erosion baseline (the Di Luna et al. \[22\] / Gastineau et
+//! al. \[27\] family).
 //!
 //! Candidates erode themselves from the *particle shape* (not the area):
 //! a contracted, undecided particle whose undecided neighbourhood makes it a
@@ -16,12 +16,13 @@
 
 use pm_amoebot::algorithm::{ActivationContext, Algorithm, InitContext};
 use pm_amoebot::scheduler::{RunError, Runner, Scheduler};
-use pm_amoebot::system::ParticleSystem;
+use pm_amoebot::system::{ParticleSystem, SystemControl};
 use pm_core::api::{
-    check_initial_configuration, phase, ConnectivityReport, ElectionError, LeaderElection,
-    PhaseReport, RunObserver, RunOptions, RunReport,
+    check_initial_configuration, phase, ConnectivityReport, ElectionError, Execution,
+    ExecutionDriver, ExecutionStatus, LeaderElection, PhaseReport, RunOptions, RunReport,
+    StepOutcome,
 };
-use pm_core::dle::Status;
+use pm_core::dle::{count_decisions, Status};
 use pm_grid::{local_sce, Shape, DIRECTIONS};
 use serde::{Deserialize, Serialize};
 
@@ -93,22 +94,207 @@ impl Algorithm for ErosionLeaderElection {
     }
 }
 
+/// The erosion execution's position: one round-driven `election` phase.
+enum ErosionState {
+    Start,
+    Rounds,
+    Finish,
+    Done(RunReport),
+}
+
+/// The resumable state machine behind [`ErosionLeaderElection`]'s
+/// [`LeaderElection::start`].
+struct ErosionExecution<'a> {
+    opts: RunOptions,
+    scheduler_name: &'static str,
+    n: usize,
+    /// The live round-driven phase; consumed when the election ends.
+    runner: Option<Runner<ErosionLeaderElection, &'a mut dyn Scheduler>>,
+    budget: u64,
+    phase_report: Option<PhaseReport>,
+    state: ErosionState,
+}
+
+/// `(decided, undecided)` status counts over a live erosion system (the
+/// shared [`count_decisions`] tally).
+fn erosion_counts(system: &ParticleSystem<ErosionMemory>) -> (usize, usize) {
+    count_decisions(system.iter().map(|(_, p)| p.memory().status))
+}
+
+impl ExecutionDriver for ErosionExecution<'_> {
+    fn step(&mut self) -> Result<StepOutcome, ElectionError> {
+        match &mut self.state {
+            ErosionState::Start => {
+                self.state = ErosionState::Rounds;
+                Ok(StepOutcome::PhaseStarted {
+                    phase: phase::ELECTION,
+                })
+            }
+            ErosionState::Rounds => {
+                let runner = self.runner.as_mut().expect("Rounds state holds a runner");
+                if runner.system().is_empty() {
+                    // Only a caller-side perturbation can empty the system
+                    // (start() validated the initial shape non-empty), so
+                    // this is a runtime fault, not an invalid input —
+                    // classified exactly as the pipeline driver does.
+                    return Err(ElectionError::Run(RunError::EmptySystem));
+                }
+                if runner.is_complete() {
+                    let mut runner = self.runner.take().expect("checked above");
+                    runner.finalize();
+                    let stats = *runner.stats();
+                    let report = PhaseReport {
+                        name: phase::ELECTION.to_string(),
+                        rounds: stats.rounds,
+                        activations: stats.activations,
+                        moves: stats.moves(),
+                    };
+                    self.phase_report = Some(report.clone());
+                    // The finished system is still needed for the final
+                    // report; keep it by putting the runner back.
+                    self.runner = Some(runner);
+                    self.state = ErosionState::Finish;
+                    return Ok(StepOutcome::PhaseEnded { report });
+                }
+                if runner.stats().rounds >= self.budget {
+                    // The erosion stalling (reliably: shapes with holes) is
+                    // a documented limitation of the family, not an
+                    // execution bug.
+                    return Err(ElectionError::Stuck {
+                        after_rounds: self.budget,
+                    });
+                }
+                let stats = runner.step();
+                Ok(StepOutcome::RoundCompleted {
+                    phase: phase::ELECTION,
+                    rounds: stats.rounds,
+                })
+            }
+            ErosionState::Finish => {
+                let runner = self.runner.as_ref().expect("Finish keeps the system");
+                let system = runner.system();
+                let stats = *runner.stats();
+                // No particle ever moves, but a caller-side perturbation may
+                // have removed particles mid-run, so the final configuration
+                // is read off the post-run system rather than assumed to be
+                // the initial shape.
+                let final_positions: Vec<_> = system.iter().map(|(_, p)| p.head()).collect();
+                let final_connected = system.is_connected();
+                let mut leaders = 0usize;
+                let mut followers = 0usize;
+                let mut undecided = 0usize;
+                let mut leader = None;
+                for (_, p) in system.iter() {
+                    match p.memory().status {
+                        Status::Leader => {
+                            leaders += 1;
+                            leader = Some(p.head());
+                        }
+                        Status::Follower => followers += 1,
+                        Status::Undecided => undecided += 1,
+                    }
+                }
+                let phase_report = self.phase_report.clone().expect("the election phase ended");
+                let report = RunReport {
+                    algorithm: "erosion-le".to_string(),
+                    scheduler: self.scheduler_name.to_string(),
+                    n: self.n,
+                    leader: leader.expect("a terminated erosion run has elected a leader"),
+                    leaders,
+                    followers,
+                    undecided,
+                    total_rounds: phase_report.rounds,
+                    activations: phase_report.activations,
+                    moves: phase_report.moves,
+                    phases: vec![phase_report],
+                    peak_memory_bits: EROSION_MEMORY_BITS,
+                    connectivity: ConnectivityReport {
+                        tracked: self.opts.track_connectivity,
+                        ever_disconnected: stats.ever_disconnected,
+                        disconnected_rounds: stats.disconnected_rounds,
+                    },
+                    final_connected,
+                    final_positions,
+                };
+                self.state = ErosionState::Done(report.clone());
+                Ok(StepOutcome::Finished(report))
+            }
+            ErosionState::Done(report) => Ok(StepOutcome::Finished(report.clone())),
+        }
+    }
+
+    fn status(&self) -> ExecutionStatus {
+        let (phase, rounds, next_round, counts) = match &self.state {
+            ErosionState::Start => (None, 0, None, None),
+            ErosionState::Rounds => {
+                let runner = self.runner.as_ref().expect("Rounds state holds a runner");
+                let rounds = runner.stats().rounds;
+                let next = if !runner.is_complete() && rounds < self.budget {
+                    Some(rounds)
+                } else {
+                    None
+                };
+                (
+                    Some(phase::ELECTION),
+                    rounds,
+                    next,
+                    Some(erosion_counts(runner.system())),
+                )
+            }
+            ErosionState::Finish | ErosionState::Done(_) => {
+                let counts = self
+                    .runner
+                    .as_ref()
+                    .map(|runner| erosion_counts(runner.system()));
+                let rounds = self.phase_report.as_ref().map_or(0, |report| report.rounds);
+                (None, rounds, None, counts)
+            }
+        };
+        let (decided, undecided) = counts.unwrap_or((0, self.n));
+        ExecutionStatus {
+            algorithm: "erosion-le",
+            phase,
+            rounds_in_phase: if phase.is_some() { rounds } else { 0 },
+            total_rounds: rounds,
+            decided,
+            undecided,
+            next_round,
+            finished: matches!(self.state, ErosionState::Done(_)),
+        }
+    }
+
+    fn next_round(&self) -> Option<(&'static str, u64)> {
+        if !matches!(self.state, ErosionState::Rounds) {
+            return None;
+        }
+        let runner = self.runner.as_ref()?;
+        let rounds = runner.stats().rounds;
+        (!runner.is_complete() && rounds < self.budget).then_some((phase::ELECTION, rounds))
+    }
+
+    fn control(&mut self) -> Option<Box<dyn SystemControl + '_>> {
+        if !matches!(self.state, ErosionState::Rounds) {
+            return None;
+        }
+        self.runner
+            .as_mut()
+            .map(|runner| Box::new(runner.control()) as Box<dyn SystemControl + '_>)
+    }
+}
+
 impl LeaderElection for ErosionLeaderElection {
     fn name(&self) -> &'static str {
         "erosion-le"
     }
 
-    fn elect_observed(
-        &self,
-        shape: &Shape,
-        scheduler: &mut dyn Scheduler,
+    fn start<'a>(
+        &'a self,
+        shape: &'a Shape,
+        scheduler: &'a mut dyn Scheduler,
         opts: &RunOptions,
-        observer: &mut dyn RunObserver,
-    ) -> Result<RunReport, ElectionError> {
+    ) -> Result<Execution<'a>, ElectionError> {
         check_initial_configuration(shape)?;
         let scheduler_name = scheduler.name();
-        observer.on_phase_start(self.name(), phase::ELECTION);
-
         let system =
             ParticleSystem::from_shape_with_backend(shape, &ErosionLeaderElection, opts.occupancy);
         let mut runner = Runner::new(system, ErosionLeaderElection, scheduler);
@@ -116,76 +302,15 @@ impl LeaderElection for ErosionLeaderElection {
         let budget = opts
             .round_budget
             .unwrap_or_else(|| 8 * (shape.len() as u64 + 8));
-        let shared = std::cell::RefCell::new(observer);
-        let stats = runner
-            .run_hooked(
-                budget,
-                |round, system| {
-                    shared
-                        .borrow_mut()
-                        .on_round_start(phase::ELECTION, round, system)
-                },
-                |_, stats| shared.borrow_mut().on_round(phase::ELECTION, stats.rounds),
-            )
-            .map_err(|e| match e {
-                // The erosion stalling (reliably: shapes with holes) is a
-                // documented limitation of the family, not an execution bug.
-                RunError::RoundLimitExceeded { limit } => ElectionError::Stuck {
-                    after_rounds: limit,
-                },
-                RunError::EmptySystem => ElectionError::InvalidInitialConfiguration("empty shape"),
-            })?;
-        let observer = shared.into_inner();
-
-        let system = runner.into_system();
-        // No particle ever moves, but a perturbation observer may have
-        // removed particles mid-run, so the final configuration is read off
-        // the post-run system rather than assumed to be the initial shape.
-        let final_positions: Vec<_> = system.iter().map(|(_, p)| p.head()).collect();
-        let final_connected = system.is_connected();
-        let mut leaders = 0usize;
-        let mut followers = 0usize;
-        let mut undecided = 0usize;
-        let mut leader = None;
-        for (_, p) in system.iter() {
-            match p.memory().status {
-                Status::Leader => {
-                    leaders += 1;
-                    leader = Some(p.head());
-                }
-                Status::Follower => followers += 1,
-                Status::Undecided => undecided += 1,
-            }
-        }
-        let report = PhaseReport {
-            name: phase::ELECTION.to_string(),
-            rounds: stats.rounds,
-            activations: stats.activations,
-            moves: stats.moves(),
-        };
-        observer.on_phase_end(self.name(), &report);
-
-        Ok(RunReport {
-            algorithm: self.name().to_string(),
-            scheduler: scheduler_name.to_string(),
+        Ok(Execution::new(ErosionExecution {
+            opts: *opts,
+            scheduler_name,
             n: shape.len(),
-            leader: leader.expect("a terminated erosion run has elected a leader"),
-            leaders,
-            followers,
-            undecided,
-            total_rounds: report.rounds,
-            activations: report.activations,
-            moves: report.moves,
-            phases: vec![report],
-            peak_memory_bits: EROSION_MEMORY_BITS,
-            connectivity: ConnectivityReport {
-                tracked: opts.track_connectivity,
-                ever_disconnected: stats.ever_disconnected,
-                disconnected_rounds: stats.disconnected_rounds,
-            },
-            final_connected,
-            final_positions,
-        })
+            runner: Some(runner),
+            budget,
+            phase_report: None,
+            state: ErosionState::Start,
+        }))
     }
 }
 

@@ -4,16 +4,16 @@
 //! fidelity needed to reproduce the table's *ordering* (who wins, by roughly
 //! what factor, and under which assumptions):
 //!
-//! * [`erosion_le`] — the no-movement erosion family (Di Luna et al. [22],
-//!   Gastineau et al. [27]): deterministic, per-activation, `O(n)` rounds,
+//! * [`erosion_le`] — the no-movement erosion family (Di Luna et al. \[22\],
+//!   Gastineau et al. \[27\]): deterministic, per-activation, `O(n)` rounds,
 //!   **requires a hole-free shape** (it stalls on shapes with holes, which is
 //!   exactly why those papers assume simple connectivity).
 //! * [`randomized_boundary`] — the randomized boundary-election family
-//!   (Derakhshandeh et al. [19], Daymude et al. [10, 11]): coin-flip
+//!   (Derakhshandeh et al. \[19\], Daymude et al. \[10, 11\]): coin-flip
 //!   tournament over the outer boundary, `O(L_out + D)` rounds with high
 //!   probability, handles holes, but is randomized.
 //! * [`quadratic_boundary`] — the unpipelined deterministic boundary
-//!   election (Bazzi–Briones [3] style): deterministic, handles holes, elects
+//!   election (Bazzi–Briones \[3\] style): deterministic, handles holes, elects
 //!   up to six leaders, but pays `O(|s|·|s1|)` per segment comparison and is
 //!   therefore quadratic overall.
 //!

@@ -1,4 +1,4 @@
-//! The quadratic deterministic boundary-election baseline (Bazzi–Briones [3]
+//! The quadratic deterministic boundary-election baseline (Bazzi–Briones \[3\]
 //! style).
 //!
 //! This is the same segment competition over boundary v-node rings that the
@@ -8,12 +8,14 @@
 //! That is precisely the bottleneck the paper removes with pipelining
 //! (Section 5.2), and it is what makes this family `O(n²)` overall. The
 //! baseline elects the heads of the surviving outer-boundary segments — up to
-//! six leaders, exactly as in [3].
+//! six leaders, exactly as in \[3\].
 
 use pm_amoebot::scheduler::Scheduler;
+use pm_amoebot::system::SystemControl;
 use pm_core::api::{
-    check_initial_configuration, phase, ConnectivityReport, ElectionError, LeaderElection,
-    PhaseReport, RunObserver, RunOptions, RunReport,
+    check_initial_configuration, phase, ConnectivityReport, ElectionError, Execution,
+    ExecutionDriver, ExecutionStatus, LeaderElection, PhaseReport, RunOptions, RunReport,
+    StepOutcome,
 };
 use pm_core::obd::{CompetitionCostModel, ObdSimulator};
 use pm_grid::{outer_boundary_ring, Shape};
@@ -32,68 +34,142 @@ pub const QUADRATIC_BOUNDARY_MEMORY_BITS: u64 = 96;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct QuadraticBoundary;
 
+/// The quadratic-boundary execution: one closed-form phase as one coarse
+/// step.
+enum QuadraticState {
+    Start,
+    Run,
+    Finish,
+    Done(RunReport),
+}
+
+/// The resumable state machine behind [`QuadraticBoundary`]'s
+/// [`LeaderElection::start`].
+struct QuadraticExecution<'a> {
+    opts: RunOptions,
+    scheduler_name: &'static str,
+    shape: &'a Shape,
+    election: Option<PhaseReport>,
+    leaders: usize,
+    state: QuadraticState,
+}
+
+impl ExecutionDriver for QuadraticExecution<'_> {
+    fn step(&mut self) -> Result<StepOutcome, ElectionError> {
+        match &self.state {
+            QuadraticState::Start => {
+                self.state = QuadraticState::Run;
+                Ok(StepOutcome::PhaseStarted {
+                    phase: phase::ELECTION,
+                })
+            }
+            QuadraticState::Run => {
+                let outcome = ObdSimulator::new(self.shape)
+                    .run_with_cost_model(CompetitionCostModel::Sequential);
+                let outer = outcome
+                    .decisions
+                    .iter()
+                    .find(|d| d.declared_outer)
+                    .expect("a connected shape has an outer boundary");
+                // Up to six surviving segment heads, but never more than
+                // there are particles (degenerate rings of tiny shapes).
+                self.leaders = outer.stable_segments.clamp(1, 6).min(self.shape.len());
+                let election = PhaseReport {
+                    name: phase::ELECTION.to_string(),
+                    rounds: outcome.rounds,
+                    activations: 0,
+                    moves: 0,
+                };
+                self.election = Some(election.clone());
+                self.state = QuadraticState::Finish;
+                Ok(StepOutcome::PhaseEnded { report: election })
+            }
+            QuadraticState::Finish => {
+                let election = self.election.clone().expect("the election phase ran");
+                let ring = outer_boundary_ring(self.shape);
+                let leader = ring
+                    .vnodes()
+                    .first()
+                    .map(|v| v.point)
+                    .expect("a non-empty shape has outer-boundary v-nodes");
+                let report = RunReport {
+                    algorithm: "quadratic-boundary".to_string(),
+                    scheduler: self.scheduler_name.to_string(),
+                    n: self.shape.len(),
+                    leader,
+                    leaders: self.leaders,
+                    // Every non-head particle learns the outcome when the
+                    // surviving segments are announced.
+                    followers: self.shape.len() - self.leaders,
+                    undecided: 0,
+                    total_rounds: election.rounds,
+                    activations: 0,
+                    moves: 0,
+                    phases: vec![election],
+                    peak_memory_bits: QUADRATIC_BOUNDARY_MEMORY_BITS,
+                    connectivity: ConnectivityReport {
+                        tracked: self.opts.track_connectivity,
+                        ..ConnectivityReport::default()
+                    },
+                    // Boundary election never moves particles.
+                    final_connected: true,
+                    final_positions: self.shape.iter().collect(),
+                };
+                self.state = QuadraticState::Done(report.clone());
+                Ok(StepOutcome::Finished(report))
+            }
+            QuadraticState::Done(report) => Ok(StepOutcome::Finished(report.clone())),
+        }
+    }
+
+    fn status(&self) -> ExecutionStatus {
+        let n = self.shape.len();
+        let decided = match &self.state {
+            QuadraticState::Finish | QuadraticState::Done(_) => n,
+            _ => 0,
+        };
+        ExecutionStatus {
+            algorithm: "quadratic-boundary",
+            phase: match &self.state {
+                QuadraticState::Run => Some(phase::ELECTION),
+                _ => None,
+            },
+            rounds_in_phase: 0,
+            total_rounds: self.election.as_ref().map_or(0, |e| e.rounds),
+            decided,
+            undecided: n - decided,
+            next_round: None,
+            finished: matches!(self.state, QuadraticState::Done(_)),
+        }
+    }
+
+    fn control(&mut self) -> Option<Box<dyn SystemControl + '_>> {
+        // The competition is simulated in closed form: there is no live
+        // particle system to mutate.
+        None
+    }
+}
+
 impl LeaderElection for QuadraticBoundary {
     fn name(&self) -> &'static str {
         "quadratic-boundary"
     }
 
-    fn elect_observed(
-        &self,
-        shape: &Shape,
-        scheduler: &mut dyn Scheduler,
+    fn start<'a>(
+        &'a self,
+        shape: &'a Shape,
+        scheduler: &'a mut dyn Scheduler,
         opts: &RunOptions,
-        observer: &mut dyn RunObserver,
-    ) -> Result<RunReport, ElectionError> {
+    ) -> Result<Execution<'a>, ElectionError> {
         check_initial_configuration(shape)?;
-
-        observer.on_phase_start(self.name(), phase::ELECTION);
-        let outcome =
-            ObdSimulator::new(shape).run_with_cost_model(CompetitionCostModel::Sequential);
-        let outer = outcome
-            .decisions
-            .iter()
-            .find(|d| d.declared_outer)
-            .expect("a connected shape has an outer boundary");
-        // Up to six surviving segment heads, but never more than there are
-        // particles (degenerate rings of tiny shapes).
-        let leaders = outer.stable_segments.clamp(1, 6).min(shape.len());
-        let ring = outer_boundary_ring(shape);
-        let leader = ring
-            .vnodes()
-            .first()
-            .map(|v| v.point)
-            .expect("a non-empty shape has outer-boundary v-nodes");
-        let election = PhaseReport {
-            name: phase::ELECTION.to_string(),
-            rounds: outcome.rounds,
-            activations: 0,
-            moves: 0,
-        };
-        observer.on_phase_end(self.name(), &election);
-
-        Ok(RunReport {
-            algorithm: self.name().to_string(),
-            scheduler: scheduler.name().to_string(),
-            n: shape.len(),
-            leader,
-            leaders,
-            // Every non-head particle learns the outcome when the surviving
-            // segments are announced.
-            followers: shape.len() - leaders,
-            undecided: 0,
-            total_rounds: election.rounds,
-            activations: 0,
-            moves: 0,
-            phases: vec![election],
-            peak_memory_bits: QUADRATIC_BOUNDARY_MEMORY_BITS,
-            connectivity: ConnectivityReport {
-                tracked: opts.track_connectivity,
-                ..ConnectivityReport::default()
-            },
-            // Boundary election never moves particles.
-            final_connected: true,
-            final_positions: shape.iter().collect(),
-        })
+        Ok(Execution::new(QuadraticExecution {
+            opts: *opts,
+            scheduler_name: scheduler.name(),
+            shape,
+            election: None,
+            leaders: 0,
+            state: QuadraticState::Start,
+        }))
     }
 }
 

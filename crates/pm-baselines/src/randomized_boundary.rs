@@ -1,5 +1,5 @@
-//! The randomized boundary-election baseline (the Derakhshandeh et al. [19] /
-//! Daymude et al. [10, 11] family).
+//! The randomized boundary-election baseline (the Derakhshandeh et al. \[19\] /
+//! Daymude et al. \[10, 11\] family).
 //!
 //! Candidates sit on the outer boundary and play a coin-flip tournament: in
 //! every phase each surviving candidate flips a fair coin; if at least one
@@ -12,9 +12,11 @@
 //! randomized algorithms.
 
 use pm_amoebot::scheduler::Scheduler;
+use pm_amoebot::system::SystemControl;
 use pm_core::api::{
-    check_initial_configuration, phase, ConnectivityReport, ElectionError, LeaderElection,
-    PhaseReport, RunObserver, RunOptions, RunReport,
+    check_initial_configuration, phase, ConnectivityReport, ElectionError, Execution,
+    ExecutionDriver, ExecutionStatus, LeaderElection, PhaseReport, RunOptions, RunReport,
+    StepOutcome,
 };
 use pm_grid::{outer_boundary_ring, DistanceMap, Point, Shape};
 use rand::rngs::StdRng;
@@ -77,65 +79,166 @@ fn tournament(shape: &Shape, seed: u64) -> (u64, Point) {
     (rounds, ring.vnodes()[candidates[0]].point)
 }
 
+/// The randomized-boundary execution: two closed-form phases, each a single
+/// coarse step (the tournament, then the announcement flood).
+enum RandomizedState {
+    StartTournament,
+    RunTournament,
+    StartFlood,
+    RunFlood,
+    Finish,
+    Done(RunReport),
+}
+
+/// The resumable state machine behind [`RandomizedBoundary`]'s
+/// [`LeaderElection::start`].
+struct RandomizedExecution<'a> {
+    opts: RunOptions,
+    scheduler_name: &'static str,
+    shape: &'a Shape,
+    winner: Option<Point>,
+    /// Per-phase statistics, built exactly once each: the same structs
+    /// surface in [`StepOutcome::PhaseEnded`] and in the final
+    /// [`RunReport::phases`], so the two can never diverge.
+    election_report: Option<PhaseReport>,
+    flood_report: Option<PhaseReport>,
+    state: RandomizedState,
+}
+
+impl ExecutionDriver for RandomizedExecution<'_> {
+    fn step(&mut self) -> Result<StepOutcome, ElectionError> {
+        match &self.state {
+            RandomizedState::StartTournament => {
+                self.state = RandomizedState::RunTournament;
+                Ok(StepOutcome::PhaseStarted {
+                    phase: phase::ELECTION,
+                })
+            }
+            RandomizedState::RunTournament => {
+                let (rounds, winner) = tournament(self.shape, self.opts.seed);
+                self.winner = Some(winner);
+                let report = PhaseReport {
+                    name: phase::ELECTION.to_string(),
+                    rounds,
+                    activations: 0,
+                    moves: 0,
+                };
+                self.election_report = Some(report.clone());
+                self.state = RandomizedState::StartFlood;
+                Ok(StepOutcome::PhaseEnded { report })
+            }
+            RandomizedState::StartFlood => {
+                self.state = RandomizedState::RunFlood;
+                Ok(StepOutcome::PhaseStarted {
+                    phase: phase::FLOOD,
+                })
+            }
+            RandomizedState::RunFlood => {
+                // Termination announcement: flood from the winner through
+                // the shape.
+                let winner = self.winner.expect("the tournament ran");
+                let flood_rounds = DistanceMap::within_shape(self.shape, winner)
+                    .eccentricity_over(self.shape.iter())
+                    .unwrap_or(0) as u64;
+                let report = PhaseReport {
+                    name: phase::FLOOD.to_string(),
+                    rounds: flood_rounds,
+                    activations: 0,
+                    moves: 0,
+                };
+                self.flood_report = Some(report.clone());
+                self.state = RandomizedState::Finish;
+                Ok(StepOutcome::PhaseEnded { report })
+            }
+            RandomizedState::Finish => {
+                let winner = self.winner.expect("the tournament ran");
+                let election = self.election_report.clone().expect("the tournament ran");
+                let flood = self.flood_report.clone().expect("the flood ran");
+                let report = RunReport {
+                    algorithm: "randomized-boundary".to_string(),
+                    scheduler: self.scheduler_name.to_string(),
+                    n: self.shape.len(),
+                    leader: winner,
+                    leaders: 1,
+                    // The flood announces the winner to every other
+                    // particle.
+                    followers: self.shape.len() - 1,
+                    undecided: 0,
+                    total_rounds: election.rounds + flood.rounds,
+                    activations: 0,
+                    moves: 0,
+                    phases: vec![election, flood],
+                    peak_memory_bits: RANDOMIZED_BOUNDARY_MEMORY_BITS,
+                    connectivity: ConnectivityReport {
+                        tracked: self.opts.track_connectivity,
+                        ..ConnectivityReport::default()
+                    },
+                    // Boundary election never moves particles.
+                    final_connected: true,
+                    final_positions: self.shape.iter().collect(),
+                };
+                self.state = RandomizedState::Done(report.clone());
+                Ok(StepOutcome::Finished(report))
+            }
+            RandomizedState::Done(report) => Ok(StepOutcome::Finished(report.clone())),
+        }
+    }
+
+    fn status(&self) -> ExecutionStatus {
+        let n = self.shape.len();
+        // Everyone decides when the flood completes (the winner's
+        // announcement reaches every particle).
+        let decided = match &self.state {
+            RandomizedState::Finish | RandomizedState::Done(_) => n,
+            _ => 0,
+        };
+        let phase = match &self.state {
+            RandomizedState::RunTournament => Some(phase::ELECTION),
+            RandomizedState::RunFlood => Some(phase::FLOOD),
+            _ => None,
+        };
+        let total_rounds = self.election_report.as_ref().map_or(0, |r| r.rounds)
+            + self.flood_report.as_ref().map_or(0, |r| r.rounds);
+        ExecutionStatus {
+            algorithm: "randomized-boundary",
+            phase,
+            rounds_in_phase: 0,
+            total_rounds,
+            decided,
+            undecided: n - decided,
+            next_round: None,
+            finished: matches!(self.state, RandomizedState::Done(_)),
+        }
+    }
+
+    fn control(&mut self) -> Option<Box<dyn SystemControl + '_>> {
+        // Both phases are simulated in closed form: there is no live
+        // particle system to mutate.
+        None
+    }
+}
+
 impl LeaderElection for RandomizedBoundary {
     fn name(&self) -> &'static str {
         "randomized-boundary"
     }
 
-    fn elect_observed(
-        &self,
-        shape: &Shape,
-        scheduler: &mut dyn Scheduler,
+    fn start<'a>(
+        &'a self,
+        shape: &'a Shape,
+        scheduler: &'a mut dyn Scheduler,
         opts: &RunOptions,
-        observer: &mut dyn RunObserver,
-    ) -> Result<RunReport, ElectionError> {
+    ) -> Result<Execution<'a>, ElectionError> {
         check_initial_configuration(shape)?;
-
-        observer.on_phase_start(self.name(), phase::ELECTION);
-        let (tournament_rounds, winner) = tournament(shape, opts.seed);
-        let election = PhaseReport {
-            name: phase::ELECTION.to_string(),
-            rounds: tournament_rounds,
-            activations: 0,
-            moves: 0,
-        };
-        observer.on_phase_end(self.name(), &election);
-
-        // Termination announcement: flood from the winner through the shape.
-        observer.on_phase_start(self.name(), phase::FLOOD);
-        let flood_rounds = DistanceMap::within_shape(shape, winner)
-            .eccentricity_over(shape.iter())
-            .unwrap_or(0) as u64;
-        let flood = PhaseReport {
-            name: phase::FLOOD.to_string(),
-            rounds: flood_rounds,
-            activations: 0,
-            moves: 0,
-        };
-        observer.on_phase_end(self.name(), &flood);
-
-        Ok(RunReport {
-            algorithm: self.name().to_string(),
-            scheduler: scheduler.name().to_string(),
-            n: shape.len(),
-            leader: winner,
-            leaders: 1,
-            // The flood announces the winner to every other particle.
-            followers: shape.len() - 1,
-            undecided: 0,
-            total_rounds: tournament_rounds + flood_rounds,
-            activations: 0,
-            moves: 0,
-            phases: vec![election, flood],
-            peak_memory_bits: RANDOMIZED_BOUNDARY_MEMORY_BITS,
-            connectivity: ConnectivityReport {
-                tracked: opts.track_connectivity,
-                ..ConnectivityReport::default()
-            },
-            // Boundary election never moves particles.
-            final_connected: true,
-            final_positions: shape.iter().collect(),
-        })
+        Ok(Execution::new(RandomizedExecution {
+            opts: *opts,
+            scheduler_name: scheduler.name(),
+            shape,
+            winner: None,
+            election_report: None,
+            flood_report: None,
+            state: RandomizedState::StartTournament,
+        }))
     }
 }
 

@@ -1,0 +1,12 @@
+//! Regenerates experiment F9: DLE decision convergence — rounds until 50%,
+//! 90% and all particles have decided, sampled between rounds through the
+//! steppable `Execution` handle.
+//!
+//! Usage: `cargo run --release -p pm-bench --bin fig_convergence [max_radius]`
+
+fn main() {
+    let max = pm_bench::arg_or(11).max(4);
+    let radii: Vec<u32> = (3..=max).step_by(2).collect();
+    let table = pm_analysis::experiment_convergence(&radii);
+    pm_bench::print_table(&table);
+}

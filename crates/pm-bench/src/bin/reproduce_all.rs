@@ -1,4 +1,4 @@
-//! Runs every experiment (T1, F2–F8) at moderate scales and prints all
+//! Runs every experiment (T1, F2–F9) at moderate scales and prints all
 //! result tables — the one-stop reproduction entry point referenced by
 //! EXPERIMENTS.md.
 //!
@@ -14,6 +14,7 @@ fn main() {
         pm_analysis::experiment_obd_scaling(&[3, 5, 7, 9, 11]),
         pm_analysis::experiment_full_pipeline(&[3, 5, 7, 9]),
         pm_analysis::experiment_scheduler_robustness(),
+        pm_analysis::experiment_convergence(&[3, 5, 7, 9]),
     ];
     for table in tables {
         pm_bench::print_table(&table);

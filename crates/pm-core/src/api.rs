@@ -25,11 +25,53 @@
 //! The variants of Table 1 are selected through [`RunOptions`] rather than
 //! through different entry points: `assume_boundary_known` skips the OBD
 //! phase (the paper's `O(D_A)` row), `skip_reconnection` stops after DLE.
-//! Round-by-round instrumentation plugs in through [`RunObserver`].
+//!
+//! # Steppable executions
+//!
+//! `elect` is run-to-completion; the primitive underneath is
+//! [`LeaderElection::start`], which returns a resumable [`Execution`]
+//! handle. The caller pumps rounds with [`Execution::step_round`], inspects
+//! progress with [`Execution::status`], and may mutate the live particle
+//! system **between** rounds through [`Execution::system`] — faults strike
+//! between arbitrary rounds, under the caller's control, instead of being
+//! threaded through observer callbacks:
+//!
+//! ```
+//! use pm_amoebot::scheduler::SeededRandom;
+//! use pm_core::api::{LeaderElection, PaperPipeline, RunOptions, StepOutcome};
+//! use pm_grid::builder::hexagon;
+//!
+//! let shape = hexagon(4);
+//! let mut scheduler = SeededRandom::new(7);
+//! let opts = RunOptions::default();
+//! let mut execution = PaperPipeline.start(&shape, &mut scheduler, &opts)?;
+//! let report = loop {
+//!     // The adversary strikes before round 3 of the round-driven phase:
+//!     // remove a particle, then reset the survivors so the election
+//!     // restarts cleanly on the perturbed configuration.
+//!     if execution.status().next_round == Some(3) {
+//!         let mut system = execution.system().expect("round-driven phase");
+//!         let victim = system.particle_positions()[0];
+//!         system.remove_at(victim);
+//!         system.reinitialize();
+//!     }
+//!     match execution.step_round()? {
+//!         StepOutcome::Finished(report) => break report,
+//!         _ => {}
+//!     }
+//! };
+//! assert!(report.unique_leader());
+//! assert_eq!(report.final_positions.len(), shape.len() - 1);
+//! # Ok::<(), pm_core::api::ElectionError>(())
+//! ```
+//!
+//! Round-by-round *instrumentation* (without mutation) plugs in through
+//! [`RunObserver`], which [`LeaderElection::elect_observed`] drives from the
+//! same stepping loop.
 
 use crate::collect::{CollectOutcome, CollectSimulator};
-use crate::dle::{default_round_budget, DleAlgorithm, DleMemory, DleOutcome};
-use crate::obd::{run_obd, ObdOutcome};
+use crate::dle::{count_decisions, default_round_budget, DleAlgorithm, DleMemory, DleOutcome};
+use crate::obd::run_obd;
 use pm_amoebot::scheduler::{RunError, Runner, Scheduler, SeededRandom};
 use pm_amoebot::system::{OccupancyBackend, ParticleSystem, SystemControl};
 use pm_grid::{Point, Shape};
@@ -257,21 +299,15 @@ impl RunReport {
 /// after each asynchronous round of *round-driven* phases (DLE, erosion).
 /// Phases simulated in closed form (OBD, Collect, the boundary baselines)
 /// report only their boundaries.
+///
+/// Observers are read-only instrumentation driven by
+/// [`LeaderElection::elect_observed`]'s stepping loop. Mid-run *mutation*
+/// (fault injection) does not go through observers: hold the [`Execution`]
+/// handle yourself, and mutate [`Execution::system`] between rounds.
 pub trait RunObserver {
     /// A phase is starting.
     fn on_phase_start(&mut self, algorithm: &str, phase: &str) {
         let _ = (algorithm, phase);
-    }
-
-    /// A round of a round-driven phase is about to run, with **mutable**
-    /// access to the particle system: the entry point for mid-run
-    /// perturbations (remove particles, split the configuration — see
-    /// `pm-scenarios`). `round` counts rounds within the current phase,
-    /// starting at 0. Mutating observers should finish with
-    /// [`SystemControl::reinitialize`] so the algorithm restarts cleanly on
-    /// the perturbed configuration.
-    fn on_round_start(&mut self, phase: &str, round: u64, system: &mut dyn SystemControl) {
-        let _ = (phase, round, system);
     }
 
     /// A round of a round-driven phase completed. `rounds_so_far` counts
@@ -292,14 +328,209 @@ pub struct NoopObserver;
 
 impl RunObserver for NoopObserver {}
 
+// ---------------------------------------------------------------------------
+// Steppable executions
+// ---------------------------------------------------------------------------
+
+/// What one [`Execution::step_round`] call did.
+///
+/// A run unfolds as a flat sequence of outcomes: each phase contributes
+/// `PhaseStarted`, then — for round-driven phases only — one
+/// `RoundCompleted` per asynchronous round, then `PhaseEnded`; phases
+/// simulated in closed form (OBD, Collect, the boundary baselines) go from
+/// `PhaseStarted` to `PhaseEnded` in a single coarse step. The final step
+/// yields `Finished` with the complete [`RunReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum StepOutcome {
+    /// A phase began (see [`phase`] for the names).
+    PhaseStarted {
+        /// The phase that is starting.
+        phase: &'static str,
+    },
+    /// One asynchronous round of a round-driven phase completed.
+    RoundCompleted {
+        /// The phase the round belongs to.
+        phase: &'static str,
+        /// Completed rounds within the phase (1 after the first round).
+        rounds: u64,
+    },
+    /// The current phase finished with the given statistics.
+    PhaseEnded {
+        /// The completed phase's statistics (also collected into
+        /// [`RunReport::phases`]).
+        report: PhaseReport,
+    },
+    /// The run is complete. Further steps return the same report.
+    Finished(RunReport),
+}
+
+/// A point-in-time snapshot of a running [`Execution`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecutionStatus {
+    /// The algorithm's [`LeaderElection::name`].
+    pub algorithm: &'static str,
+    /// The phase currently executing (between its `PhaseStarted` and
+    /// `PhaseEnded` steps), if any.
+    pub phase: Option<&'static str>,
+    /// Completed rounds within the current phase (0 outside round-driven
+    /// phases).
+    pub rounds_in_phase: u64,
+    /// Rounds charged so far across all phases, completed phases included.
+    pub total_rounds: u64,
+    /// Particles that have decided (leader or follower). Phases simulated
+    /// in closed form decide everyone at their final step.
+    pub decided: usize,
+    /// Particles still undecided.
+    pub undecided: usize,
+    /// `Some(r)` iff the next [`Execution::step_round`] will execute round
+    /// `r` (0-based) of the active round-driven phase — the hook for
+    /// mutating [`Execution::system`] at scripted rounds: a fault applied
+    /// while `next_round == Some(r)` strikes *before* round `r` runs.
+    /// `None` at phase boundaries, during closed-form phases, and once the
+    /// phase's algorithm has completed or exhausted its budget.
+    pub next_round: Option<u64>,
+    /// Whether the run has produced its [`StepOutcome::Finished`] report.
+    pub finished: bool,
+}
+
+/// The implementation surface behind [`Execution`]: one algorithm's
+/// resumable state machine. Callers never see this trait — they hold an
+/// [`Execution`] — but every [`LeaderElection::start`] implementation
+/// provides one and wraps it with [`Execution::new`].
+pub trait ExecutionDriver {
+    /// Advances the state machine by one step (see [`StepOutcome`] for the
+    /// grammar of outcomes).
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`LeaderElection::elect`], surfaced at the step
+    /// that hits them; stepping again after an error returns it again.
+    fn step(&mut self) -> Result<StepOutcome, ElectionError>;
+
+    /// The current status snapshot.
+    fn status(&self) -> ExecutionStatus;
+
+    /// The upcoming round of the active round-driven phase, with its phase
+    /// name: `Some((phase, r))` iff the next [`ExecutionDriver::step`] will
+    /// execute round `r`. The default derives it from
+    /// [`ExecutionDriver::status`]; drivers with a live particle system
+    /// override it with an `O(1)` path, since `status()` tallies
+    /// per-particle decision counts and per-round pollers (perturbation
+    /// scripts) should not pay `O(n)` per round for it.
+    fn next_round(&self) -> Option<(&'static str, u64)> {
+        let status = self.status();
+        status.phase.zip(status.next_round)
+    }
+
+    /// Mutable access to the live particle system while a round-driven
+    /// phase is active; `None` otherwise.
+    fn control(&mut self) -> Option<Box<dyn SystemControl + '_>>;
+}
+
+/// A resumable, inspectable election run: the inversion-of-control handle
+/// returned by [`LeaderElection::start`].
+///
+/// The caller owns the loop: [`Execution::step_round`] advances the run by
+/// one observable step, [`Execution::status`] reports progress,
+/// [`Execution::system`] grants mutable access to the particle system
+/// between rounds (fault injection), and [`Execution::finish`] runs the
+/// remainder to completion. [`LeaderElection::elect`] is exactly
+/// `start(..)?.finish()`.
+pub struct Execution<'a> {
+    driver: Box<dyn ExecutionDriver + 'a>,
+}
+
+impl<'a> Execution<'a> {
+    /// Wraps an algorithm's driver. Called by [`LeaderElection::start`]
+    /// implementations, not by end users.
+    pub fn new(driver: impl ExecutionDriver + 'a) -> Execution<'a> {
+        Execution {
+            driver: Box::new(driver),
+        }
+    }
+
+    /// Advances the run by one step: a phase boundary, one asynchronous
+    /// round of a round-driven phase, one closed-form phase body, or the
+    /// final report. Stepping a finished execution returns
+    /// [`StepOutcome::Finished`] again.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`LeaderElection::elect`], surfaced at the step
+    /// that hits them.
+    pub fn step_round(&mut self) -> Result<StepOutcome, ElectionError> {
+        self.driver.step()
+    }
+
+    /// The current status snapshot: phase, round counters, decided and
+    /// undecided particle counts, and what the next step will do. Costs a
+    /// pass over the live particles (the decision tallies); per-round
+    /// pollers that only need the upcoming round should use
+    /// [`Execution::next_round`].
+    pub fn status(&self) -> ExecutionStatus {
+        self.driver.status()
+    }
+
+    /// The upcoming round of the active round-driven phase, with its phase
+    /// name — the `O(1)` hook perturbation drivers poll every round:
+    /// `Some((phase, r))` iff the next [`Execution::step_round`] will
+    /// execute round `r` (equivalently, `status()`'s `phase` zipped with
+    /// its `next_round`).
+    pub fn next_round(&self) -> Option<(&'static str, u64)> {
+        self.driver.next_round()
+    }
+
+    /// Mutable access to the live particle system, available between steps
+    /// of an active round-driven phase (`None` at phase boundaries and
+    /// during closed-form phases). Mutations take effect before the next
+    /// round; finish with [`SystemControl::reinitialize`] so the algorithm
+    /// restarts cleanly on the perturbed configuration.
+    pub fn system(&mut self) -> Option<Box<dyn SystemControl + '_>> {
+        self.driver.control()
+    }
+
+    /// Runs the remaining steps to completion and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// See [`LeaderElection::elect`].
+    pub fn finish(mut self) -> Result<RunReport, ElectionError> {
+        loop {
+            if let StepOutcome::Finished(report) = self.step_round()? {
+                return Ok(report);
+            }
+        }
+    }
+}
+
 /// A leader-election algorithm runnable through the unified API.
 ///
 /// Implementations exist for the paper pipeline ([`PaperPipeline`]) and for
 /// the three Table 1 baselines (in `pm-baselines`); experiments iterate over
 /// `&[&dyn LeaderElection]` instead of hard-coding per-algorithm drivers.
+///
+/// The one required method is [`LeaderElection::start`], which begins a
+/// resumable [`Execution`]; `elect` and `elect_observed` are thin default
+/// drivers over the same handle.
 pub trait LeaderElection {
     /// A short stable identifier used in tables and reports.
     fn name(&self) -> &'static str;
+
+    /// Starts the election on `shape` under `scheduler`, returning the
+    /// [`Execution`] handle positioned before the first phase. The handle
+    /// borrows the shape and the scheduler for the run's duration.
+    ///
+    /// # Errors
+    ///
+    /// [`ElectionError::InvalidInitialConfiguration`] for empty or
+    /// disconnected shapes. Errors that depend on the run itself (budget
+    /// exhaustion, stalls) surface later, from the step that hits them.
+    fn start<'a>(
+        &'a self,
+        shape: &'a Shape,
+        scheduler: &'a mut dyn Scheduler,
+        opts: &RunOptions,
+    ) -> Result<Execution<'a>, ElectionError>;
 
     /// Runs the election on `shape` under `scheduler` with the given
     /// options.
@@ -317,18 +548,34 @@ pub trait LeaderElection {
         scheduler: &mut dyn Scheduler,
         opts: &RunOptions,
     ) -> Result<RunReport, ElectionError> {
-        self.elect_observed(shape, scheduler, opts, &mut NoopObserver)
+        self.start(shape, scheduler, opts)?.finish()
     }
 
     /// Like [`LeaderElection::elect`], with a [`RunObserver`] receiving
-    /// phase and round callbacks.
+    /// phase and round callbacks — one driver loop over
+    /// [`LeaderElection::start`] among many.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LeaderElection::elect`].
     fn elect_observed(
         &self,
         shape: &Shape,
         scheduler: &mut dyn Scheduler,
         opts: &RunOptions,
         observer: &mut dyn RunObserver,
-    ) -> Result<RunReport, ElectionError>;
+    ) -> Result<RunReport, ElectionError> {
+        let name = self.name();
+        let mut execution = self.start(shape, scheduler, opts)?;
+        loop {
+            match execution.step_round()? {
+                StepOutcome::PhaseStarted { phase } => observer.on_phase_start(name, phase),
+                StepOutcome::RoundCompleted { phase, rounds } => observer.on_round(phase, rounds),
+                StepOutcome::PhaseEnded { report } => observer.on_phase_end(name, &report),
+                StepOutcome::Finished(report) => return Ok(report),
+            }
+        }
+    }
 }
 
 /// Rejects empty and disconnected initial configurations — every
@@ -372,98 +619,280 @@ pub const COLLECT_MEMORY_BITS: u64 = 32;
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PaperPipeline;
 
-/// The phase outcomes of one pipeline run, before flattening into a
-/// [`RunReport`].
-struct PipelinePhases {
-    obd: Option<ObdOutcome>,
-    dle: DleOutcome,
-    collect: Option<CollectOutcome>,
-    /// The per-phase statistics, built exactly once: the same structs are
-    /// handed to the observer's `on_phase_end` and placed in the final
-    /// [`RunReport::phases`], so the two can never diverge.
-    reports: Vec<PhaseReport>,
+/// The pipeline execution's position in its phase sequence. Closed-form
+/// phases (OBD, Collect) have a single `Run*` state whose step simulates
+/// the whole phase; DLE's `RunDle` state is re-entered once per round.
+enum PipelineState {
+    StartObd,
+    RunObd,
+    StartDle,
+    RunDle,
+    StartCollect,
+    RunCollect,
+    Finish,
+    Done(RunReport),
 }
 
-fn run_pipeline_phases(
-    shape: &Shape,
-    scheduler: &mut dyn Scheduler,
-    opts: &RunOptions,
-    observer: &mut dyn RunObserver,
-) -> Result<PipelinePhases, ElectionError> {
-    const NAME: &str = "dle+collect";
-    check_initial_configuration(shape)?;
-    let mut reports = Vec::new();
+/// All in-flight state of one paper-pipeline run: the resumable state
+/// machine behind [`PaperPipeline`]'s [`LeaderElection::start`].
+struct PipelineExecution<'a> {
+    opts: RunOptions,
+    scheduler_name: &'static str,
+    shape: &'a Shape,
+    /// Per-phase statistics of completed phases, built exactly once: the
+    /// same structs surface in [`StepOutcome::PhaseEnded`] and in the final
+    /// [`RunReport::phases`], so the two can never diverge.
+    reports: Vec<PhaseReport>,
+    obd_ran: bool,
+    /// The live round-driven phase; consumed when DLE ends.
+    runner: Option<Runner<DleAlgorithm, &'a mut dyn Scheduler>>,
+    budget: u64,
+    dle: Option<DleOutcome>,
+    collect: Option<CollectOutcome>,
+    state: PipelineState,
+}
 
-    // Phase 1 (optional): outer-boundary detection. Its output is exactly
-    // the `outer[0..5]` input DLE's initializer consumes.
-    let obd = if opts.assume_outer_boundary_known {
-        None
-    } else {
-        observer.on_phase_start(NAME, phase::OBD);
-        let obd = run_obd(shape);
-        reports.push(PhaseReport {
-            name: phase::OBD.to_string(),
-            rounds: obd.rounds,
-            activations: 0,
-            moves: 0,
-        });
-        observer.on_phase_end(NAME, reports.last().expect("just pushed"));
-        Some(obd)
-    };
+impl<'a> PipelineExecution<'a> {
+    fn start(
+        shape: &'a Shape,
+        scheduler: &'a mut dyn Scheduler,
+        opts: &RunOptions,
+    ) -> Result<PipelineExecution<'a>, ElectionError> {
+        check_initial_configuration(shape)?;
+        let scheduler_name = scheduler.name();
+        let system = ParticleSystem::from_shape_with_backend(shape, &DleAlgorithm, opts.occupancy);
+        let mut runner = Runner::new(system, DleAlgorithm, scheduler as &mut dyn Scheduler);
+        runner.track_connectivity = opts.track_connectivity;
+        let budget = opts
+            .round_budget
+            .unwrap_or_else(|| default_round_budget(shape));
+        let state = if opts.assume_outer_boundary_known {
+            PipelineState::StartDle
+        } else {
+            PipelineState::StartObd
+        };
+        Ok(PipelineExecution {
+            opts: *opts,
+            scheduler_name,
+            shape,
+            reports: Vec::new(),
+            obd_ran: false,
+            runner: Some(runner),
+            budget,
+            dle: None,
+            collect: None,
+            state,
+        })
+    }
 
-    // Phase 2: disconnecting leader election, driven round by round.
-    observer.on_phase_start(NAME, phase::DLE);
-    let system = ParticleSystem::from_shape_with_backend(shape, &DleAlgorithm, opts.occupancy);
-    let mut runner = Runner::new(system, DleAlgorithm, scheduler);
-    runner.track_connectivity = opts.track_connectivity;
-    let budget = opts
-        .round_budget
-        .unwrap_or_else(|| default_round_budget(shape));
-    // Both hooks need the observer; a RefCell lets the pre-round (mutation)
-    // and post-round (instrumentation) closures share it.
-    let shared = std::cell::RefCell::new(observer);
-    let stats = runner.run_hooked(
-        budget,
-        |round, system| {
-            shared
-                .borrow_mut()
-                .on_round_start(phase::DLE, round, system)
-        },
-        |_, stats| shared.borrow_mut().on_round(phase::DLE, stats.rounds),
-    )?;
-    let observer = shared.into_inner();
-    let dle = DleOutcome::from_run(stats, runner.into_system());
-    reports.push(PhaseReport {
-        name: phase::DLE.to_string(),
-        rounds: dle.stats.rounds,
-        activations: dle.stats.activations,
-        moves: dle.stats.moves(),
-    });
-    observer.on_phase_end(NAME, reports.last().expect("just pushed"));
+    /// Ends a phase: records its report and hands it to the step outcome.
+    fn end_phase(&mut self, report: PhaseReport) -> StepOutcome {
+        self.reports.push(report.clone());
+        StepOutcome::PhaseEnded { report }
+    }
 
-    // Phase 3 (optional): reconnection.
-    let collect = if opts.reconnect {
-        observer.on_phase_start(NAME, phase::COLLECT);
-        let mut sim = CollectSimulator::new(dle.leader_point, &dle.final_positions);
-        let collect = sim.run();
-        reports.push(PhaseReport {
-            name: phase::COLLECT.to_string(),
-            rounds: collect.rounds,
-            activations: 0,
-            moves: 0,
-        });
-        observer.on_phase_end(NAME, reports.last().expect("just pushed"));
-        Some(collect)
-    } else {
-        None
-    };
+    /// `(decided, undecided)` counts of the current execution point.
+    fn counts(&self) -> (usize, usize) {
+        if let Some(dle) = &self.dle {
+            let (leaders, followers, undecided) = dle.status_counts;
+            return (leaders + followers, undecided);
+        }
+        if let Some(runner) = &self.runner {
+            if matches!(self.state, PipelineState::RunDle) {
+                return count_decisions(runner.system().iter().map(|(_, p)| p.memory().status));
+            }
+        }
+        (0, self.shape.len())
+    }
+}
 
-    Ok(PipelinePhases {
-        obd,
-        dle,
-        collect,
-        reports,
-    })
+impl ExecutionDriver for PipelineExecution<'_> {
+    fn step(&mut self) -> Result<StepOutcome, ElectionError> {
+        match &mut self.state {
+            PipelineState::StartObd => {
+                self.state = PipelineState::RunObd;
+                Ok(StepOutcome::PhaseStarted { phase: phase::OBD })
+            }
+            PipelineState::RunObd => {
+                // Closed-form simulation: the whole phase is one coarse
+                // step. Its output is exactly the `outer[0..5]` input DLE's
+                // initializer consumes.
+                let obd = run_obd(self.shape);
+                self.obd_ran = true;
+                self.state = PipelineState::StartDle;
+                Ok(self.end_phase(PhaseReport {
+                    name: phase::OBD.to_string(),
+                    rounds: obd.rounds,
+                    activations: 0,
+                    moves: 0,
+                }))
+            }
+            PipelineState::StartDle => {
+                self.state = PipelineState::RunDle;
+                Ok(StepOutcome::PhaseStarted { phase: phase::DLE })
+            }
+            PipelineState::RunDle => {
+                let runner = self.runner.as_mut().expect("RunDle state holds a runner");
+                if runner.system().is_empty() {
+                    // Only a caller-side perturbation can empty the system
+                    // (the initial configuration was checked non-empty).
+                    return Err(ElectionError::Run(RunError::EmptySystem));
+                }
+                if runner.is_complete() {
+                    let mut runner = self.runner.take().expect("checked above");
+                    let stats = runner.finalize();
+                    let dle = DleOutcome::from_run(stats, runner.into_system());
+                    let report = PhaseReport {
+                        name: phase::DLE.to_string(),
+                        rounds: stats.rounds,
+                        activations: stats.activations,
+                        moves: stats.moves(),
+                    };
+                    self.dle = Some(dle);
+                    self.state = if self.opts.reconnect {
+                        PipelineState::StartCollect
+                    } else {
+                        PipelineState::Finish
+                    };
+                    return Ok(self.end_phase(report));
+                }
+                if runner.stats().rounds >= self.budget {
+                    return Err(ElectionError::Run(RunError::RoundLimitExceeded {
+                        limit: self.budget,
+                    }));
+                }
+                let stats = runner.step();
+                Ok(StepOutcome::RoundCompleted {
+                    phase: phase::DLE,
+                    rounds: stats.rounds,
+                })
+            }
+            PipelineState::StartCollect => {
+                self.state = PipelineState::RunCollect;
+                Ok(StepOutcome::PhaseStarted {
+                    phase: phase::COLLECT,
+                })
+            }
+            PipelineState::RunCollect => {
+                let dle = self.dle.as_ref().expect("Collect runs after DLE");
+                let mut sim = CollectSimulator::new(dle.leader_point, &dle.final_positions);
+                let collect = sim.run();
+                let report = PhaseReport {
+                    name: phase::COLLECT.to_string(),
+                    rounds: collect.rounds,
+                    activations: 0,
+                    moves: 0,
+                };
+                self.collect = Some(collect);
+                self.state = PipelineState::Finish;
+                Ok(self.end_phase(report))
+            }
+            PipelineState::Finish => {
+                let dle = self.dle.as_ref().expect("the pipeline always runs DLE");
+
+                let mut peak_memory_bits = DLE_MEMORY_BITS;
+                if self.obd_ran {
+                    peak_memory_bits = peak_memory_bits.max(OBD_MEMORY_BITS);
+                }
+                if self.collect.is_some() {
+                    peak_memory_bits = peak_memory_bits.max(COLLECT_MEMORY_BITS);
+                }
+
+                let final_positions = self
+                    .collect
+                    .as_ref()
+                    .map(|c| c.final_positions.clone())
+                    .unwrap_or_else(|| dle.final_positions.clone());
+                let final_connected =
+                    Shape::from_points(final_positions.iter().copied()).is_connected();
+
+                let report = RunReport {
+                    algorithm: "dle+collect".to_string(),
+                    scheduler: self.scheduler_name.to_string(),
+                    n: self.shape.len(),
+                    leader: dle.leader_point,
+                    leaders: dle.status_counts.0,
+                    followers: dle.status_counts.1,
+                    undecided: dle.status_counts.2,
+                    total_rounds: self.reports.iter().map(|p| p.rounds).sum(),
+                    activations: self.reports.iter().map(|p| p.activations).sum(),
+                    moves: self.reports.iter().map(|p| p.moves).sum(),
+                    phases: std::mem::take(&mut self.reports),
+                    peak_memory_bits,
+                    connectivity: ConnectivityReport {
+                        tracked: self.opts.track_connectivity,
+                        ever_disconnected: dle.stats.ever_disconnected,
+                        disconnected_rounds: dle.stats.disconnected_rounds,
+                    },
+                    final_connected,
+                    final_positions,
+                };
+                self.state = PipelineState::Done(report.clone());
+                Ok(StepOutcome::Finished(report))
+            }
+            PipelineState::Done(report) => Ok(StepOutcome::Finished(report.clone())),
+        }
+    }
+
+    fn status(&self) -> ExecutionStatus {
+        let (phase, rounds_in_phase, next_round) = match &self.state {
+            PipelineState::StartObd | PipelineState::StartDle => (None, 0, None),
+            PipelineState::RunObd => (Some(phase::OBD), 0, None),
+            PipelineState::RunDle => {
+                let runner = self.runner.as_ref().expect("RunDle state holds a runner");
+                let rounds = runner.stats().rounds;
+                let next = if !runner.is_complete() && rounds < self.budget {
+                    Some(rounds)
+                } else {
+                    None
+                };
+                (Some(phase::DLE), rounds, next)
+            }
+            PipelineState::StartCollect | PipelineState::Finish => (None, 0, None),
+            PipelineState::RunCollect => (Some(phase::COLLECT), 0, None),
+            PipelineState::Done(_) => (None, 0, None),
+        };
+        // Once finished, the phase reports have moved into the final
+        // RunReport; read the totals from there.
+        let completed: u64 = match &self.state {
+            PipelineState::Done(report) => report.total_rounds,
+            _ => self.reports.iter().map(|p| p.rounds).sum(),
+        };
+        let (decided, undecided) = self.counts();
+        ExecutionStatus {
+            algorithm: "dle+collect",
+            phase,
+            rounds_in_phase,
+            total_rounds: completed
+                + if phase == Some(phase::DLE) {
+                    rounds_in_phase
+                } else {
+                    0
+                },
+            decided,
+            undecided,
+            next_round,
+            finished: matches!(self.state, PipelineState::Done(_)),
+        }
+    }
+
+    fn next_round(&self) -> Option<(&'static str, u64)> {
+        if !matches!(self.state, PipelineState::RunDle) {
+            return None;
+        }
+        let runner = self.runner.as_ref()?;
+        let rounds = runner.stats().rounds;
+        (!runner.is_complete() && rounds < self.budget).then_some((phase::DLE, rounds))
+    }
+
+    fn control(&mut self) -> Option<Box<dyn SystemControl + '_>> {
+        if !matches!(self.state, PipelineState::RunDle) {
+            return None;
+        }
+        self.runner
+            .as_mut()
+            .map(|runner| Box::new(runner.control()) as Box<dyn SystemControl + '_>)
+    }
 }
 
 impl LeaderElection for PaperPipeline {
@@ -471,53 +900,15 @@ impl LeaderElection for PaperPipeline {
         "dle+collect"
     }
 
-    fn elect_observed(
-        &self,
-        shape: &Shape,
-        scheduler: &mut dyn Scheduler,
+    fn start<'a>(
+        &'a self,
+        shape: &'a Shape,
+        scheduler: &'a mut dyn Scheduler,
         opts: &RunOptions,
-        observer: &mut dyn RunObserver,
-    ) -> Result<RunReport, ElectionError> {
-        let scheduler_name = scheduler.name();
-        let phases = run_pipeline_phases(shape, scheduler, opts, observer)?;
-        let reports = phases.reports.clone();
-
-        let mut peak_memory_bits = DLE_MEMORY_BITS;
-        if phases.obd.is_some() {
-            peak_memory_bits = peak_memory_bits.max(OBD_MEMORY_BITS);
-        }
-        if phases.collect.is_some() {
-            peak_memory_bits = peak_memory_bits.max(COLLECT_MEMORY_BITS);
-        }
-
-        let final_positions = phases
-            .collect
-            .as_ref()
-            .map(|c| c.final_positions.clone())
-            .unwrap_or_else(|| phases.dle.final_positions.clone());
-        let final_connected = Shape::from_points(final_positions.iter().copied()).is_connected();
-
-        Ok(RunReport {
-            algorithm: self.name().to_string(),
-            scheduler: scheduler_name.to_string(),
-            n: shape.len(),
-            leader: phases.dle.leader_point,
-            leaders: phases.dle.status_counts.0,
-            followers: phases.dle.status_counts.1,
-            undecided: phases.dle.status_counts.2,
-            total_rounds: reports.iter().map(|p| p.rounds).sum(),
-            activations: reports.iter().map(|p| p.activations).sum(),
-            moves: reports.iter().map(|p| p.moves).sum(),
-            phases: reports,
-            peak_memory_bits,
-            connectivity: ConnectivityReport {
-                tracked: opts.track_connectivity,
-                ever_disconnected: phases.dle.stats.ever_disconnected,
-                disconnected_rounds: phases.dle.stats.disconnected_rounds,
-            },
-            final_connected,
-            final_positions,
-        })
+    ) -> Result<Execution<'a>, ElectionError> {
+        Ok(Execution::new(PipelineExecution::start(
+            shape, scheduler, opts,
+        )?))
     }
 }
 
@@ -773,6 +1164,156 @@ mod tests {
         );
         assert_eq!(recorder.ended, [phase::OBD, phase::DLE, phase::COLLECT]);
         assert_eq!(recorder.dle_rounds, report.phase_rounds(phase::DLE));
+    }
+
+    #[test]
+    fn stepping_walks_the_phase_grammar() {
+        // PhaseStarted/RoundCompleted/PhaseEnded must nest correctly, with
+        // rounds only inside the round-driven DLE phase, and the final step
+        // must yield the report.
+        let shape = annulus(4, 2);
+        let mut scheduler = SeededRandom::new(1);
+        let mut execution = PaperPipeline
+            .start(&shape, &mut scheduler, &RunOptions::default())
+            .unwrap();
+        assert_eq!(execution.status().phase, None);
+        assert_eq!(execution.status().undecided, shape.len());
+        assert!(!execution.status().finished);
+
+        let mut seen = Vec::new();
+        let mut dle_rounds = 0u64;
+        let report = loop {
+            match execution.step_round().unwrap() {
+                StepOutcome::PhaseStarted { phase } => seen.push(format!("start:{phase}")),
+                StepOutcome::RoundCompleted { phase, rounds } => {
+                    assert_eq!(phase, phase::DLE, "only DLE is round-driven");
+                    assert_eq!(rounds, dle_rounds + 1, "rounds count up by one");
+                    dle_rounds = rounds;
+                    assert_eq!(execution.status().rounds_in_phase, rounds);
+                }
+                StepOutcome::PhaseEnded { report } => seen.push(format!("end:{}", report.name)),
+                StepOutcome::Finished(report) => break report,
+            }
+        };
+        assert_eq!(
+            seen,
+            [
+                "start:obd",
+                "end:obd",
+                "start:dle",
+                "end:dle",
+                "start:collect",
+                "end:collect"
+            ]
+        );
+        assert_eq!(dle_rounds, report.phase_rounds(phase::DLE));
+        assert!(report.predicate_holds());
+        let status = execution.status();
+        assert!(status.finished);
+        assert_eq!(status.decided, shape.len());
+        assert_eq!(status.undecided, 0);
+        // Stepping a finished execution is idempotent.
+        assert_eq!(
+            execution.step_round().unwrap(),
+            StepOutcome::Finished(report)
+        );
+    }
+
+    #[test]
+    fn stepped_execution_equals_eager_elect() {
+        let shape = swiss_cheese(4, 2);
+        let eager = PaperPipeline
+            .elect(&shape, &mut SeededRandom::new(9), &RunOptions::default())
+            .unwrap();
+        let mut scheduler = SeededRandom::new(9);
+        let mut execution = PaperPipeline
+            .start(&shape, &mut scheduler, &RunOptions::default())
+            .unwrap();
+        let stepped = loop {
+            if let StepOutcome::Finished(report) = execution.step_round().unwrap() {
+                break report;
+            }
+        };
+        assert_eq!(stepped, eager);
+    }
+
+    #[test]
+    fn system_access_is_scoped_to_the_round_driven_phase() {
+        let shape = hexagon(3);
+        let mut scheduler = SeededRandom::new(4);
+        let mut execution = PaperPipeline
+            .start(&shape, &mut scheduler, &RunOptions::default())
+            .unwrap();
+        // Before and during OBD there is no steppable system.
+        assert!(execution.system().is_none());
+        assert_eq!(execution.status().next_round, None);
+        assert_eq!(execution.next_round(), None);
+        // Advance into DLE: obd start, obd end, dle start.
+        for _ in 0..3 {
+            execution.step_round().unwrap();
+        }
+        assert_eq!(execution.status().phase, Some(phase::DLE));
+        assert_eq!(execution.status().next_round, Some(0));
+        // The O(1) accessor agrees with the full status snapshot.
+        assert_eq!(execution.next_round(), Some((phase::DLE, 0)));
+        assert!(execution.system().is_some());
+        let report = execution.finish().unwrap();
+        assert!(report.predicate_holds());
+    }
+
+    #[test]
+    fn caller_side_perturbation_restarts_on_the_mutated_system() {
+        // Remove a particle before round 2 of DLE and reset: the election
+        // must terminate with a unique leader on the smaller system, and the
+        // report must account for every surviving particle.
+        let shape = hexagon(4);
+        let mut scheduler = SeededRandom::new(3);
+        let opts = RunOptions::default();
+        let mut execution = PaperPipeline.start(&shape, &mut scheduler, &opts).unwrap();
+        let mut fired = false;
+        let report = loop {
+            if !fired && execution.status().next_round == Some(2) {
+                fired = true;
+                let mut system = execution.system().expect("DLE is active");
+                let victim = system.particle_positions()[0];
+                assert!(system.remove_at(victim));
+                system.reinitialize();
+            }
+            if let StepOutcome::Finished(report) = execution.step_round().unwrap() {
+                break report;
+            }
+        };
+        assert!(fired);
+        assert!(report.unique_leader());
+        assert_eq!(report.undecided, 0);
+        assert_eq!(report.final_positions.len(), shape.len() - 1);
+    }
+
+    #[test]
+    fn budget_errors_surface_from_the_failing_step() {
+        let shape = hexagon(4);
+        let mut scheduler = SeededRandom::new(0);
+        let opts = RunOptions {
+            round_budget: Some(2),
+            ..RunOptions::default()
+        };
+        let mut execution = PaperPipeline.start(&shape, &mut scheduler, &opts).unwrap();
+        let mut rounds = 0;
+        let error = loop {
+            match execution.step_round() {
+                Ok(StepOutcome::RoundCompleted { .. }) => rounds += 1,
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(rounds, 2);
+        assert_eq!(
+            error,
+            ElectionError::Run(RunError::RoundLimitExceeded { limit: 2 })
+        );
+        // Once the budget is gone, next_round reports no upcoming round.
+        assert_eq!(execution.status().next_round, None);
+        assert_eq!(execution.next_round(), None);
     }
 
     #[test]

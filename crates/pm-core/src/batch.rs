@@ -13,7 +13,7 @@
 //! Nothing here uses external dependencies (the build environment is
 //! offline): sharding is a scoped-thread pool over an atomic work counter.
 
-use crate::api::{ElectionError, LeaderElection, RunObserver, RunOptions, RunReport};
+use crate::api::{ElectionError, Execution, LeaderElection, RunOptions, RunReport};
 use pm_amoebot::scheduler::{
     DoubleActivation, ReverseRoundRobin, RoundRobin, Scheduler, SeededRandom,
 };
@@ -101,11 +101,15 @@ impl BatchScenario {
     }
 }
 
-/// A factory building a fresh per-run [`RunObserver`]; jobs carry factories
-/// rather than observers because observers are stateful and runs execute on
-/// worker threads (each worker builds its own instance, so batched runs stay
-/// bit-identical to sequential ones).
-pub type ObserverFactory<'a> = &'a (dyn Fn() -> Box<dyn RunObserver> + Sync);
+/// A caller-supplied loop that drives a started [`Execution`] to
+/// completion. Jobs carry drivers rather than live state because runs
+/// execute on worker threads: every worker starts its own execution and
+/// hands it to the (stateless, `Sync`) driver, so batched runs stay
+/// bit-identical to sequential ones. `pm-scenarios` uses this to fire
+/// perturbation scripts inside batched runs; a future fair scheduler can
+/// interleave the executions instead of finishing each one eagerly.
+pub type JobDriver<'a> =
+    &'a (dyn for<'s> Fn(Execution<'s>) -> Result<RunReport, ElectionError> + Sync);
 
 /// A job of [`BatchRunner::run_jobs`]: a scenario bound to the algorithm
 /// that should run it (sweeps that compare contenders mix algorithms within
@@ -115,13 +119,12 @@ pub struct BatchJob<'a> {
     pub algorithm: &'a (dyn LeaderElection + Sync),
     /// The scenario to run it on.
     pub scenario: BatchScenario,
-    /// Builds the run's observer (`None` runs unobserved). `pm-scenarios`
-    /// uses this to attach perturbation scripts to batched runs.
-    pub observer: Option<ObserverFactory<'a>>,
+    /// Drives the started execution (`None` runs straight to completion).
+    pub driver: Option<JobDriver<'a>>,
 }
 
 impl<'a> BatchJob<'a> {
-    /// An unobserved job.
+    /// A job that runs straight to completion.
     pub fn new(
         algorithm: &'a (dyn LeaderElection + Sync),
         scenario: BatchScenario,
@@ -129,33 +132,27 @@ impl<'a> BatchJob<'a> {
         BatchJob {
             algorithm,
             scenario,
-            observer: None,
+            driver: None,
         }
     }
 
-    /// Attaches a per-run observer factory.
-    pub fn observed(mut self, observer: ObserverFactory<'a>) -> BatchJob<'a> {
-        self.observer = Some(observer);
+    /// Attaches a custom execution driver (perturbation loops, tracing).
+    pub fn driven(mut self, driver: JobDriver<'a>) -> BatchJob<'a> {
+        self.driver = Some(driver);
         self
     }
 }
 
-/// Runs one job on the calling thread.
+/// Runs one job on the calling thread: starts the execution and either
+/// finishes it eagerly or hands it to the job's driver.
 fn run_job(job: &BatchJob<'_>) -> Result<RunReport, ElectionError> {
     let mut scheduler = job.scenario.scheduler.build();
-    match job.observer {
-        Some(make_observer) => {
-            let mut observer = make_observer();
-            job.algorithm.elect_observed(
-                &job.scenario.shape,
-                &mut *scheduler,
-                &job.scenario.options,
-                &mut *observer,
-            )
-        }
-        None => job
-            .algorithm
-            .elect(&job.scenario.shape, &mut *scheduler, &job.scenario.options),
+    let execution =
+        job.algorithm
+            .start(&job.scenario.shape, &mut *scheduler, &job.scenario.options)?;
+    match job.driver {
+        Some(drive) => drive(execution),
+        None => execution.finish(),
     }
 }
 
@@ -338,6 +335,47 @@ mod tests {
             SchedulerSpec::DoubleActivation,
         ] {
             assert_eq!(spec.build().name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn driven_jobs_batch_deterministically() {
+        use crate::api::{Execution, StepOutcome};
+        // A driver that injects a fault before round 2 of the round-driven
+        // phase: batched results must equal sequential ones exactly.
+        fn drive(mut execution: Execution<'_>) -> Result<RunReport, ElectionError> {
+            let mut fired = false;
+            loop {
+                if !fired && execution.status().next_round == Some(2) {
+                    fired = true;
+                    let mut system = execution.system().expect("round-driven phase");
+                    let victim = system.particle_positions()[0];
+                    system.remove_at(victim);
+                    system.reinitialize();
+                }
+                if let StepOutcome::Finished(report) = execution.step_round()? {
+                    return Ok(report);
+                }
+            }
+        }
+        let jobs = || -> Vec<BatchJob<'static>> {
+            (0..4)
+                .map(|i| {
+                    BatchJob::new(
+                        &PaperPipeline,
+                        BatchScenario::new(format!("j{i}"), hexagon(3)),
+                    )
+                    .driven(&drive)
+                })
+                .collect()
+        };
+        let sequential = BatchRunner::with_threads(1).run_jobs(jobs());
+        let batched = BatchRunner::with_threads(4).run_jobs(jobs());
+        for (s, b) in sequential.iter().zip(&batched) {
+            let (s, b) = (s.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(s, b);
+            assert_eq!(s.final_positions.len(), hexagon(3).len() - 1);
+            assert!(s.unique_leader());
         }
     }
 

@@ -36,6 +36,21 @@ pub enum Status {
     Follower,
 }
 
+/// `(decided, undecided)` tallies over particle statuses — the counts an
+/// `ExecutionStatus` snapshot reports, shared by every status-carrying
+/// algorithm (DLE, the erosion baseline).
+pub fn count_decisions(statuses: impl Iterator<Item = Status>) -> (usize, usize) {
+    let mut decided = 0;
+    let mut undecided = 0;
+    for status in statuses {
+        match status {
+            Status::Leader | Status::Follower => decided += 1,
+            Status::Undecided => undecided += 1,
+        }
+    }
+    (decided, undecided)
+}
+
 /// The constant-size memory of a particle running Algorithm DLE.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DleMemory {

@@ -48,7 +48,7 @@ pub const STABLE_CHECK_COST: u64 = 4;
 /// The paper's contribution in Section 5 is the *pipelined* comparison
 /// (Lemma 31): a comparison initiated by a segment `s` costs `O(|s|)` rounds
 /// even while the compared segments keep changing. Previous boundary-election
-/// algorithms ([3], [24]) compared two segments element by element with the
+/// algorithms (\[3\], \[24\]) compared two segments element by element with the
 /// segments frozen, paying `O(|s| · |s1|)` rounds per comparison — the
 /// `Sequential` model below — which is what makes them quadratic overall.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]

@@ -5,17 +5,21 @@
 //! pm-scenarios suites [--corpus FILE]
 //! pm-scenarios render <name>  [--corpus FILE]
 //! pm-scenarios run <suite>    [--corpus FILE] [--threads N] [--out FILE]
+//! pm-scenarios trace <name>   [--corpus FILE]
 //! pm-scenarios regen
 //! ```
 //!
 //! `run` prints a human-readable summary to stderr and the `RunReport` JSON
-//! array to stdout (or `--out FILE`). `regen` rewrites the committed corpus
-//! and the smoke golden file from the built-in corpus (a dev tool; a test
-//! pins the committed files to the code).
+//! array to stdout (or `--out FILE`). `trace` steps one scenario through
+//! the resumable `Execution` handle, printing a status line per round (and
+//! per perturbation event). `regen` rewrites the committed corpus and the
+//! smoke golden file from the built-in corpus (a dev tool; a test pins the
+//! committed files to the code).
 
 use pm_amoebot::ascii::render_shape;
+use pm_core::api::StepOutcome;
 use pm_scenarios::corpus::{self, SMOKE};
-use pm_scenarios::{report_json, run_suite, select, suite_tags, ScenarioSpec};
+use pm_scenarios::{report_json, run_suite, select, suite_tags, PerturbationScript, ScenarioSpec};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -27,7 +31,8 @@ struct Args {
     threads: usize,
 }
 
-const USAGE: &str = "usage: pm-scenarios <list|suites|render <name>|run <suite>|regen> \
+const USAGE: &str =
+    "usage: pm-scenarios <list|suites|render <name>|run <suite>|trace <name>|regen> \
                      [--corpus FILE] [--threads N] [--out FILE]";
 
 fn parse_args() -> Result<Args, String> {
@@ -171,19 +176,108 @@ fn cmd_run(specs: &[ScenarioSpec], args: &Args, suite: &str) -> Result<(), Strin
     Ok(())
 }
 
+/// Steps one scenario round by round through the resumable `Execution`
+/// handle, printing a status line per step — the caller-driven loop the
+/// steppable API exists for, on the command line.
+fn cmd_trace(specs: &[ScenarioSpec], name: &str) -> Result<(), String> {
+    let spec = specs
+        .iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("no scenario named `{name}` (try `pm-scenarios list`)"))?;
+    if !spec.perturbations.is_empty() && !spec.algorithm.supports_perturbations() {
+        return Err(format!(
+            "scenario `{name}` attaches a perturbation script to `{}`, which runs no \
+             round-driven phase",
+            spec.algorithm.name()
+        ));
+    }
+    let shape = spec.build_shape();
+    println!(
+        "tracing {} — {} (n = {}, algorithm = {}, scheduler = {}, {} perturbation event(s))",
+        spec.name,
+        spec.generator,
+        shape.len(),
+        spec.algorithm.name(),
+        spec.scheduler.name(),
+        spec.perturbations.len(),
+    );
+    let mut scheduler = spec.scheduler.build();
+    let mut execution = spec
+        .algorithm
+        .instance()
+        .start(&shape, &mut *scheduler, &spec.options)
+        .map_err(|e| format!("start: {e}"))?;
+    let mut script = PerturbationScript::new(spec.perturbations.clone());
+    let report = loop {
+        // The caller owns the loop: fire due events against the live
+        // system, then pump one step.
+        let fired_now = script.apply_due(&mut execution);
+        if fired_now > 0 {
+            let status = execution.status();
+            println!(
+                "  !! {fired_now} perturbation event(s) fired before round {}; {} particle(s) remain",
+                status.next_round.unwrap_or(status.rounds_in_phase),
+                status.decided + status.undecided
+            );
+        }
+        match execution
+            .step_round()
+            .map_err(|e| format!("execution failed: {e}"))?
+        {
+            StepOutcome::PhaseStarted { phase } => println!("phase {phase}: started"),
+            StepOutcome::RoundCompleted { phase, rounds } => {
+                let status = execution.status();
+                println!(
+                    "phase {phase}: round {rounds:>5}  decided {:>6}  undecided {:>6}  total rounds {:>6}",
+                    status.decided, status.undecided, status.total_rounds
+                );
+            }
+            StepOutcome::PhaseEnded { report } => println!(
+                "phase {}: ended after {} round(s), {} activation(s), {} move(s)",
+                report.name, report.rounds, report.activations, report.moves
+            ),
+            StepOutcome::Finished(report) => break report,
+        }
+    };
+    if script.fired() > 0 {
+        println!(
+            "perturbations: {} event(s) fired, {} particle(s) removed",
+            script.fired(),
+            script.removed()
+        );
+    }
+    println!(
+        "finished: {} leader(s) at {}, {} follower(s), {} undecided, {} total round(s), connected = {}",
+        report.leaders,
+        report.leader,
+        report.followers,
+        report.undecided,
+        report.total_rounds,
+        report.final_connected
+    );
+    println!(
+        "report: n = {} -> {} surviving particle(s), peak memory {} bit(s)/particle",
+        report.n,
+        report.final_positions.len(),
+        report.peak_memory_bits
+    );
+    Ok(())
+}
+
 /// Rewrites the committed corpus and smoke golden file from the built-in
 /// corpus (paths resolved relative to this crate's manifest).
 fn cmd_regen() -> Result<(), String> {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    let corpus = pm_scenarios::builtin_corpus();
+    let entries = pm_scenarios::builtin_entries();
     let mut corpus_json =
-        serde_json::to_string_pretty(&corpus).map_err(|e| format!("serialize corpus: {e}"))?;
+        serde_json::to_string_pretty(&entries).map_err(|e| format!("serialize corpus: {e}"))?;
     corpus_json.push('\n');
     let corpus_path = root.join("corpus/scenarios.json");
     std::fs::write(&corpus_path, corpus_json)
         .map_err(|e| format!("write {}: {e}", corpus_path.display()))?;
     eprintln!("wrote {}", corpus_path.display());
 
+    let corpus = pm_scenarios::builtin_corpus();
     let smoke = select(&corpus, SMOKE);
     let golden = report_json(&run_suite(&smoke, 1));
     let golden_path = root.join("golden/smoke.json");
@@ -224,6 +318,8 @@ fn main() -> ExitCode {
                 ("render", None) => Err("render needs a scenario name".to_string()),
                 ("run", Some(suite)) => cmd_run(&specs, &args, suite),
                 ("run", None) => Err("run needs a suite name (try `smoke` or `all`)".to_string()),
+                ("trace", Some(name)) => cmd_trace(&specs, name),
+                ("trace", None) => Err("trace needs a scenario name".to_string()),
                 (other, _) => Err(format!("unknown command `{other}`\n{USAGE}")),
             },
         },

@@ -10,10 +10,13 @@
 //!   algorithm, scheduler, [`RunOptions`](pm_core::api::RunOptions) knobs,
 //!   perturbation script).
 //! * [`perturb`] — mid-run fault injection: remove-k-at-round-r and
-//!   split-along-a-column events with reset-and-recover semantics, threaded
-//!   through the runner via `RunObserver::on_round_start`.
-//! * [`corpus`] — the committed scenario corpus (`corpus/scenarios.json`)
-//!   and suite selection.
+//!   split-along-a-column events with reset-and-recover semantics, fired by
+//!   a caller-side driver loop over the steppable
+//!   [`Execution`](pm_core::api::Execution) handle.
+//! * [`family`] — scenario families: [`FamilySpec`] parameter grids
+//!   (sizes × seeds) that expand into concrete scenarios at load time.
+//! * [`corpus`] — the committed scenario corpus (`corpus/scenarios.json`,
+//!   concrete scenarios plus family grids) and suite selection.
 //! * [`runner`] — drives suites through `pm_core::batch::BatchRunner` and
 //!   serializes the per-scenario [`RunReport`](pm_core::api::RunReport)s.
 //!
@@ -26,13 +29,15 @@
 //! ```
 
 pub mod corpus;
+pub mod family;
 pub mod generators;
 pub mod perturb;
 pub mod runner;
 pub mod spec;
 
-pub use corpus::{builtin_corpus, load_embedded, load_file, select, suite_tags};
+pub use corpus::{builtin_corpus, builtin_entries, load_embedded, load_file, select, suite_tags};
+pub use family::{CorpusEntry, FamilySpec};
 pub use generators::GeneratorSpec;
-pub use perturb::{PerturbationObserver, PerturbationSpec};
+pub use perturb::{PerturbationScript, PerturbationSpec};
 pub use runner::{report_json, run_suite, ScenarioReport};
 pub use spec::{AlgorithmSpec, ScenarioSpec};

@@ -4,11 +4,12 @@
 //! the election's round-driven phase (`dle` for the paper pipeline,
 //! `election` for the erosion baseline): remove particles at random, or cut
 //! the configuration along a grid column (the split/reconnect dynamic of the
-//! paper's reconnection variant). [`PerturbationObserver`] turns a script of
-//! such events into a `RunObserver` whose `on_round_start` hook mutates the
-//! particle system through the runner's [`SystemControl`] surface — the
-//! mid-run mutations flow through the same invalidate-on-mutation analysis
-//! cache as ordinary shape edits.
+//! paper's reconnection variant). [`PerturbationScript`] drives a steppable
+//! [`Execution`] from the caller's side, mutating the particle system
+//! through [`Execution::system`] exactly before the scripted rounds run —
+//! the mid-run mutations flow through the same invalidate-on-mutation
+//! analysis cache as ordinary shape edits, and the fault logic is a plain
+//! loop over [`Execution::step_round`], not an observer callback.
 //!
 //! **Reset-and-recover semantics.** After mutating, every perturbation
 //! re-initializes the surviving particles from the perturbed configuration:
@@ -22,7 +23,7 @@
 //! what the report shows.
 
 use pm_amoebot::system::SystemControl;
-use pm_core::api::{phase, RunObserver};
+use pm_core::api::{phase, ElectionError, Execution, RunReport, StepOutcome};
 use pm_grid::{Point, Shape};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -131,11 +132,12 @@ fn prune_to_largest_component(system: &mut dyn SystemControl) -> usize {
     removed
 }
 
-/// A [`RunObserver`] that fires a perturbation script against the election's
-/// round-driven phase. Each event fires at most once, at the first phase
-/// round matching its `round` field.
+/// A perturbation script bound to one run: drives a steppable
+/// [`Execution`], firing each event at most once, exactly before the first
+/// phase round matching its `round` field. Events scheduled for rounds the
+/// election never reaches simply never fire.
 #[derive(Clone, Debug)]
-pub struct PerturbationObserver {
+pub struct PerturbationScript {
     specs: Vec<PerturbationSpec>,
     applied: Vec<bool>,
     /// Total particles removed by fired events.
@@ -144,11 +146,11 @@ pub struct PerturbationObserver {
     fired: usize,
 }
 
-impl PerturbationObserver {
-    /// An observer firing the given script.
-    pub fn new(specs: Vec<PerturbationSpec>) -> PerturbationObserver {
+impl PerturbationScript {
+    /// A script firing the given events.
+    pub fn new(specs: Vec<PerturbationSpec>) -> PerturbationScript {
         let applied = vec![false; specs.len()];
-        PerturbationObserver {
+        PerturbationScript {
             specs,
             applied,
             removed: 0,
@@ -165,20 +167,76 @@ impl PerturbationObserver {
     pub fn fired(&self) -> usize {
         self.fired
     }
-}
 
-impl RunObserver for PerturbationObserver {
-    fn on_round_start(&mut self, phase_name: &str, round: u64, system: &mut dyn SystemControl) {
+    /// Fires every pending event scheduled for the round the execution is
+    /// about to run ([`Execution::next_round`]); a no-op at phase
+    /// boundaries, during closed-form phases and after completion.
+    /// Returns how many events fired.
+    pub fn apply_due(&mut self, execution: &mut Execution<'_>) -> usize {
+        // `next_round` (not `status()`): polled every round, and the full
+        // status snapshot tallies per-particle decision counts.
+        let Some((phase_name, round)) = execution.next_round() else {
+            return 0;
+        };
         // Perturbations target the election's round-driven phase; OBD and
-        // Collect are simulated in closed form and never see this hook.
+        // Collect are simulated in closed form and never expose a system.
         if phase_name != phase::DLE && phase_name != phase::ELECTION {
-            return;
+            return 0;
         }
+        if !self
+            .specs
+            .iter()
+            .zip(&self.applied)
+            .any(|(spec, applied)| !applied && spec.round() == round)
+        {
+            return 0;
+        }
+        let mut system = execution
+            .system()
+            .expect("an upcoming round implies a live system");
+        let mut fired_now = 0;
         for (spec, applied) in self.specs.iter().zip(self.applied.iter_mut()) {
             if !*applied && spec.round() == round {
                 *applied = true;
-                self.removed += spec.apply(system);
+                self.removed += spec.apply(&mut *system);
                 self.fired += 1;
+                fired_now += 1;
+            }
+        }
+        fired_now
+    }
+
+    /// Drives the execution to completion, firing the script's events at
+    /// their rounds, and returns the final report.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying election surfaces
+    /// (see [`LeaderElection::elect`]).
+    ///
+    /// [`LeaderElection::elect`]: pm_core::api::LeaderElection::elect
+    pub fn drive(&mut self, execution: Execution<'_>) -> Result<RunReport, ElectionError> {
+        self.drive_with(execution, |_, _| {})
+    }
+
+    /// Like [`PerturbationScript::drive`], invoking `on_step` with every
+    /// step outcome and the execution (for status inspection) — the hook
+    /// behind the `pm-scenarios trace` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PerturbationScript::drive`].
+    pub fn drive_with(
+        &mut self,
+        mut execution: Execution<'_>,
+        mut on_step: impl FnMut(&StepOutcome, &Execution<'_>),
+    ) -> Result<RunReport, ElectionError> {
+        loop {
+            self.apply_due(&mut execution);
+            let outcome = execution.step_round()?;
+            on_step(&outcome, &execution);
+            if let StepOutcome::Finished(report) = outcome {
+                return Ok(report);
             }
         }
     }
@@ -197,10 +255,13 @@ mod tests {
         opts: RunOptions,
     ) -> pm_core::api::RunReport {
         let shape = spec.build();
-        let mut observer = PerturbationObserver::new(perturbations);
+        let mut script = PerturbationScript::new(perturbations);
         let mut scheduler = SeededRandom::new(7);
-        PaperPipeline
-            .elect_observed(&shape, &mut scheduler, &opts, &mut observer)
+        let execution = PaperPipeline
+            .start(&shape, &mut scheduler, &opts)
+            .expect("permitted initial configuration");
+        script
+            .drive(execution)
             .expect("perturbed election terminates")
     }
 
@@ -265,21 +326,18 @@ mod tests {
     #[test]
     fn events_after_termination_never_fire() {
         let shape = GeneratorSpec::Hexagon { radius: 2 }.build();
-        let mut observer = PerturbationObserver::new(vec![PerturbationSpec::RemoveRandom {
+        let mut script = PerturbationScript::new(vec![PerturbationSpec::RemoveRandom {
             round: 100_000,
             count: 5,
             seed: 1,
         }]);
         let mut scheduler = SeededRandom::new(7);
-        let report = PaperPipeline
-            .elect_observed(
-                &shape,
-                &mut scheduler,
-                &RunOptions::default(),
-                &mut observer,
-            )
+        let execution = PaperPipeline
+            .start(&shape, &mut scheduler, &RunOptions::default())
             .unwrap();
-        assert_eq!(observer.fired(), 0);
+        let report = script.drive(execution).unwrap();
+        assert_eq!(script.fired(), 0);
+        assert_eq!(script.removed(), 0);
         assert_eq!(report.final_positions.len(), report.n);
     }
 

@@ -1,8 +1,8 @@
 //! Driving scenario suites through the thread-sharded batch runner.
 
-use crate::perturb::PerturbationObserver;
+use crate::perturb::{PerturbationScript, PerturbationSpec};
 use crate::spec::ScenarioSpec;
-use pm_core::api::{RunObserver, RunReport};
+use pm_core::api::{ElectionError, Execution, RunReport};
 use pm_core::batch::{BatchJob, BatchRunner, BatchScenario};
 use serde::{Deserialize, Serialize};
 
@@ -33,24 +33,29 @@ pub struct ScenarioReport {
 ///
 /// Results come back in scenario order and are **bit-identical across thread
 /// counts and repeated runs**: every shape, scheduler and perturbation is
-/// seeded, the batch merge is deterministic, and perturbation observers are
-/// built fresh per run.
+/// seeded, the batch merge is deterministic, and each run's perturbation
+/// script is a fresh [`PerturbationScript`] built inside the worker.
 pub fn run_suite(specs: &[&ScenarioSpec], threads: usize) -> Vec<ScenarioReport> {
-    type BoxedFactory = Box<dyn Fn() -> Box<dyn RunObserver> + Sync>;
-    // Perturbation observers are built per *run* (inside the worker) from
-    // per-scenario factories, so batched perturbed runs equal sequential
-    // ones.
-    let factories: Vec<Option<BoxedFactory>> = specs
+    type BoxedDriver =
+        Box<dyn for<'s> Fn(Execution<'s>) -> Result<RunReport, ElectionError> + Sync>;
+    /// Drives one execution under a fresh script instance — built per *run*
+    /// (inside the worker), so batched perturbed runs equal sequential ones.
+    fn drive_scripted(
+        events: &[PerturbationSpec],
+        execution: Execution<'_>,
+    ) -> Result<RunReport, ElectionError> {
+        PerturbationScript::new(events.to_vec()).drive(execution)
+    }
+    let drivers: Vec<Option<BoxedDriver>> = specs
         .iter()
         .map(|spec| {
             if spec.perturbations.is_empty() {
                 None
             } else {
-                let script = spec.perturbations.clone();
-                let factory: BoxedFactory = Box::new(move || {
-                    Box::new(PerturbationObserver::new(script.clone())) as Box<dyn RunObserver>
-                });
-                Some(factory)
+                let events = spec.perturbations.clone();
+                let driver: BoxedDriver =
+                    Box::new(move |execution| drive_scripted(&events, execution));
+                Some(driver)
             }
         })
         .collect();
@@ -76,8 +81,8 @@ pub fn run_suite(specs: &[&ScenarioSpec], threads: usize) -> Vec<ScenarioReport>
     let shapes: Vec<_> = specs.iter().map(|spec| spec.build_shape()).collect();
     let sizes: Vec<usize> = shapes.iter().map(|shape| shape.len()).collect();
     let mut jobs = Vec::with_capacity(specs.len());
-    for (((spec, factory), rejection), shape) in
-        specs.iter().zip(&factories).zip(&rejections).zip(shapes)
+    for (((spec, driver), rejection), shape) in
+        specs.iter().zip(&drivers).zip(&rejections).zip(shapes)
     {
         if rejection.is_some() {
             continue;
@@ -88,8 +93,8 @@ pub fn run_suite(specs: &[&ScenarioSpec], threads: usize) -> Vec<ScenarioReport>
                 .options(spec.options)
                 .scheduler(spec.scheduler),
         );
-        if let Some(factory) = factory {
-            job = job.observed(factory.as_ref());
+        if let Some(driver) = driver {
+            job = job.driven(driver.as_ref());
         }
         jobs.push(job);
     }

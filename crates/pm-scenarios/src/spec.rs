@@ -47,10 +47,11 @@ impl AlgorithmSpec {
     }
 
     /// Whether the algorithm executes a round-driven phase that perturbation
-    /// scripts can target (`RunObserver::on_round_start`). The boundary
-    /// baselines are simulated in closed form — a script attached to them
-    /// would never fire, so the suite runner rejects such scenarios instead
-    /// of silently reporting a fault-free run as perturbed.
+    /// scripts can target (an `Execution` with rounds to step and a live
+    /// system to mutate). The boundary baselines are simulated in closed
+    /// form — a script attached to them would never fire, so the suite
+    /// runner rejects such scenarios instead of silently reporting a
+    /// fault-free run as perturbed.
     pub fn supports_perturbations(&self) -> bool {
         matches!(self, AlgorithmSpec::Pipeline | AlgorithmSpec::Erosion)
     }

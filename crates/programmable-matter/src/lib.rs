@@ -52,6 +52,34 @@
 //!     assert!(report.unique_leader(), "{}", report.algorithm);
 //! }
 //! ```
+//!
+//! Driving a run round by round through the steppable [`Execution`] handle
+//! (pause, inspect, mutate, resume):
+//!
+//! ```
+//! use programmable_matter::amoebot::scheduler::SeededRandom;
+//! use programmable_matter::grid::builder::hexagon;
+//! use programmable_matter::leader_election::PaperPipeline;
+//! use programmable_matter::{LeaderElection, RunOptions, StepOutcome};
+//!
+//! let shape = hexagon(3);
+//! let mut scheduler = SeededRandom::new(7);
+//! let opts = RunOptions::default();
+//! let mut execution = PaperPipeline.start(&shape, &mut scheduler, &opts)?;
+//! let report = loop {
+//!     match execution.step_round()? {
+//!         StepOutcome::RoundCompleted { phase, rounds } => {
+//!             let status = execution.status();
+//!             assert_eq!(status.rounds_in_phase, rounds);
+//!             assert_eq!(status.decided + status.undecided, shape.len());
+//!         }
+//!         StepOutcome::Finished(report) => break report,
+//!         _ => {}
+//!     }
+//! };
+//! assert!(report.predicate_holds());
+//! # Ok::<(), programmable_matter::ElectionError>(())
+//! ```
 
 pub use pm_amoebot as amoebot;
 pub use pm_analysis as analysis;
@@ -61,5 +89,6 @@ pub use pm_grid as grid;
 pub use pm_scenarios as scenarios;
 
 pub use pm_core::api::{
-    Election, ElectionBuilder, ElectionError, LeaderElection, RunObserver, RunOptions, RunReport,
+    Election, ElectionBuilder, ElectionError, Execution, ExecutionStatus, LeaderElection,
+    RunObserver, RunOptions, RunReport, StepOutcome,
 };
