@@ -58,6 +58,15 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     }
 }
 
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn fill_round_order(&mut self, ids: &[ParticleId], round: u64, out: &mut Vec<ParticleId>) {
+        (**self).fill_round_order(ids, round, out)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Activates particles in creation order, once per round (the identity
 /// permutation: the order is the live list itself, copied without any
 /// reordering work).

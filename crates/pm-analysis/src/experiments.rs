@@ -36,7 +36,7 @@ fn format_ratio(value: f64) -> String {
 
 /// A labelled scheduler factory: experiments build a fresh scheduler per
 /// run so random streams do not leak across measurements.
-type SchedulerFactory = (&'static str, fn() -> Box<dyn Scheduler>);
+type SchedulerFactory = (&'static str, fn() -> Box<dyn Scheduler + Send>);
 
 /// The scheduler used for every DLE-based measurement in the experiments.
 ///
@@ -70,7 +70,7 @@ fn rounds_cell(label: &str, result: Result<RunReport, ElectionError>) -> String 
 
 /// Runs the paper pipeline restricted to DLE (boundary knowledge assumed, no
 /// reconnection), asserting the unique-leader predicate.
-fn dle_report(shape: &Shape, scheduler: impl Scheduler + 'static) -> RunReport {
+fn dle_report(shape: &Shape, scheduler: impl Scheduler + Send + 'static) -> RunReport {
     let report = Election::on(shape)
         .scheduler(scheduler)
         .assume_boundary_known()

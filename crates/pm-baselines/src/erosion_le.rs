@@ -103,16 +103,45 @@ enum ErosionState {
 }
 
 /// The resumable state machine behind [`ErosionLeaderElection`]'s
-/// [`LeaderElection::start`].
-struct ErosionExecution<'a> {
+/// [`LeaderElection::start`]. Generic over the scheduler it owns, so the
+/// same machine backs borrowing executions (`S = &mut dyn Scheduler`) and
+/// owned, `'static` ones (`S = Box<dyn Scheduler + Send>`).
+struct ErosionExecution<S: Scheduler> {
     opts: RunOptions,
     scheduler_name: &'static str,
     n: usize,
     /// The live round-driven phase; consumed when the election ends.
-    runner: Option<Runner<ErosionLeaderElection, &'a mut dyn Scheduler>>,
+    runner: Option<Runner<ErosionLeaderElection, S>>,
     budget: u64,
     phase_report: Option<PhaseReport>,
     state: ErosionState,
+}
+
+impl<S: Scheduler> ErosionExecution<S> {
+    fn start(
+        shape: &Shape,
+        scheduler: S,
+        opts: &RunOptions,
+    ) -> Result<ErosionExecution<S>, ElectionError> {
+        check_initial_configuration(shape)?;
+        let scheduler_name = scheduler.name();
+        let system =
+            ParticleSystem::from_shape_with_backend(shape, &ErosionLeaderElection, opts.occupancy);
+        let mut runner = Runner::new(system, ErosionLeaderElection, scheduler);
+        runner.track_connectivity = opts.track_connectivity;
+        let budget = opts
+            .round_budget
+            .unwrap_or_else(|| 8 * (shape.len() as u64 + 8));
+        Ok(ErosionExecution {
+            opts: *opts,
+            scheduler_name,
+            n: shape.len(),
+            runner: Some(runner),
+            budget,
+            phase_report: None,
+            state: ErosionState::Start,
+        })
+    }
 }
 
 /// `(decided, undecided)` status counts over a live erosion system (the
@@ -121,7 +150,7 @@ fn erosion_counts(system: &ParticleSystem<ErosionMemory>) -> (usize, usize) {
     count_decisions(system.iter().map(|(_, p)| p.memory().status))
 }
 
-impl ExecutionDriver for ErosionExecution<'_> {
+impl<S: Scheduler> ExecutionDriver for ErosionExecution<S> {
     fn step(&mut self) -> Result<StepOutcome, ElectionError> {
         match &mut self.state {
             ErosionState::Start => {
@@ -290,27 +319,23 @@ impl LeaderElection for ErosionLeaderElection {
     fn start<'a>(
         &'a self,
         shape: &'a Shape,
-        scheduler: &'a mut dyn Scheduler,
+        scheduler: &'a mut (dyn Scheduler + Send),
         opts: &RunOptions,
     ) -> Result<Execution<'a>, ElectionError> {
-        check_initial_configuration(shape)?;
-        let scheduler_name = scheduler.name();
-        let system =
-            ParticleSystem::from_shape_with_backend(shape, &ErosionLeaderElection, opts.occupancy);
-        let mut runner = Runner::new(system, ErosionLeaderElection, scheduler);
-        runner.track_connectivity = opts.track_connectivity;
-        let budget = opts
-            .round_budget
-            .unwrap_or_else(|| 8 * (shape.len() as u64 + 8));
-        Ok(Execution::new(ErosionExecution {
-            opts: *opts,
-            scheduler_name,
-            n: shape.len(),
-            runner: Some(runner),
-            budget,
-            phase_report: None,
-            state: ErosionState::Start,
-        }))
+        Ok(Execution::new(ErosionExecution::start(
+            shape, scheduler, opts,
+        )?))
+    }
+
+    fn start_owned(
+        &self,
+        shape: &Shape,
+        scheduler: Box<dyn Scheduler + Send>,
+        opts: &RunOptions,
+    ) -> Result<Execution<'static>, ElectionError> {
+        Ok(Execution::new(ErosionExecution::start(
+            shape, scheduler, opts,
+        )?))
     }
 }
 

@@ -19,6 +19,7 @@ use pm_core::api::{
 };
 use pm_core::obd::{CompetitionCostModel, ObdSimulator};
 use pm_grid::{outer_boundary_ring, Shape};
+use std::borrow::Cow;
 
 /// Nominal per-particle memory of the quadratic boundary election, in bits:
 /// like OBD's segment competition, a constant number of machine words
@@ -44,14 +45,32 @@ enum QuadraticState {
 }
 
 /// The resumable state machine behind [`QuadraticBoundary`]'s
-/// [`LeaderElection::start`].
+/// [`LeaderElection::start`]. Holds the shape as a `Cow`, so the same
+/// machine backs borrowing and owned (`'static`) executions.
 struct QuadraticExecution<'a> {
     opts: RunOptions,
     scheduler_name: &'static str,
-    shape: &'a Shape,
+    shape: Cow<'a, Shape>,
     election: Option<PhaseReport>,
     leaders: usize,
     state: QuadraticState,
+}
+
+impl<'a> QuadraticExecution<'a> {
+    fn new(
+        shape: Cow<'a, Shape>,
+        scheduler_name: &'static str,
+        opts: &RunOptions,
+    ) -> QuadraticExecution<'a> {
+        QuadraticExecution {
+            opts: *opts,
+            scheduler_name,
+            shape,
+            election: None,
+            leaders: 0,
+            state: QuadraticState::Start,
+        }
+    }
 }
 
 impl ExecutionDriver for QuadraticExecution<'_> {
@@ -64,7 +83,7 @@ impl ExecutionDriver for QuadraticExecution<'_> {
                 })
             }
             QuadraticState::Run => {
-                let outcome = ObdSimulator::new(self.shape)
+                let outcome = ObdSimulator::new(&self.shape)
                     .run_with_cost_model(CompetitionCostModel::Sequential);
                 let outer = outcome
                     .decisions
@@ -86,7 +105,7 @@ impl ExecutionDriver for QuadraticExecution<'_> {
             }
             QuadraticState::Finish => {
                 let election = self.election.clone().expect("the election phase ran");
-                let ring = outer_boundary_ring(self.shape);
+                let ring = outer_boundary_ring(&self.shape);
                 let leader = ring
                     .vnodes()
                     .first()
@@ -158,18 +177,29 @@ impl LeaderElection for QuadraticBoundary {
     fn start<'a>(
         &'a self,
         shape: &'a Shape,
-        scheduler: &'a mut dyn Scheduler,
+        scheduler: &'a mut (dyn Scheduler + Send),
         opts: &RunOptions,
     ) -> Result<Execution<'a>, ElectionError> {
         check_initial_configuration(shape)?;
-        Ok(Execution::new(QuadraticExecution {
-            opts: *opts,
-            scheduler_name: scheduler.name(),
-            shape,
-            election: None,
-            leaders: 0,
-            state: QuadraticState::Start,
-        }))
+        Ok(Execution::new(QuadraticExecution::new(
+            Cow::Borrowed(shape),
+            scheduler.name(),
+            opts,
+        )))
+    }
+
+    fn start_owned(
+        &self,
+        shape: &Shape,
+        scheduler: Box<dyn Scheduler + Send>,
+        opts: &RunOptions,
+    ) -> Result<Execution<'static>, ElectionError> {
+        check_initial_configuration(shape)?;
+        Ok(Execution::new(QuadraticExecution::new(
+            Cow::Owned(shape.clone()),
+            scheduler.name(),
+            opts,
+        )))
     }
 }
 

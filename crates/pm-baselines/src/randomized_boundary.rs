@@ -21,6 +21,7 @@ use pm_core::api::{
 use pm_grid::{outer_boundary_ring, DistanceMap, Point, Shape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::borrow::Cow;
 
 /// Nominal per-particle memory of the randomized boundary election, in bits:
 /// a coin, a candidate flag and a constant number of token counters (the
@@ -91,11 +92,12 @@ enum RandomizedState {
 }
 
 /// The resumable state machine behind [`RandomizedBoundary`]'s
-/// [`LeaderElection::start`].
+/// [`LeaderElection::start`]. Holds the shape as a `Cow`, so the same
+/// machine backs borrowing and owned (`'static`) executions.
 struct RandomizedExecution<'a> {
     opts: RunOptions,
     scheduler_name: &'static str,
-    shape: &'a Shape,
+    shape: Cow<'a, Shape>,
     winner: Option<Point>,
     /// Per-phase statistics, built exactly once each: the same structs
     /// surface in [`StepOutcome::PhaseEnded`] and in the final
@@ -103,6 +105,24 @@ struct RandomizedExecution<'a> {
     election_report: Option<PhaseReport>,
     flood_report: Option<PhaseReport>,
     state: RandomizedState,
+}
+
+impl<'a> RandomizedExecution<'a> {
+    fn new(
+        shape: Cow<'a, Shape>,
+        scheduler_name: &'static str,
+        opts: &RunOptions,
+    ) -> RandomizedExecution<'a> {
+        RandomizedExecution {
+            opts: *opts,
+            scheduler_name,
+            shape,
+            winner: None,
+            election_report: None,
+            flood_report: None,
+            state: RandomizedState::StartTournament,
+        }
+    }
 }
 
 impl ExecutionDriver for RandomizedExecution<'_> {
@@ -115,7 +135,7 @@ impl ExecutionDriver for RandomizedExecution<'_> {
                 })
             }
             RandomizedState::RunTournament => {
-                let (rounds, winner) = tournament(self.shape, self.opts.seed);
+                let (rounds, winner) = tournament(&self.shape, self.opts.seed);
                 self.winner = Some(winner);
                 let report = PhaseReport {
                     name: phase::ELECTION.to_string(),
@@ -137,7 +157,7 @@ impl ExecutionDriver for RandomizedExecution<'_> {
                 // Termination announcement: flood from the winner through
                 // the shape.
                 let winner = self.winner.expect("the tournament ran");
-                let flood_rounds = DistanceMap::within_shape(self.shape, winner)
+                let flood_rounds = DistanceMap::within_shape(&self.shape, winner)
                     .eccentricity_over(self.shape.iter())
                     .unwrap_or(0) as u64;
                 let report = PhaseReport {
@@ -226,19 +246,29 @@ impl LeaderElection for RandomizedBoundary {
     fn start<'a>(
         &'a self,
         shape: &'a Shape,
-        scheduler: &'a mut dyn Scheduler,
+        scheduler: &'a mut (dyn Scheduler + Send),
         opts: &RunOptions,
     ) -> Result<Execution<'a>, ElectionError> {
         check_initial_configuration(shape)?;
-        Ok(Execution::new(RandomizedExecution {
-            opts: *opts,
-            scheduler_name: scheduler.name(),
-            shape,
-            winner: None,
-            election_report: None,
-            flood_report: None,
-            state: RandomizedState::StartTournament,
-        }))
+        Ok(Execution::new(RandomizedExecution::new(
+            Cow::Borrowed(shape),
+            scheduler.name(),
+            opts,
+        )))
+    }
+
+    fn start_owned(
+        &self,
+        shape: &Shape,
+        scheduler: Box<dyn Scheduler + Send>,
+        opts: &RunOptions,
+    ) -> Result<Execution<'static>, ElectionError> {
+        check_initial_configuration(shape)?;
+        Ok(Execution::new(RandomizedExecution::new(
+            Cow::Owned(shape.clone()),
+            scheduler.name(),
+            opts,
+        )))
     }
 }
 

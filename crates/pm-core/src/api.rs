@@ -76,6 +76,7 @@ use pm_amoebot::scheduler::{RunError, Runner, Scheduler, SeededRandom};
 use pm_amoebot::system::{OccupancyBackend, ParticleSystem, SystemControl};
 use pm_grid::{Point, Shape};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Canonical phase names used in [`PhaseReport::name`] and observer
@@ -340,7 +341,11 @@ impl RunObserver for NoopObserver {}
 /// simulated in closed form (OBD, Collect, the boundary baselines) go from
 /// `PhaseStarted` to `PhaseEnded` in a single coarse step. The final step
 /// yields `Finished` with the complete [`RunReport`].
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Serializes with the same externally-tagged JSON shape as every other
+/// report type, e.g. `{"RoundCompleted": {"phase": "dle", "rounds": 3}}` —
+/// the per-step lines `pm-scenarios trace --json` emits.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum StepOutcome {
     /// A phase began (see [`phase`] for the names).
     PhaseStarted {
@@ -365,7 +370,29 @@ pub enum StepOutcome {
 }
 
 /// A point-in-time snapshot of a running [`Execution`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// # JSON shape
+///
+/// Serializes as a flat object mirroring [`RunReport`]'s field style, so
+/// `pm-scenarios trace --json` and the session server's `watch` stream emit
+/// the *same* per-round shape:
+///
+/// ```json
+/// {
+///   "algorithm": "dle+collect",
+///   "phase": "dle",
+///   "rounds_in_phase": 3,
+///   "total_rounds": 17,
+///   "decided": 12,
+///   "undecided": 25,
+///   "next_round": 3,
+///   "finished": false
+/// }
+/// ```
+///
+/// `phase` and `next_round` are `null` at phase boundaries and after
+/// completion; every other field is always present.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecutionStatus {
     /// The algorithm's [`LeaderElection::name`].
     pub algorithm: &'static str,
@@ -436,14 +463,18 @@ pub trait ExecutionDriver {
 /// between rounds (fault injection), and [`Execution::finish`] runs the
 /// remainder to completion. [`LeaderElection::elect`] is exactly
 /// `start(..)?.finish()`.
+///
+/// Executions are `Send` (drivers carry `Send` state and schedulers are
+/// `Send`), so a session scheduler may park thousands of them and sweep
+/// them from worker threads; see [`crate::session::SessionScheduler`].
 pub struct Execution<'a> {
-    driver: Box<dyn ExecutionDriver + 'a>,
+    driver: Box<dyn ExecutionDriver + Send + 'a>,
 }
 
 impl<'a> Execution<'a> {
     /// Wraps an algorithm's driver. Called by [`LeaderElection::start`]
     /// implementations, not by end users.
-    pub fn new(driver: impl ExecutionDriver + 'a) -> Execution<'a> {
+    pub fn new(driver: impl ExecutionDriver + Send + 'a) -> Execution<'a> {
         Execution {
             driver: Box::new(driver),
         }
@@ -528,9 +559,24 @@ pub trait LeaderElection {
     fn start<'a>(
         &'a self,
         shape: &'a Shape,
-        scheduler: &'a mut dyn Scheduler,
+        scheduler: &'a mut (dyn Scheduler + Send),
         opts: &RunOptions,
     ) -> Result<Execution<'a>, ElectionError>;
+
+    /// Like [`LeaderElection::start`], but the returned [`Execution`] *owns*
+    /// its shape and scheduler instead of borrowing them — the handle the
+    /// session server parks across requests (and threads), where a borrowing
+    /// execution could not outlive its caller's stack frame.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LeaderElection::start`].
+    fn start_owned(
+        &self,
+        shape: &Shape,
+        scheduler: Box<dyn Scheduler + Send>,
+        opts: &RunOptions,
+    ) -> Result<Execution<'static>, ElectionError>;
 
     /// Runs the election on `shape` under `scheduler` with the given
     /// options.
@@ -545,7 +591,7 @@ pub trait LeaderElection {
     fn elect(
         &self,
         shape: &Shape,
-        scheduler: &mut dyn Scheduler,
+        scheduler: &mut (dyn Scheduler + Send),
         opts: &RunOptions,
     ) -> Result<RunReport, ElectionError> {
         self.start(shape, scheduler, opts)?.finish()
@@ -561,7 +607,7 @@ pub trait LeaderElection {
     fn elect_observed(
         &self,
         shape: &Shape,
-        scheduler: &mut dyn Scheduler,
+        scheduler: &mut (dyn Scheduler + Send),
         opts: &RunOptions,
         observer: &mut dyn RunObserver,
     ) -> Result<RunReport, ElectionError> {
@@ -634,38 +680,41 @@ enum PipelineState {
 }
 
 /// All in-flight state of one paper-pipeline run: the resumable state
-/// machine behind [`PaperPipeline`]'s [`LeaderElection::start`].
-struct PipelineExecution<'a> {
+/// machine behind [`PaperPipeline`]'s [`LeaderElection::start`]. Generic
+/// over the scheduler it owns, so the same machine backs borrowing
+/// executions (`S = &mut dyn Scheduler`) and owned, `'static` ones
+/// (`S = Box<dyn Scheduler + Send>`, shape cloned into the `Cow`).
+struct PipelineExecution<'a, S: Scheduler> {
     opts: RunOptions,
     scheduler_name: &'static str,
-    shape: &'a Shape,
+    shape: Cow<'a, Shape>,
     /// Per-phase statistics of completed phases, built exactly once: the
     /// same structs surface in [`StepOutcome::PhaseEnded`] and in the final
     /// [`RunReport::phases`], so the two can never diverge.
     reports: Vec<PhaseReport>,
     obd_ran: bool,
     /// The live round-driven phase; consumed when DLE ends.
-    runner: Option<Runner<DleAlgorithm, &'a mut dyn Scheduler>>,
+    runner: Option<Runner<DleAlgorithm, S>>,
     budget: u64,
     dle: Option<DleOutcome>,
     collect: Option<CollectOutcome>,
     state: PipelineState,
 }
 
-impl<'a> PipelineExecution<'a> {
+impl<'a, S: Scheduler> PipelineExecution<'a, S> {
     fn start(
-        shape: &'a Shape,
-        scheduler: &'a mut dyn Scheduler,
+        shape: Cow<'a, Shape>,
+        scheduler: S,
         opts: &RunOptions,
-    ) -> Result<PipelineExecution<'a>, ElectionError> {
-        check_initial_configuration(shape)?;
+    ) -> Result<PipelineExecution<'a, S>, ElectionError> {
+        check_initial_configuration(&shape)?;
         let scheduler_name = scheduler.name();
-        let system = ParticleSystem::from_shape_with_backend(shape, &DleAlgorithm, opts.occupancy);
-        let mut runner = Runner::new(system, DleAlgorithm, scheduler as &mut dyn Scheduler);
+        let system = ParticleSystem::from_shape_with_backend(&shape, &DleAlgorithm, opts.occupancy);
+        let mut runner = Runner::new(system, DleAlgorithm, scheduler);
         runner.track_connectivity = opts.track_connectivity;
         let budget = opts
             .round_budget
-            .unwrap_or_else(|| default_round_budget(shape));
+            .unwrap_or_else(|| default_round_budget(&shape));
         let state = if opts.assume_outer_boundary_known {
             PipelineState::StartDle
         } else {
@@ -706,7 +755,7 @@ impl<'a> PipelineExecution<'a> {
     }
 }
 
-impl ExecutionDriver for PipelineExecution<'_> {
+impl<S: Scheduler> ExecutionDriver for PipelineExecution<'_, S> {
     fn step(&mut self) -> Result<StepOutcome, ElectionError> {
         match &mut self.state {
             PipelineState::StartObd => {
@@ -717,7 +766,7 @@ impl ExecutionDriver for PipelineExecution<'_> {
                 // Closed-form simulation: the whole phase is one coarse
                 // step. Its output is exactly the `outer[0..5]` input DLE's
                 // initializer consumes.
-                let obd = run_obd(self.shape);
+                let obd = run_obd(&self.shape);
                 self.obd_ran = true;
                 self.state = PipelineState::StartDle;
                 Ok(self.end_phase(PhaseReport {
@@ -903,11 +952,26 @@ impl LeaderElection for PaperPipeline {
     fn start<'a>(
         &'a self,
         shape: &'a Shape,
-        scheduler: &'a mut dyn Scheduler,
+        scheduler: &'a mut (dyn Scheduler + Send),
         opts: &RunOptions,
     ) -> Result<Execution<'a>, ElectionError> {
         Ok(Execution::new(PipelineExecution::start(
-            shape, scheduler, opts,
+            Cow::Borrowed(shape),
+            scheduler,
+            opts,
+        )?))
+    }
+
+    fn start_owned(
+        &self,
+        shape: &Shape,
+        scheduler: Box<dyn Scheduler + Send>,
+        opts: &RunOptions,
+    ) -> Result<Execution<'static>, ElectionError> {
+        Ok(Execution::new(PipelineExecution::start(
+            Cow::Owned(shape.clone()),
+            scheduler,
+            opts,
         )?))
     }
 }
@@ -941,7 +1005,7 @@ impl Election {
 pub struct ElectionBuilder<'a> {
     shape: &'a Shape,
     algorithm: &'a dyn LeaderElection,
-    scheduler: Option<Box<dyn Scheduler + 'a>>,
+    scheduler: Option<Box<dyn Scheduler + Send + 'a>>,
     observer: Option<&'a mut dyn RunObserver>,
     opts: RunOptions,
 }
@@ -957,7 +1021,7 @@ impl<'a> ElectionBuilder<'a> {
     /// seed — random activation orders exhibit the generic behaviour the
     /// paper's worst-case bounds describe, whereas a lexicographic sweep can
     /// let a whole erosion front cascade within one round).
-    pub fn scheduler(mut self, scheduler: impl Scheduler + 'a) -> Self {
+    pub fn scheduler(mut self, scheduler: impl Scheduler + Send + 'a) -> Self {
         self.scheduler = Some(Box::new(scheduler));
         self
     }
@@ -1030,7 +1094,7 @@ impl<'a> ElectionBuilder<'a> {
         } = self;
         let mut default_scheduler;
         let mut boxed_scheduler;
-        let scheduler: &mut dyn Scheduler = match scheduler {
+        let scheduler: &mut (dyn Scheduler + Send) = match scheduler {
             Some(boxed) => {
                 boxed_scheduler = boxed;
                 &mut *boxed_scheduler

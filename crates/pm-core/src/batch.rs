@@ -40,8 +40,9 @@ pub enum SchedulerSpec {
 }
 
 impl SchedulerSpec {
-    /// Builds a fresh scheduler instance.
-    pub fn build(&self) -> Box<dyn Scheduler> {
+    /// Builds a fresh scheduler instance (`Send`, so built schedulers can
+    /// back owned executions parked across threads).
+    pub fn build(&self) -> Box<dyn Scheduler + Send> {
         match self {
             SchedulerSpec::RoundRobin => Box::new(RoundRobin),
             SchedulerSpec::ReverseRoundRobin => Box::new(ReverseRoundRobin),

@@ -19,6 +19,9 @@
 //!   election scenarios fanned out over `std::thread` workers behind the
 //!   same [`LeaderElection`]/[`RunReport`] surface, with a deterministic
 //!   merge order (results are bit-identical to sequential runs).
+//! * [`session`] — the **cooperative session scheduler**: thousands of live
+//!   elections round-robined fairly with per-session step budgets, plus
+//!   replay-based [`ExecutionCheckpoint`]s that restore byte-identically.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@ pub mod batch;
 pub mod collect;
 pub mod dle;
 pub mod obd;
+pub mod session;
 
 pub use api::{
     Election, ElectionBuilder, ElectionError, LeaderElection, NoopObserver, PaperPipeline,
@@ -53,3 +57,6 @@ pub use batch::{BatchJob, BatchRunner, BatchScenario, SchedulerSpec};
 pub use collect::{CollectOutcome, CollectSimulator};
 pub use dle::{DleAlgorithm, DleMemory, DleOutcome, Status};
 pub use obd::{CompetitionCostModel, ObdOutcome, ObdSimulator};
+pub use session::{
+    ExecutionCheckpoint, Goal, RestoreError, SessionId, SessionScheduler, SessionView,
+};

@@ -20,7 +20,9 @@
 //! * [`runner`] — drives suites through `pm_core::batch::BatchRunner` and
 //!   serializes the per-scenario [`RunReport`](pm_core::api::RunReport)s.
 //!
-//! The `pm-scenarios` binary exposes all of it on the command line:
+//! The `pm-scenarios` binary (owned by the `pm-server` crate, next to the
+//! session server's `serve`/`client` subcommands) exposes all of it on the
+//! command line:
 //!
 //! ```text
 //! pm-scenarios list                 # every scenario of the corpus

@@ -158,6 +158,21 @@ impl PerturbationScript {
         }
     }
 
+    /// Appends an event to a live script — the server's `perturb` verb
+    /// injects faults into running sessions through this. The new event
+    /// obeys the same firing rule as scripted ones: it fires exactly before
+    /// the first round-driven phase round matching its `round`, or never.
+    pub fn push(&mut self, spec: PerturbationSpec) {
+        self.specs.push(spec);
+        self.applied.push(false);
+    }
+
+    /// The script's events, original and appended alike (a restored session
+    /// must replay injected events too, so checkpoints persist these).
+    pub fn specs(&self) -> &[PerturbationSpec] {
+        &self.specs
+    }
+
     /// Total particles removed by events fired so far.
     pub fn removed(&self) -> usize {
         self.removed

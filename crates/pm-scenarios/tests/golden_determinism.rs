@@ -27,7 +27,7 @@ fn smoke_suite_matches_committed_golden_file() {
     assert_eq!(
         smoke_report(1),
         golden,
-        "golden/smoke.json is out of date; run `cargo run -p pm-scenarios -- regen` \
+        "golden/smoke.json is out of date; run `cargo run -p pm-server --bin pm-scenarios -- regen` \
          and review the diff"
     );
 }

@@ -105,14 +105,14 @@ proptest! {
 }
 
 /// The committed corpus file must equal the in-code corpus byte for byte
-/// (regenerate with `cargo run -p pm-scenarios -- regen`).
+/// (regenerate with `cargo run -p pm-server --bin pm-scenarios -- regen`).
 #[test]
 fn committed_corpus_matches_builtin() {
     let embedded = load_embedded().expect("committed corpus parses");
     assert_eq!(
         embedded,
         builtin_corpus(),
-        "corpus/scenarios.json is out of sync; run `cargo run -p pm-scenarios -- regen`"
+        "corpus/scenarios.json is out of sync; run `cargo run -p pm-server --bin pm-scenarios -- regen`"
     );
 }
 

@@ -1,25 +1,35 @@
-//! The corpus-driven scenario CLI.
+//! The workspace CLI: corpus tooling plus the session server.
 //!
 //! ```text
 //! pm-scenarios list   [--corpus FILE]
 //! pm-scenarios suites [--corpus FILE]
 //! pm-scenarios render <name>  [--corpus FILE]
 //! pm-scenarios run <suite>    [--corpus FILE] [--threads N] [--out FILE]
-//! pm-scenarios trace <name>   [--corpus FILE]
+//! pm-scenarios trace <name>   [--corpus FILE] [--json]
+//! pm-scenarios serve  [--stdio | --tcp ADDR] [--slice N] [--threads N]
+//! pm-scenarios client --script FILE [--threads N]
 //! pm-scenarios regen
 //! ```
 //!
 //! `run` prints a human-readable summary to stderr and the `RunReport` JSON
 //! array to stdout (or `--out FILE`). `trace` steps one scenario through
 //! the resumable `Execution` handle, printing a status line per round (and
-//! per perturbation event). `regen` rewrites the committed corpus and the
-//! smoke golden file from the built-in corpus (a dev tool; a test pins the
-//! committed files to the code).
+//! per perturbation event); with `--json` it emits one `ExecutionStatus`
+//! JSON line per completed round — the exact shape the server's `watch`
+//! verb streams — followed by the final `RunReport` JSON line. `serve`
+//! speaks the line-delimited JSON protocol of `PROTOCOL.md` over
+//! stdin/stdout (default) or TCP; `client` replays a `.jsonl` request
+//! script against freshly spawned `serve --stdio` children (restarting them
+//! at `!restart` directives) and prints the response transcript. `regen`
+//! rewrites the committed corpus and the smoke golden file from the
+//! built-in corpus (a dev tool; a test pins the committed files to the
+//! code).
 
 use pm_amoebot::ascii::render_shape;
 use pm_core::api::StepOutcome;
 use pm_scenarios::corpus::{self, SMOKE};
 use pm_scenarios::{report_json, run_suite, select, suite_tags, PerturbationScript, ScenarioSpec};
+use pm_server::ServerCore;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -28,12 +38,17 @@ struct Args {
     operand: Option<String>,
     corpus: Option<PathBuf>,
     out: Option<PathBuf>,
+    script: Option<PathBuf>,
+    tcp: Option<String>,
     threads: usize,
+    slice: u64,
+    json: bool,
 }
 
 const USAGE: &str =
-    "usage: pm-scenarios <list|suites|render <name>|run <suite>|trace <name>|regen> \
-                     [--corpus FILE] [--threads N] [--out FILE]";
+    "usage: pm-scenarios <list|suites|render <name>|run <suite>|trace <name>|serve|client|regen> \
+                     [--corpus FILE] [--threads N] [--out FILE] [--json] \
+                     [--stdio] [--tcp ADDR] [--slice N] [--script FILE]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
@@ -43,7 +58,11 @@ fn parse_args() -> Result<Args, String> {
         operand: None,
         corpus: None,
         out: None,
+        script: None,
+        tcp: None,
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        slice: 64,
+        json: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -57,6 +76,15 @@ fn parse_args() -> Result<Args, String> {
                     args.next().ok_or("--out needs a file argument")?,
                 ))
             }
+            "--script" => {
+                parsed.script = Some(PathBuf::from(
+                    args.next().ok_or("--script needs a file argument")?,
+                ))
+            }
+            "--tcp" => parsed.tcp = Some(args.next().ok_or("--tcp needs an address")?),
+            // The default transport; accepted so invocations can be
+            // explicit about it.
+            "--stdio" => parsed.tcp = None,
             "--threads" => {
                 parsed.threads = args
                     .next()
@@ -64,6 +92,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--threads needs a number".to_string())?
             }
+            "--slice" => {
+                parsed.slice = args
+                    .next()
+                    .ok_or("--slice needs a number")?
+                    .parse()
+                    .map_err(|_| "--slice needs a number".to_string())?
+            }
+            "--json" => parsed.json = true,
             other if parsed.operand.is_none() && !other.starts_with("--") => {
                 parsed.operand = Some(other.to_string())
             }
@@ -178,8 +214,11 @@ fn cmd_run(specs: &[ScenarioSpec], args: &Args, suite: &str) -> Result<(), Strin
 
 /// Steps one scenario round by round through the resumable `Execution`
 /// handle, printing a status line per step — the caller-driven loop the
-/// steppable API exists for, on the command line.
-fn cmd_trace(specs: &[ScenarioSpec], name: &str) -> Result<(), String> {
+/// steppable API exists for, on the command line. With `json`, stdout
+/// carries one `ExecutionStatus` JSON line per completed round (the shape
+/// the server's `watch` verb streams) and the final `RunReport` JSON line;
+/// the human framing moves to stderr.
+fn cmd_trace(specs: &[ScenarioSpec], name: &str, json: bool) -> Result<(), String> {
     let spec = specs
         .iter()
         .find(|s| s.name == name)
@@ -192,7 +231,7 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str) -> Result<(), String> {
         ));
     }
     let shape = spec.build_shape();
-    println!(
+    let header = format!(
         "tracing {} — {} (n = {}, algorithm = {}, scheduler = {}, {} perturbation event(s))",
         spec.name,
         spec.generator,
@@ -201,6 +240,11 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str) -> Result<(), String> {
         spec.scheduler.name(),
         spec.perturbations.len(),
     );
+    if json {
+        eprintln!("{header}");
+    } else {
+        println!("{header}");
+    }
     let mut scheduler = spec.scheduler.build();
     let mut execution = spec
         .algorithm
@@ -212,7 +256,7 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str) -> Result<(), String> {
         // The caller owns the loop: fire due events against the live
         // system, then pump one step.
         let fired_now = script.apply_due(&mut execution);
-        if fired_now > 0 {
+        if fired_now > 0 && !json {
             let status = execution.status();
             println!(
                 "  !! {fired_now} perturbation event(s) fired before round {}; {} particle(s) remain",
@@ -224,21 +268,40 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str) -> Result<(), String> {
             .step_round()
             .map_err(|e| format!("execution failed: {e}"))?
         {
-            StepOutcome::PhaseStarted { phase } => println!("phase {phase}: started"),
+            StepOutcome::PhaseStarted { phase } => {
+                if !json {
+                    println!("phase {phase}: started");
+                }
+            }
             StepOutcome::RoundCompleted { phase, rounds } => {
                 let status = execution.status();
-                println!(
-                    "phase {phase}: round {rounds:>5}  decided {:>6}  undecided {:>6}  total rounds {:>6}",
-                    status.decided, status.undecided, status.total_rounds
-                );
+                if json {
+                    let line = serde_json::to_string(&status)
+                        .map_err(|e| format!("serialize status: {e}"))?;
+                    println!("{line}");
+                } else {
+                    println!(
+                        "phase {phase}: round {rounds:>5}  decided {:>6}  undecided {:>6}  total rounds {:>6}",
+                        status.decided, status.undecided, status.total_rounds
+                    );
+                }
             }
-            StepOutcome::PhaseEnded { report } => println!(
-                "phase {}: ended after {} round(s), {} activation(s), {} move(s)",
-                report.name, report.rounds, report.activations, report.moves
-            ),
+            StepOutcome::PhaseEnded { report } => {
+                if !json {
+                    println!(
+                        "phase {}: ended after {} round(s), {} activation(s), {} move(s)",
+                        report.name, report.rounds, report.activations, report.moves
+                    );
+                }
+            }
             StepOutcome::Finished(report) => break report,
         }
     };
+    if json {
+        let line = serde_json::to_string(&report).map_err(|e| format!("serialize report: {e}"))?;
+        println!("{line}");
+        return Ok(());
+    }
     if script.fired() > 0 {
         println!(
             "perturbations: {} event(s) fired, {} particle(s) removed",
@@ -264,10 +327,45 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Serves the session protocol over stdin/stdout (default) or TCP.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let mut core = ServerCore::new(args.slice.max(1), args.threads.max(1));
+    match &args.tcp {
+        Some(addr) => pm_server::serve_tcp(&mut core, addr)
+            .map(|_| ())
+            .map_err(|e| format!("serve --tcp {addr}: {e}")),
+        None => pm_server::serve_stdio(&mut core).map_err(|e| format!("serve --stdio: {e}")),
+    }
+}
+
+/// Replays a request script against `serve --stdio` child processes,
+/// printing the response transcript to stdout.
+fn cmd_client(args: &Args) -> Result<(), String> {
+    let path = args
+        .script
+        .as_ref()
+        .ok_or("client needs --script FILE (a .jsonl request script)")?;
+    let script =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let exe = std::env::current_exe().map_err(|e| format!("locate own executable: {e}"))?;
+    let command = vec![
+        exe.display().to_string(),
+        "serve".to_string(),
+        "--stdio".to_string(),
+        "--slice".to_string(),
+        args.slice.to_string(),
+        "--threads".to_string(),
+        args.threads.to_string(),
+    ];
+    let stdout = std::io::stdout();
+    pm_server::run_script(&command, &script, &mut stdout.lock())
+}
+
 /// Rewrites the committed corpus and smoke golden file from the built-in
-/// corpus (paths resolved relative to this crate's manifest).
+/// corpus (paths resolved relative to the pm-scenarios crate, which owns
+/// the corpus even though this binary lives in pm-server).
 fn cmd_regen() -> Result<(), String> {
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../pm-scenarios");
     let entries = pm_scenarios::builtin_entries();
     let mut corpus_json =
         serde_json::to_string_pretty(&entries).map_err(|e| format!("serialize corpus: {e}"))?;
@@ -300,6 +398,8 @@ fn main() -> ExitCode {
     };
     let result = match args.command.as_str() {
         "regen" => cmd_regen(),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
         command => match load_corpus(&args) {
             Err(e) => Err(e),
             Ok(specs) => match (command, args.operand.as_deref()) {
@@ -318,7 +418,7 @@ fn main() -> ExitCode {
                 ("render", None) => Err("render needs a scenario name".to_string()),
                 ("run", Some(suite)) => cmd_run(&specs, &args, suite),
                 ("run", None) => Err("run needs a suite name (try `smoke` or `all`)".to_string()),
-                ("trace", Some(name)) => cmd_trace(&specs, name),
+                ("trace", Some(name)) => cmd_trace(&specs, name, args.json),
                 ("trace", None) => Err("trace needs a scenario name".to_string()),
                 (other, _) => Err(format!("unknown command `{other}`\n{USAGE}")),
             },

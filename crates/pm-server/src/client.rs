@@ -1,0 +1,167 @@
+//! The scripted client: drives a server child process from a `.jsonl`
+//! script and records the full response transcript.
+//!
+//! Script lines are raw protocol [`Request`] JSON, plus two directives and
+//! comments:
+//!
+//! * `# ...` — comment, ignored (the server ignores them too).
+//! * `!restart` — shuts the current server child down cleanly and spawns a
+//!   **fresh process**; the next request talks to the new server. This is
+//!   how the end-to-end suite proves checkpoints survive server restarts.
+//! * `!restore` — sends a `Restore` request carrying the checkpoint from
+//!   the most recent `Checkpointed` response (typically right after
+//!   `!restart`).
+//!
+//! The transcript is exactly the response lines the server(s) sent, in
+//! order, with each request's lines prefixed by a `# >` echo of the request
+//! for readability — deterministic end to end, so CI diffs it against a
+//! committed golden file.
+
+use crate::protocol::{Request, Response, SessionCheckpoint};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+/// A live server child process with line-buffered pipes.
+struct ServerChild {
+    child: Child,
+    input: ChildStdin,
+    output: BufReader<ChildStdout>,
+}
+
+impl ServerChild {
+    fn spawn(command: &[String]) -> Result<ServerChild, String> {
+        let (program, args) = command.split_first().ok_or("empty server command")?;
+        let mut child = Command::new(program)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn `{program}`: {e}"))?;
+        let input = child.stdin.take().expect("stdin was piped");
+        let output = BufReader::new(child.stdout.take().expect("stdout was piped"));
+        Ok(ServerChild {
+            child,
+            input,
+            output,
+        })
+    }
+
+    /// Sends one request line and reads its full response stream (zero or
+    /// more `Round` lines, then the final line).
+    fn request(&mut self, line: &str) -> Result<Vec<(String, Response)>, String> {
+        writeln!(self.input, "{line}").map_err(|e| format!("write to server: {e}"))?;
+        self.input
+            .flush()
+            .map_err(|e| format!("flush to server: {e}"))?;
+        let mut responses = Vec::new();
+        loop {
+            let mut raw = String::new();
+            let read = self
+                .output
+                .read_line(&mut raw)
+                .map_err(|e| format!("read from server: {e}"))?;
+            if read == 0 {
+                return Err("server closed its stdout mid-request".to_string());
+            }
+            let line = raw.trim_end().to_string();
+            let response: Response = serde_json::from_str(&line)
+                .map_err(|e| format!("unparseable server response `{line}`: {e}"))?;
+            let done = response.is_final();
+            responses.push((line, response));
+            if done {
+                return Ok(responses);
+            }
+        }
+    }
+
+    /// Clean shutdown: sends the `Shutdown` verb, confirms `Bye`, and reaps
+    /// the process.
+    fn shutdown(mut self) -> Result<(), String> {
+        let request = serde_json::to_string(&Request::Shutdown).expect("unit verb serializes");
+        let responses = self.request(&request)?;
+        match responses.last() {
+            Some((_, Response::Bye)) => {}
+            other => return Err(format!("expected Bye on shutdown, got {other:?}")),
+        }
+        let status = self
+            .child
+            .wait()
+            .map_err(|e| format!("wait for server: {e}"))?;
+        if !status.success() {
+            return Err(format!("server exited with {status}"));
+        }
+        Ok(())
+    }
+}
+
+/// Runs a script against freshly spawned server children (respawned at
+/// every `!restart`), writing the transcript to `transcript`. The server
+/// is spawned as `command` (program + args), e.g.
+/// `["/path/to/pm-scenarios", "serve", "--stdio"]`.
+///
+/// # Errors
+///
+/// Script parse errors, spawn/pipe failures, protocol violations (a
+/// `!restore` before any checkpoint, an unparseable response), and unclean
+/// server exits all surface as rendered strings.
+pub fn run_script(
+    command: &[String],
+    script: &str,
+    transcript: &mut dyn Write,
+) -> Result<(), String> {
+    let mut server = Some(ServerChild::spawn(command)?);
+    let mut last_checkpoint: Option<SessionCheckpoint> = None;
+
+    for (index, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = index + 1;
+        let request_line = if line == "!restart" {
+            if let Some(server) = server.take() {
+                server.shutdown()?;
+            }
+            server = Some(ServerChild::spawn(command)?);
+            writeln!(transcript, "# !restart").map_err(|e| format!("write transcript: {e}"))?;
+            continue;
+        } else if line == "!restore" {
+            let checkpoint = last_checkpoint
+                .clone()
+                .ok_or(format!("line {lineno}: !restore before any checkpoint"))?;
+            serde_json::to_string(&Request::Restore { checkpoint })
+                .map_err(|e| format!("line {lineno}: serialize restore: {e}"))?
+        } else {
+            // Validate the script line up front so a typo fails loudly at
+            // its line number instead of as a server-side Error response.
+            serde_json::from_str::<Request>(line)
+                .map_err(|e| format!("line {lineno}: malformed request: {e}"))?;
+            line.to_string()
+        };
+
+        let active = server
+            .as_mut()
+            .ok_or(format!("line {lineno}: request after shutdown"))?;
+        let echo = if line == "!restore" {
+            line
+        } else {
+            request_line.as_str()
+        };
+        writeln!(transcript, "# > {echo}").map_err(|e| format!("write transcript: {e}"))?;
+        for (text, response) in active.request(&request_line)? {
+            writeln!(transcript, "{text}").map_err(|e| format!("write transcript: {e}"))?;
+            match response {
+                Response::Checkpointed { checkpoint, .. } => last_checkpoint = Some(checkpoint),
+                Response::Bye => {
+                    server.take().expect("active server").child.wait().ok();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if let Some(server) = server.take() {
+        server.shutdown()?;
+    }
+    Ok(())
+}

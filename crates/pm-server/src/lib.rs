@@ -1,0 +1,33 @@
+//! The multi-tenant election session server.
+//!
+//! Everything below the transport is the workspace's existing machinery —
+//! owned steppable executions
+//! ([`LeaderElection::start_owned`](pm_core::api::LeaderElection::start_owned)),
+//! the cooperative [`SessionScheduler`](pm_core::session::SessionScheduler),
+//! declarative [`ScenarioSpec`](pm_scenarios::ScenarioSpec)s and perturbation
+//! scripts. This crate adds the wire:
+//!
+//! * [`protocol`] — the line-delimited JSON [`Request`]/[`Response`] verbs
+//!   (`submit`, `status`, `watch`, `run`, `perturb`, `pause`, `resume`,
+//!   `cancel`, `checkpoint`, `restore`, `sessions`, `shutdown`), documented
+//!   with examples in `PROTOCOL.md` at the repository root.
+//! * [`server`] — [`ServerCore`]: the transport-agnostic request handler
+//!   multiplexing every live session through one fair scheduler, so no
+//!   session starves another while a request pumps.
+//! * [`transport`] — the stdio and TCP servers (std-only, fully offline).
+//! * [`client`] — the scripted client behind `pm-scenarios client`:
+//!   replays a `.jsonl` request script against server child processes,
+//!   restarting them on demand to prove checkpoints survive process death.
+//!
+//! The crate also owns the workspace CLI binary (`pm-scenarios`), which
+//! gains `serve` and `client` subcommands next to the corpus tooling.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod transport;
+
+pub use client::run_script;
+pub use protocol::{Request, Response, SessionCheckpoint, SessionSummary};
+pub use server::ServerCore;
+pub use transport::{serve, serve_stdio, serve_tcp};

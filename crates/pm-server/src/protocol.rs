@@ -1,0 +1,284 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! Every request is one [`Request`] serialized as a single JSON line; the
+//! server answers with one or more [`Response`] lines, of which exactly the
+//! last is *final* ([`Response::is_final`]) — the only non-final response is
+//! [`Response::Round`], the per-round status stream of a `watch` window, so
+//! a client reads lines until it sees anything else. Enums use serde's
+//! externally-tagged encoding (`{"Submit": {...}}`, bare `"Sessions"` for
+//! unit verbs); every field is always present (`null` for absent options).
+//! `PROTOCOL.md` at the repository root documents each verb with examples.
+
+use pm_core::api::{ExecutionStatus, RunReport};
+use pm_core::session::{ExecutionCheckpoint, SessionId};
+use pm_scenarios::{PerturbationSpec, ScenarioSpec};
+use serde::{Deserialize, Serialize};
+
+/// One client request, one JSON line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Admits a new session for the scenario; the session starts parked.
+    Submit {
+        /// The full declarative scenario to run.
+        spec: ScenarioSpec,
+    },
+    /// Reports the session's current election status without advancing it.
+    Status {
+        /// The session to inspect.
+        session: SessionId,
+    },
+    /// Advances the session by up to `rounds` further rounds of its
+    /// round-driven phase, streaming one [`Response::Round`] line per
+    /// completed round (other live sessions keep advancing fairly during
+    /// the window). Closed-form algorithms complete no discrete rounds, so
+    /// they stream zero `Round` lines and run to completion instead.
+    Watch {
+        /// The session to advance.
+        session: SessionId,
+        /// How many additional rounds to stream.
+        rounds: u64,
+    },
+    /// Runs the session to completion (final report or error).
+    Run {
+        /// The session to finish.
+        session: SessionId,
+    },
+    /// Injects an adversarial event into a live session's script. Rejected
+    /// once the session has finished or already advanced past the event's
+    /// round (accepted events always replay identically from a checkpoint).
+    Perturb {
+        /// The session to perturb.
+        session: SessionId,
+        /// The event to append to the session's script.
+        event: PerturbationSpec,
+    },
+    /// Parks the session: sweeps skip it until `Resume`.
+    Pause {
+        /// The session to pause.
+        session: SessionId,
+    },
+    /// Clears the session's pause flag.
+    Resume {
+        /// The session to resume.
+        session: SessionId,
+    },
+    /// Removes the session entirely.
+    Cancel {
+        /// The session to remove.
+        session: SessionId,
+    },
+    /// Snapshots the session as a [`SessionCheckpoint`] that restores
+    /// byte-identically — in this server process or a fresh one.
+    Checkpoint {
+        /// The session to snapshot.
+        session: SessionId,
+    },
+    /// Admits a session rebuilt from a checkpoint (validated by replay).
+    Restore {
+        /// The checkpoint to rebuild from.
+        checkpoint: SessionCheckpoint,
+    },
+    /// Lists every live session.
+    Sessions,
+    /// Stops serving after acknowledging with [`Response::Bye`].
+    Shutdown,
+}
+
+/// One server response, one JSON line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// `Submit` acknowledged; the session is parked until watched or run.
+    Submitted {
+        /// The new session's id.
+        session: SessionId,
+        /// The scenario name, echoed back.
+        name: String,
+        /// The algorithm's reporting name.
+        algorithm: String,
+        /// Particles in the initial configuration.
+        n: usize,
+    },
+    /// The session's bookkeeping and election status.
+    Status {
+        /// The inspected session.
+        session: SessionId,
+        /// Whether the session is paused.
+        paused: bool,
+        /// Steps executed so far (the checkpoint replay cursor).
+        steps: u64,
+        /// Completed round-driven rounds so far.
+        rounds: u64,
+        /// The election status snapshot.
+        status: ExecutionStatus,
+    },
+    /// One completed round of a `watch` window (the only non-final
+    /// response: more lines follow).
+    Round {
+        /// The watched session.
+        session: SessionId,
+        /// Status after the round completed.
+        status: ExecutionStatus,
+    },
+    /// The session finished with a final report.
+    Done {
+        /// The finished session.
+        session: SessionId,
+        /// The election's final report.
+        report: RunReport,
+    },
+    /// The session finished with an election error.
+    Failed {
+        /// The failed session.
+        session: SessionId,
+        /// The election error, rendered.
+        error: String,
+    },
+    /// `Perturb` acknowledged.
+    Perturbed {
+        /// The perturbed session.
+        session: SessionId,
+        /// Total events now in the session's script.
+        events: usize,
+    },
+    /// `Pause` acknowledged.
+    Paused {
+        /// The paused session.
+        session: SessionId,
+    },
+    /// `Resume` acknowledged.
+    Resumed {
+        /// The resumed session.
+        session: SessionId,
+    },
+    /// `Cancel` acknowledged.
+    Cancelled {
+        /// The removed session.
+        session: SessionId,
+    },
+    /// `Checkpoint` acknowledged.
+    Checkpointed {
+        /// The snapshotted session.
+        session: SessionId,
+        /// The restorable snapshot.
+        checkpoint: SessionCheckpoint,
+    },
+    /// `Restore` acknowledged: the checkpoint replayed and validated.
+    Restored {
+        /// The restored session's id (fresh — ids are never reused).
+        session: SessionId,
+        /// Steps replayed (equals the checkpoint's cursor).
+        steps: u64,
+        /// Completed rounds after replay.
+        rounds: u64,
+    },
+    /// The live session listing.
+    Sessions {
+        /// One summary per live session, ascending by id.
+        sessions: Vec<SessionSummary>,
+    },
+    /// The request could not be served (unknown session, invalid spec,
+    /// malformed JSON, rejected perturbation or checkpoint…).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// `Shutdown` acknowledged; the server stops reading.
+    Bye,
+}
+
+impl Response {
+    /// Whether this response ends its request's line stream. Everything is
+    /// final except [`Response::Round`].
+    pub fn is_final(&self) -> bool {
+        !matches!(self, Response::Round { .. })
+    }
+}
+
+/// One row of the `Sessions` listing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionSummary {
+    /// The session's id.
+    pub session: SessionId,
+    /// The scenario name it was submitted with.
+    pub name: String,
+    /// The algorithm's reporting name.
+    pub algorithm: String,
+    /// Completed round-driven rounds so far.
+    pub rounds: u64,
+    /// Whether the session is paused.
+    pub paused: bool,
+    /// Whether the session has produced its outcome.
+    pub done: bool,
+}
+
+/// A restorable session snapshot: the full scenario (original plus every
+/// injected perturbation) and the execution's replay checkpoint. Restoring
+/// rebuilds the scenario from scratch and replays
+/// [`ExecutionCheckpoint::steps`] steps with the perturbation script live —
+/// strict determinism makes the result byte-identical to the original
+/// session, which the checkpoint's counters validate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// The scenario to rebuild (perturbations include injected events).
+    pub spec: ScenarioSpec,
+    /// The replay cursor and validation counters.
+    pub execution: ExecutionCheckpoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_scenarios::GeneratorSpec;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let requests = vec![
+            Request::Submit {
+                spec: ScenarioSpec::new("s", GeneratorSpec::Hexagon { radius: 3 }),
+            },
+            Request::Watch {
+                session: 1,
+                rounds: 3,
+            },
+            Request::Perturb {
+                session: 1,
+                event: PerturbationSpec::RemoveRandom {
+                    round: 5,
+                    count: 2,
+                    seed: 9,
+                },
+            },
+            Request::Sessions,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = serde_json::to_string(&request).unwrap();
+            assert!(!line.contains('\n'), "one request, one line");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn only_round_responses_are_non_final() {
+        let round = Response::Round {
+            session: 1,
+            status: ExecutionStatus {
+                algorithm: "dle+collect",
+                phase: None,
+                rounds_in_phase: 0,
+                total_rounds: 0,
+                decided: 0,
+                undecided: 0,
+                next_round: None,
+                finished: false,
+            },
+        };
+        assert!(!round.is_final());
+        assert!(Response::Bye.is_final());
+        assert!(Response::Error {
+            message: "x".into()
+        }
+        .is_final());
+    }
+}

@@ -1,0 +1,455 @@
+//! The transport-agnostic server core: protocol requests in, protocol
+//! responses out, with every live session multiplexed through one
+//! [`SessionScheduler`].
+//!
+//! The core is deliberately synchronous and single-threaded at the protocol
+//! layer (requests are served in arrival order); concurrency lives below it,
+//! in the scheduler's sharded sweeps, and *fairness* is the scheduler's
+//! round-robin slice budget — a `watch` or `run` request pumps the whole
+//! scheduler, so every runnable session advances while one client's request
+//! is being served, and no session can starve the rest.
+
+use crate::protocol::{Request, Response, SessionCheckpoint, SessionSummary};
+use pm_core::api::Execution;
+use pm_core::session::{Goal, SessionId, SessionScheduler};
+use pm_scenarios::{PerturbationScript, PerturbationSpec, ScenarioSpec};
+use std::collections::BTreeMap;
+
+/// The per-step hook every session runs under: fire the session's due
+/// perturbation events against the live system before the next round. Live
+/// stepping and checkpoint replay share this hook, which is what makes
+/// restored sessions reproduce perturbed runs exactly.
+fn apply_perturbations(script: &mut PerturbationScript, execution: &mut Execution<'static>) {
+    script.apply_due(execution);
+}
+
+/// The multi-tenant session server behind every transport. See the
+/// [module docs](self) for the scheduling model and `PROTOCOL.md` for the
+/// wire protocol.
+pub struct ServerCore {
+    scheduler: SessionScheduler<PerturbationScript>,
+    /// Each session's scenario, kept current with injected perturbations —
+    /// this is what a checkpoint persists, so a fresh process can rebuild
+    /// the session from nothing but the checkpoint.
+    specs: BTreeMap<SessionId, ScenarioSpec>,
+}
+
+impl ServerCore {
+    /// A server core giving each runnable session at most `slice_steps`
+    /// steps per scheduler sweep, sweeping on up to `threads` threads.
+    pub fn new(slice_steps: u64, threads: usize) -> ServerCore {
+        ServerCore {
+            scheduler: SessionScheduler::with_threads(slice_steps, threads),
+            specs: BTreeMap::new(),
+        }
+    }
+
+    /// Number of live sessions.
+    pub fn sessions(&self) -> usize {
+        self.scheduler.len()
+    }
+
+    /// Serves one request, appending every response line to `out` (exactly
+    /// one final response, preceded by any number of [`Response::Round`]
+    /// stream lines). Returns `true` iff the request was [`Request::Shutdown`]
+    /// and the transport should stop reading.
+    pub fn handle(&mut self, request: Request, out: &mut Vec<Response>) -> bool {
+        match request {
+            Request::Submit { spec } => out.push(self.submit(spec)),
+            Request::Status { session } => out.push(self.status(session)),
+            Request::Watch { session, rounds } => self.watch(session, rounds, out),
+            Request::Run { session } => self.run(session, out),
+            Request::Perturb { session, event } => out.push(self.perturb(session, event)),
+            Request::Pause { session } => out.push(self.pause(session)),
+            Request::Resume { session } => out.push(self.resume(session)),
+            Request::Cancel { session } => out.push(self.cancel(session)),
+            Request::Checkpoint { session } => out.push(self.checkpoint(session)),
+            Request::Restore { checkpoint } => out.push(self.restore(checkpoint)),
+            Request::Sessions => out.push(self.list()),
+            Request::Shutdown => {
+                out.push(Response::Bye);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn error(message: impl Into<String>) -> Response {
+        Response::Error {
+            message: message.into(),
+        }
+    }
+
+    fn unknown(session: SessionId) -> Response {
+        ServerCore::error(format!("no session {session}"))
+    }
+
+    /// Starts an owned execution for a scenario — the shared path behind
+    /// `submit` and `restore`.
+    fn start(spec: &ScenarioSpec) -> Result<Execution<'static>, String> {
+        if !spec.perturbations.is_empty() && !spec.algorithm.supports_perturbations() {
+            return Err(format!(
+                "scenario `{}` attaches a perturbation script to `{}`, which runs no \
+                 round-driven phase",
+                spec.name,
+                spec.algorithm.name()
+            ));
+        }
+        let shape = spec.build_shape();
+        spec.algorithm
+            .instance()
+            .start_owned(&shape, spec.scheduler.build(), &spec.options)
+            .map_err(|e| format!("start `{}`: {e}", spec.name))
+    }
+
+    fn submit(&mut self, spec: ScenarioSpec) -> Response {
+        let execution = match ServerCore::start(&spec) {
+            Ok(execution) => execution,
+            Err(message) => return ServerCore::error(message),
+        };
+        let n = spec.build_shape().len();
+        let script = PerturbationScript::new(spec.perturbations.clone());
+        let session = self.scheduler.admit(execution, script);
+        let response = Response::Submitted {
+            session,
+            name: spec.name.clone(),
+            algorithm: spec.algorithm.name().to_string(),
+            n,
+        };
+        self.specs.insert(session, spec);
+        response
+    }
+
+    fn status(&self, session: SessionId) -> Response {
+        match (self.scheduler.view(session), self.scheduler.status(session)) {
+            (Some(view), Some(status)) => Response::Status {
+                session,
+                paused: view.paused,
+                steps: view.steps,
+                rounds: view.rounds,
+                status,
+            },
+            _ => ServerCore::unknown(session),
+        }
+    }
+
+    /// The terminal line of a pumping request: the outcome if the session
+    /// finished, its status otherwise.
+    fn outcome_or_status(&self, session: SessionId) -> Response {
+        match self.scheduler.outcome(session) {
+            Some(Ok(report)) => Response::Done {
+                session,
+                report: report.clone(),
+            },
+            Some(Err(error)) => Response::Failed {
+                session,
+                error: error.to_string(),
+            },
+            None => self.status(session),
+        }
+    }
+
+    fn watch(&mut self, session: SessionId, rounds: u64, out: &mut Vec<Response>) {
+        let Some(view) = self.scheduler.view(session) else {
+            out.push(ServerCore::unknown(session));
+            return;
+        };
+        self.scheduler.set_recording(session, true);
+        self.scheduler
+            .set_goal(session, Goal::Rounds(view.rounds + rounds));
+        self.scheduler.drive(session, &apply_perturbations);
+        self.scheduler.set_goal(session, Goal::Hold);
+        self.scheduler.set_recording(session, false);
+        for status in self.scheduler.drain_recorded(session) {
+            out.push(Response::Round { session, status });
+        }
+        out.push(self.outcome_or_status(session));
+    }
+
+    fn run(&mut self, session: SessionId, out: &mut Vec<Response>) {
+        if self.scheduler.view(session).is_none() {
+            out.push(ServerCore::unknown(session));
+            return;
+        }
+        self.scheduler.set_goal(session, Goal::Complete);
+        self.scheduler.drive(session, &apply_perturbations);
+        out.push(self.outcome_or_status(session));
+    }
+
+    fn perturb(&mut self, session: SessionId, event: PerturbationSpec) -> Response {
+        let Some(view) = self.scheduler.view(session) else {
+            return ServerCore::unknown(session);
+        };
+        let spec = self.specs.get_mut(&session).expect("specs mirror sessions");
+        if view.done || self.scheduler.status(session).is_some_and(|s| s.finished) {
+            return ServerCore::error(format!("session {session} has finished"));
+        }
+        if !spec.algorithm.supports_perturbations() {
+            return ServerCore::error(format!(
+                "`{}` runs no round-driven phase to perturb",
+                spec.algorithm.name()
+            ));
+        }
+        // Events at rounds the session already completed would fire under
+        // replay but not live, breaking checkpoint determinism — reject
+        // them so every accepted event replays exactly as it ran.
+        if event.round() < view.rounds {
+            return ServerCore::error(format!(
+                "session {session} already completed round {} (event targets round {})",
+                view.rounds,
+                event.round()
+            ));
+        }
+        spec.perturbations.push(event);
+        let script = self.scheduler.payload_mut(session).expect("session exists");
+        script.push(event);
+        Response::Perturbed {
+            session,
+            events: script.specs().len(),
+        }
+    }
+
+    fn pause(&mut self, session: SessionId) -> Response {
+        if self.scheduler.pause(session) {
+            Response::Paused { session }
+        } else {
+            ServerCore::unknown(session)
+        }
+    }
+
+    fn resume(&mut self, session: SessionId) -> Response {
+        if self.scheduler.resume(session) {
+            Response::Resumed { session }
+        } else {
+            ServerCore::unknown(session)
+        }
+    }
+
+    fn cancel(&mut self, session: SessionId) -> Response {
+        if self.scheduler.remove(session).is_some() {
+            self.specs.remove(&session);
+            Response::Cancelled { session }
+        } else {
+            ServerCore::unknown(session)
+        }
+    }
+
+    fn checkpoint(&self, session: SessionId) -> Response {
+        match (self.scheduler.checkpoint(session), self.specs.get(&session)) {
+            (Some(execution), Some(spec)) => Response::Checkpointed {
+                session,
+                checkpoint: SessionCheckpoint {
+                    spec: spec.clone(),
+                    execution,
+                },
+            },
+            _ => ServerCore::unknown(session),
+        }
+    }
+
+    fn restore(&mut self, checkpoint: SessionCheckpoint) -> Response {
+        let execution = match ServerCore::start(&checkpoint.spec) {
+            Ok(execution) => execution,
+            Err(message) => return ServerCore::error(message),
+        };
+        let script = PerturbationScript::new(checkpoint.spec.perturbations.clone());
+        match self.scheduler.restore(
+            execution,
+            script,
+            &checkpoint.execution,
+            &apply_perturbations,
+        ) {
+            Ok(session) => {
+                self.specs.insert(session, checkpoint.spec);
+                let view = self.scheduler.view(session).expect("just restored");
+                Response::Restored {
+                    session,
+                    steps: view.steps,
+                    rounds: view.rounds,
+                }
+            }
+            Err(error) => ServerCore::error(format!("restore `{}`: {error}", checkpoint.spec.name)),
+        }
+    }
+
+    fn list(&self) -> Response {
+        let sessions = self
+            .scheduler
+            .ids()
+            .into_iter()
+            .map(|session| {
+                let view = self.scheduler.view(session).expect("listed id exists");
+                let spec = &self.specs[&session];
+                SessionSummary {
+                    session,
+                    name: spec.name.clone(),
+                    algorithm: spec.algorithm.name().to_string(),
+                    rounds: view.rounds,
+                    paused: view.paused,
+                    done: view.done,
+                }
+            })
+            .collect();
+        Response::Sessions { sessions }
+    }
+}
+
+impl Default for ServerCore {
+    /// A sequential core with a 64-step slice budget.
+    fn default() -> ServerCore {
+        ServerCore::new(64, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_scenarios::GeneratorSpec;
+
+    fn spec(name: &str) -> ScenarioSpec {
+        ScenarioSpec::new(name, GeneratorSpec::Annulus { outer: 4, inner: 2 })
+    }
+
+    fn handle(core: &mut ServerCore, request: Request) -> Vec<Response> {
+        let mut out = Vec::new();
+        core.handle(request, &mut out);
+        assert!(out.last().is_some_and(Response::is_final));
+        assert!(out[..out.len() - 1].iter().all(|r| !r.is_final()));
+        out
+    }
+
+    fn submit(core: &mut ServerCore, name: &str) -> SessionId {
+        match handle(core, Request::Submit { spec: spec(name) }).remove(0) {
+            Response::Submitted { session, .. } => session,
+            other => panic!("expected Submitted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_watch_run_produces_rounds_then_a_report() {
+        let mut core = ServerCore::default();
+        let session = submit(&mut core, "a");
+        let watched = handle(&mut core, Request::Watch { session, rounds: 3 });
+        assert_eq!(watched.len(), 4, "3 round lines + final status");
+        assert!(watched[..3]
+            .iter()
+            .all(|r| matches!(r, Response::Round { .. })));
+        let finished = handle(&mut core, Request::Run { session });
+        match &finished[finished.len() - 1] {
+            Response::Done { report, .. } => assert!(report.unique_leader()),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpointed_sessions_restore_to_the_same_report() {
+        let mut core = ServerCore::default();
+        let session = submit(&mut core, "a");
+        handle(&mut core, Request::Run { session });
+        let reference = match handle(&mut core, Request::Run { session }).remove(0) {
+            Response::Done { report, .. } => report,
+            other => panic!("expected Done, got {other:?}"),
+        };
+
+        let mut core = ServerCore::default();
+        let session = submit(&mut core, "a");
+        handle(&mut core, Request::Watch { session, rounds: 4 });
+        let checkpoint = match handle(&mut core, Request::Checkpoint { session }).remove(0) {
+            Response::Checkpointed { checkpoint, .. } => checkpoint,
+            other => panic!("expected Checkpointed, got {other:?}"),
+        };
+
+        // A brand-new core stands in for a fresh server process.
+        let mut fresh = ServerCore::default();
+        let restored = match handle(&mut fresh, Request::Restore { checkpoint }).remove(0) {
+            Response::Restored { session, .. } => session,
+            other => panic!("expected Restored, got {other:?}"),
+        };
+        match handle(&mut fresh, Request::Run { session: restored }).remove(0) {
+            Response::Done { report, .. } => assert_eq!(report, reference),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perturbations_past_the_cursor_are_rejected() {
+        let mut core = ServerCore::default();
+        let session = submit(&mut core, "a");
+        handle(&mut core, Request::Watch { session, rounds: 5 });
+        let stale = PerturbationSpec::RemoveRandom {
+            round: 2,
+            count: 1,
+            seed: 1,
+        };
+        match handle(
+            &mut core,
+            Request::Perturb {
+                session,
+                event: stale,
+            },
+        )
+        .remove(0)
+        {
+            Response::Error { message } => assert!(message.contains("already completed")),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        let due = PerturbationSpec::RemoveRandom {
+            round: 8,
+            count: 2,
+            seed: 1,
+        };
+        match handle(
+            &mut core,
+            Request::Perturb {
+                session,
+                event: due,
+            },
+        )
+        .remove(0)
+        {
+            Response::Perturbed { events, .. } => assert_eq!(events, 1),
+            other => panic!("expected Perturbed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lifecycle_verbs_cover_unknown_sessions() {
+        let mut core = ServerCore::default();
+        for request in [
+            Request::Status { session: 9 },
+            Request::Watch {
+                session: 9,
+                rounds: 1,
+            },
+            Request::Run { session: 9 },
+            Request::Pause { session: 9 },
+            Request::Resume { session: 9 },
+            Request::Cancel { session: 9 },
+            Request::Checkpoint { session: 9 },
+        ] {
+            match handle(&mut core, request).remove(0) {
+                Response::Error { message } => assert!(message.contains("no session 9")),
+                other => panic!("expected Error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_listing_tracks_lifecycle() {
+        let mut core = ServerCore::default();
+        let a = submit(&mut core, "a");
+        let b = submit(&mut core, "b");
+        handle(&mut core, Request::Pause { session: a });
+        handle(&mut core, Request::Run { session: b });
+        match handle(&mut core, Request::Sessions).remove(0) {
+            Response::Sessions { sessions } => {
+                assert_eq!(sessions.len(), 2);
+                assert!(sessions[0].paused && !sessions[0].done);
+                assert!(!sessions[1].paused && sessions[1].done);
+            }
+            other => panic!("expected Sessions, got {other:?}"),
+        }
+        handle(&mut core, Request::Cancel { session: a });
+        assert_eq!(core.sessions(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Transports: the same [`ServerCore`] served over stdin/stdout or TCP.
+//!
+//! Both speak the identical line protocol — one JSON [`Request`] per input
+//! line, one or more JSON [`Response`] lines per request, flushed after
+//! every request so clients can stream. Malformed lines answer with an
+//! `Error` response and the connection keeps serving; blank lines and
+//! `#`-prefixed comment lines are ignored (scripts interleave them freely).
+
+use crate::protocol::{Request, Response};
+use crate::server::ServerCore;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+
+/// Serves one connection: reads requests from `input` until EOF or a
+/// `shutdown` verb, writing response lines to `output`. Returns `true` iff
+/// the connection ended with `shutdown` (the caller should stop serving
+/// entirely, not just this connection).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying reader or writer.
+pub fn serve(
+    core: &mut ServerCore,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<bool> {
+    let mut responses = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        responses.clear();
+        let shutdown = match serde_json::from_str::<Request>(line) {
+            Ok(request) => core.handle(request, &mut responses),
+            Err(e) => {
+                responses.push(Response::Error {
+                    message: format!("malformed request: {e}"),
+                });
+                false
+            }
+        };
+        for response in &responses {
+            let json = serde_json::to_string(response)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            writeln!(output, "{json}")?;
+        }
+        output.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Serves the core over stdin/stdout until EOF or `shutdown`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the standard streams.
+pub fn serve_stdio(core: &mut ServerCore) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve(core, stdin.lock(), stdout.lock())?;
+    Ok(())
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
+/// connections sequentially until one of them sends `shutdown`. Sessions
+/// persist across connections — a client may submit, disconnect, and a
+/// later connection resumes the same sessions. The bound address is
+/// announced on stderr as `listening on ADDR` (tests parse this to learn
+/// the ephemeral port).
+///
+/// # Errors
+///
+/// Propagates bind and accept errors; per-connection I/O errors only drop
+/// that connection.
+pub fn serve_tcp(core: &mut ServerCore, addr: &str) -> io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    eprintln!("listening on {local}");
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = BufReader::new(stream.try_clone()?);
+        // A dropped client mid-request is the client's problem, not the
+        // server's: keep accepting.
+        match serve(core, reader, &stream) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => eprintln!("connection error: {e}"),
+        }
+    }
+    Ok(local)
+}

@@ -39,7 +39,7 @@ fn scenarios() -> Vec<(String, Shape, bool)> {
 
 /// A labelled scheduler factory (fresh instance per run, so random streams
 /// don't leak across scenarios).
-type SchedulerFactory = (&'static str, fn() -> Box<dyn Scheduler>);
+type SchedulerFactory = (&'static str, fn() -> Box<dyn Scheduler + Send>);
 
 /// The scheduler matrix.
 fn schedulers() -> [SchedulerFactory; 4] {

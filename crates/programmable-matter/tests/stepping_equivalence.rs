@@ -19,7 +19,7 @@ use programmable_matter::leader_election::api::{
 use programmable_matter::scenarios::{load_embedded, select};
 use programmable_matter::LeaderElection;
 
-type SchedulerFactory = (&'static str, fn() -> Box<dyn Scheduler>);
+type SchedulerFactory = (&'static str, fn() -> Box<dyn Scheduler + Send>);
 
 fn schedulers() -> [SchedulerFactory; 4] {
     [
@@ -44,7 +44,7 @@ fn algorithms() -> [&'static dyn LeaderElection; 4] {
 fn stepped(
     algorithm: &dyn LeaderElection,
     shape: &Shape,
-    scheduler: &mut dyn Scheduler,
+    scheduler: &mut (dyn Scheduler + Send),
     opts: &RunOptions,
 ) -> Result<RunReport, ElectionError> {
     let mut execution = algorithm.start(shape, scheduler, opts)?;
