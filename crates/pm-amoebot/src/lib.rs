@@ -62,7 +62,10 @@ pub mod trace;
 pub use algorithm::{ActivationContext, Algorithm, InitContext};
 pub use particle::{Particle, ParticleId};
 pub use scheduler::{
-    DoubleActivation, ReverseRoundRobin, RoundRobin, Runner, Scheduler, SeededRandom,
+    DoubleActivation, ReverseRoundRobin, RoundRobin, Runner, RunnerSnapshot, Scheduler,
+    SchedulerState, SeededRandom,
 };
-pub use system::{MoveError, Neighbors, OccupancyBackend, ParticleSystem, SystemControl};
+pub use system::{
+    MoveError, Neighbors, OccupancyBackend, ParticleSystem, SystemControl, SystemSnapshot,
+};
 pub use trace::RunStats;

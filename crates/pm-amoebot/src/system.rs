@@ -166,6 +166,24 @@ impl Occupancy {
         }
     }
 
+    /// Empties the map (backend and dense rectangle retained), so a
+    /// snapshot restore can re-insert every occupied point from scratch.
+    fn clear(&mut self) {
+        match self {
+            Occupancy::Dense {
+                cells,
+                overflow,
+                len,
+                ..
+            } => {
+                cells.iter_mut().for_each(|slot| *slot = None);
+                overflow.clear();
+                *len = 0;
+            }
+            Occupancy::Hashed(map) => map.clear(),
+        }
+    }
+
     /// Number of occupied points.
     fn len(&self) -> usize {
         match self {
@@ -326,6 +344,32 @@ pub trait SystemControl {
     /// cleared. Movement counters are *not* reset — the reset is the
     /// adversary's action, and the report keeps the whole run's totals.
     fn reinitialize(&mut self);
+}
+
+/// A portable snapshot of a [`ParticleSystem`] mid-run: exactly the state
+/// that cannot be rebuilt from the initial configuration.
+///
+/// The occupancy map is *not* serialized — it is a pure function of the
+/// particles' occupied points, and [`ParticleSystem::restore_snapshot`]
+/// rebuilds it on the target system's existing backend (whose dense
+/// rectangle derives from the initial shape, exactly as in the live run).
+/// The woken queue is likewise dropped: waking a particle clears its
+/// parked flag *before* queueing, so the parked flags alone determine the
+/// next round's live set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SystemSnapshot<M> {
+    /// Every particle slot, including removed ones (ids stay stable).
+    pub particles: Vec<Particle<M>>,
+    /// `removed[i]` iff slot `i` was removed by a perturbation.
+    pub removed: Vec<bool>,
+    /// Quiescence-parking flags.
+    pub parked: Vec<bool>,
+    /// Cumulative expansion count.
+    pub expansions: u64,
+    /// Cumulative contraction count.
+    pub contractions: u64,
+    /// Cumulative handover count.
+    pub handovers: u64,
 }
 
 /// The particle system: a set of particles on the triangular grid together
@@ -773,6 +817,80 @@ impl<M> ParticleSystem<M> {
         self.terminated = 0;
         self.parked.iter_mut().for_each(|p| *p = false);
         self.woken.clear();
+    }
+
+    /// Captures the system's mid-run state for a [`SystemSnapshot`].
+    pub fn snapshot(&self) -> SystemSnapshot<M>
+    where
+        M: Clone,
+    {
+        SystemSnapshot {
+            particles: self.particles.clone(),
+            removed: self.removed.clone(),
+            parked: self.parked.clone(),
+            expansions: self.expansions,
+            contractions: self.contractions,
+            handovers: self.handovers,
+        }
+    }
+
+    /// Overwrites this system's state with a snapshot captured by
+    /// [`ParticleSystem::snapshot`] of a system built from the *same*
+    /// initial shape. The occupancy map is rebuilt in place (backend and
+    /// dense rectangle retained from the initial build), the alive and
+    /// terminated counts are recomputed, and the woken queue is cleared —
+    /// parked flags alone carry the quiescence state across the restore.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots whose slot counts are inconsistent or that do not
+    /// match this system's particle count (a snapshot of a different
+    /// configuration).
+    pub fn restore_snapshot(&mut self, snapshot: &SystemSnapshot<M>) -> Result<(), String>
+    where
+        M: Clone,
+    {
+        let slots = snapshot.particles.len();
+        if snapshot.removed.len() != slots || snapshot.parked.len() != slots {
+            return Err(format!(
+                "inconsistent snapshot: {slots} particle slot(s), {} removed flag(s), \
+                 {} parked flag(s)",
+                snapshot.removed.len(),
+                snapshot.parked.len()
+            ));
+        }
+        if slots != self.particles.len() {
+            return Err(format!(
+                "snapshot has {slots} particle slot(s) but the system has {}",
+                self.particles.len()
+            ));
+        }
+        self.occupancy.clear();
+        for (i, particle) in snapshot.particles.iter().enumerate() {
+            if snapshot.removed[i] {
+                continue;
+            }
+            let id = ParticleId(i);
+            self.occupancy.insert(particle.head, id);
+            if particle.tail != particle.head {
+                self.occupancy.insert(particle.tail, id);
+            }
+        }
+        self.particles = snapshot.particles.clone();
+        self.removed = snapshot.removed.clone();
+        self.parked = snapshot.parked.clone();
+        self.woken.clear();
+        self.alive = self.removed.iter().filter(|r| !**r).count();
+        self.terminated = self
+            .particles
+            .iter()
+            .zip(&self.removed)
+            .filter(|(p, removed)| !**removed && p.terminated)
+            .count();
+        self.expansions = snapshot.expansions;
+        self.contractions = snapshot.contractions;
+        self.handovers = snapshot.handovers;
+        Ok(())
     }
 
     // -- Quiescence parking ------------------------------------------------

@@ -72,7 +72,7 @@
 use crate::collect::{CollectOutcome, CollectSimulator};
 use crate::dle::{count_decisions, default_round_budget, DleAlgorithm, DleMemory, DleOutcome};
 use crate::obd::run_obd;
-use pm_amoebot::scheduler::{RunError, Runner, Scheduler, SeededRandom};
+use pm_amoebot::scheduler::{RunError, Runner, RunnerSnapshot, Scheduler, SeededRandom};
 use pm_amoebot::system::{OccupancyBackend, ParticleSystem, SystemControl};
 use pm_grid::{Point, Shape};
 use serde::{Deserialize, Serialize};
@@ -452,6 +452,31 @@ pub trait ExecutionDriver {
     /// Mutable access to the live particle system while a round-driven
     /// phase is active; `None` otherwise.
     fn control(&mut self) -> Option<Box<dyn SystemControl + '_>>;
+
+    /// A portable snapshot of the driver's complete mid-run state, as a
+    /// serde value tree — the substrate of *re-baselined* checkpoints,
+    /// whose replay cost is bounded by the snapshot age instead of the
+    /// session age. Drivers without native snapshot support (the default)
+    /// return `None`; callers then fall back to replaying from step zero.
+    fn snapshot(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Restores state captured by [`ExecutionDriver::snapshot`] into a
+    /// *freshly started* driver of the same configuration. After a
+    /// successful restore the driver continues exactly as the snapshotted
+    /// one would have — byte-identically, by the same determinism contract
+    /// as replay.
+    ///
+    /// # Errors
+    ///
+    /// Malformed or mismatched snapshots are rejected; the driver should
+    /// then be discarded (callers fall back to a full replay on a fresh
+    /// driver).
+    fn restore_snapshot(&mut self, snapshot: &serde::Value) -> Result<(), String> {
+        let _ = snapshot;
+        Err("this execution does not support native snapshots".to_string())
+    }
 }
 
 /// A resumable, inspectable election run: the inversion-of-control handle
@@ -518,6 +543,24 @@ impl<'a> Execution<'a> {
     /// restarts cleanly on the perturbed configuration.
     pub fn system(&mut self) -> Option<Box<dyn SystemControl + '_>> {
         self.driver.control()
+    }
+
+    /// A portable snapshot of the execution's complete mid-run state, or
+    /// `None` when the underlying driver has no native snapshot support
+    /// (see [`ExecutionDriver::snapshot`]).
+    pub fn snapshot(&self) -> Option<serde::Value> {
+        self.driver.snapshot()
+    }
+
+    /// Restores a snapshot captured by [`Execution::snapshot`] into this
+    /// (freshly started, identically configured) execution.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecutionDriver::restore_snapshot`]; on error the execution
+    /// should be discarded in favour of a full replay.
+    pub fn restore_snapshot(&mut self, snapshot: &serde::Value) -> Result<(), String> {
+        self.driver.restore_snapshot(snapshot)
     }
 
     /// Runs the remaining steps to completion and returns the report.
@@ -677,6 +720,24 @@ enum PipelineState {
     RunCollect,
     Finish,
     Done(RunReport),
+}
+
+/// The serialized form of a [`PipelineExecution`] mid-run: everything that
+/// cannot be rebuilt by re-starting the pipeline on the same spec. The
+/// runner snapshot is present exactly in the `run-dle` state (before DLE
+/// the fresh runner *is* the restored runner; after DLE it has been
+/// consumed into [`DleOutcome`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct PipelineSnapshot {
+    /// The state-machine position, as a stable string tag.
+    state: String,
+    reports: Vec<PhaseReport>,
+    obd_ran: bool,
+    dle: Option<DleOutcome>,
+    collect: Option<CollectOutcome>,
+    /// The final report, present exactly in the `done` state.
+    done: Option<RunReport>,
+    runner: Option<RunnerSnapshot<DleMemory>>,
 }
 
 /// All in-flight state of one paper-pipeline run: the resumable state
@@ -941,6 +1002,86 @@ impl<S: Scheduler> ExecutionDriver for PipelineExecution<'_, S> {
         self.runner
             .as_mut()
             .map(|runner| Box::new(runner.control()) as Box<dyn SystemControl + '_>)
+    }
+
+    fn snapshot(&self) -> Option<serde::Value> {
+        let (state, done) = match &self.state {
+            PipelineState::StartObd => ("start-obd", None),
+            PipelineState::RunObd => ("run-obd", None),
+            PipelineState::StartDle => ("start-dle", None),
+            PipelineState::RunDle => ("run-dle", None),
+            PipelineState::StartCollect => ("start-collect", None),
+            PipelineState::RunCollect => ("run-collect", None),
+            PipelineState::Finish => ("finish", None),
+            PipelineState::Done(report) => ("done", Some(report.clone())),
+        };
+        let runner = if matches!(self.state, PipelineState::RunDle) {
+            Some(
+                self.runner
+                    .as_ref()
+                    .expect("RunDle holds a runner")
+                    .snapshot(),
+            )
+        } else {
+            None
+        };
+        Some(
+            PipelineSnapshot {
+                state: state.to_string(),
+                reports: self.reports.clone(),
+                obd_ran: self.obd_ran,
+                dle: self.dle.clone(),
+                collect: self.collect.clone(),
+                done,
+                runner,
+            }
+            .to_value(),
+        )
+    }
+
+    fn restore_snapshot(&mut self, snapshot: &serde::Value) -> Result<(), String> {
+        let snap = PipelineSnapshot::from_value(snapshot)
+            .map_err(|e| format!("malformed pipeline snapshot: {e}"))?;
+        let state = match snap.state.as_str() {
+            "start-obd" => PipelineState::StartObd,
+            "run-obd" => PipelineState::RunObd,
+            "start-dle" => PipelineState::StartDle,
+            "run-dle" => PipelineState::RunDle,
+            "start-collect" => PipelineState::StartCollect,
+            "run-collect" => PipelineState::RunCollect,
+            "finish" => PipelineState::Finish,
+            "done" => {
+                PipelineState::Done(snap.done.ok_or("`done` snapshot carries no final report")?)
+            }
+            other => return Err(format!("unknown pipeline snapshot state `{other}`")),
+        };
+        match &state {
+            PipelineState::RunDle => {
+                let runner_snapshot = snap
+                    .runner
+                    .as_ref()
+                    .ok_or("`run-dle` snapshot carries no runner state")?;
+                self.runner
+                    .as_mut()
+                    .expect("a freshly started pipeline holds a runner")
+                    .restore_snapshot(runner_snapshot)?;
+            }
+            PipelineState::StartObd | PipelineState::RunObd | PipelineState::StartDle => {
+                // Pre-DLE: the freshly started runner is exactly the
+                // snapshotted one (no rounds have run), so keep it.
+            }
+            _ => {
+                // Post-DLE: the live run consumed its runner when the DLE
+                // phase ended.
+                self.runner = None;
+            }
+        }
+        self.reports = snap.reports;
+        self.obd_ran = snap.obd_ran;
+        self.dle = snap.dle;
+        self.collect = snap.collect;
+        self.state = state;
+        Ok(())
     }
 }
 

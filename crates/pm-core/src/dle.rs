@@ -188,7 +188,7 @@ impl Algorithm for DleAlgorithm {
 }
 
 /// The result of running Algorithm DLE on an initial shape.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DleOutcome {
     /// Execution statistics (rounds, activations, moves, connectivity).
     pub stats: RunStats,

@@ -7,7 +7,10 @@
 //! pm-scenarios run <suite>    [--corpus FILE] [--threads N] [--out FILE]
 //! pm-scenarios trace <name>   [--corpus FILE] [--json]
 //! pm-scenarios serve  [--stdio | --tcp ADDR] [--slice N] [--threads N]
-//! pm-scenarios client --script FILE [--threads N]
+//!                     [--persist-dir DIR] [--autosave-ms N] [--ttl-ms N]
+//!                     [--max-sessions N]
+//! pm-scenarios client --script FILE [--threads N] [--persist-dir DIR] ...
+//! pm-scenarios load   [--sessions N] [--clients N] [--max-sessions N]
 //! pm-scenarios regen
 //! ```
 //!
@@ -20,18 +23,30 @@
 //! speaks the line-delimited JSON protocol of `PROTOCOL.md` over
 //! stdin/stdout (default) or TCP; `client` replays a `.jsonl` request
 //! script against freshly spawned `serve --stdio` children (restarting them
-//! at `!restart` directives) and prints the response transcript. `regen`
-//! rewrites the committed corpus and the smoke golden file from the
-//! built-in corpus (a dev tool; a test pins the committed files to the
-//! code).
+//! at `!restart` directives) and prints the response transcript. `load`
+//! spawns its own TCP server and floods it from concurrent client threads
+//! — see `crates/pm-server/scripts/load_test.sh`. `regen` rewrites the
+//! committed corpus and the smoke golden file from the built-in corpus (a
+//! dev tool; a test pins the committed files to the code).
+//!
+//! `serve` durability knobs: `--persist-dir DIR` autosaves every session
+//! checkpoint into DIR and recovers them on startup; `--autosave-ms N`
+//! sets the housekeeping cadence; `--ttl-ms N` evicts sessions no request
+//! has touched for N milliseconds; `--max-sessions N` rejects `submit` and
+//! `restore` with the retryable `Busy` response once N sessions are live.
 
 use pm_amoebot::ascii::render_shape;
 use pm_core::api::StepOutcome;
 use pm_scenarios::corpus::{self, SMOKE};
-use pm_scenarios::{report_json, run_suite, select, suite_tags, PerturbationScript, ScenarioSpec};
-use pm_server::ServerCore;
+use pm_scenarios::{
+    report_json, run_suite, select, suite_tags, GeneratorSpec, PerturbationScript, ScenarioSpec,
+};
+use pm_server::{Request, Response, ServerCore, ServerLimits};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     command: String,
@@ -43,12 +58,20 @@ struct Args {
     threads: usize,
     slice: u64,
     json: bool,
+    persist_dir: Option<PathBuf>,
+    autosave_ms: u64,
+    ttl_ms: Option<u64>,
+    max_sessions: Option<usize>,
+    sessions: usize,
+    clients: usize,
 }
 
 const USAGE: &str =
-    "usage: pm-scenarios <list|suites|render <name>|run <suite>|trace <name>|serve|client|regen> \
+    "usage: pm-scenarios <list|suites|render <name>|run <suite>|trace <name>|serve|client|load|regen> \
                      [--corpus FILE] [--threads N] [--out FILE] [--json] \
-                     [--stdio] [--tcp ADDR] [--slice N] [--script FILE]";
+                     [--stdio] [--tcp ADDR] [--slice N] [--script FILE] \
+                     [--persist-dir DIR] [--autosave-ms N] [--ttl-ms N] [--max-sessions N] \
+                     [--sessions N] [--clients N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
@@ -63,7 +86,19 @@ fn parse_args() -> Result<Args, String> {
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         slice: 64,
         json: false,
+        persist_dir: None,
+        autosave_ms: 500,
+        ttl_ms: None,
+        max_sessions: None,
+        sessions: 1000,
+        clients: 32,
     };
+    fn number<T: std::str::FromStr>(value: Option<String>, flag: &str) -> Result<T, String> {
+        value
+            .ok_or(format!("{flag} needs a number"))?
+            .parse()
+            .map_err(|_| format!("{flag} needs a number"))
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--corpus" => {
@@ -85,20 +120,18 @@ fn parse_args() -> Result<Args, String> {
             // The default transport; accepted so invocations can be
             // explicit about it.
             "--stdio" => parsed.tcp = None,
-            "--threads" => {
-                parsed.threads = args
-                    .next()
-                    .ok_or("--threads needs a number")?
-                    .parse()
-                    .map_err(|_| "--threads needs a number".to_string())?
+            "--threads" => parsed.threads = number(args.next(), "--threads")?,
+            "--slice" => parsed.slice = number(args.next(), "--slice")?,
+            "--persist-dir" => {
+                parsed.persist_dir = Some(PathBuf::from(
+                    args.next().ok_or("--persist-dir needs a directory")?,
+                ))
             }
-            "--slice" => {
-                parsed.slice = args
-                    .next()
-                    .ok_or("--slice needs a number")?
-                    .parse()
-                    .map_err(|_| "--slice needs a number".to_string())?
-            }
+            "--autosave-ms" => parsed.autosave_ms = number(args.next(), "--autosave-ms")?,
+            "--ttl-ms" => parsed.ttl_ms = Some(number(args.next(), "--ttl-ms")?),
+            "--max-sessions" => parsed.max_sessions = Some(number(args.next(), "--max-sessions")?),
+            "--sessions" => parsed.sessions = number(args.next(), "--sessions")?,
+            "--clients" => parsed.clients = number(args.next(), "--clients")?,
             "--json" => parsed.json = true,
             other if parsed.operand.is_none() && !other.starts_with("--") => {
                 parsed.operand = Some(other.to_string())
@@ -327,15 +360,58 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str, json: bool) -> Result<(), Strin
     Ok(())
 }
 
-/// Serves the session protocol over stdin/stdout (default) or TCP.
+/// Serves the session protocol over stdin/stdout (default) or TCP, with
+/// the durability and resource-bound knobs applied.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let mut core = ServerCore::new(args.slice.max(1), args.threads.max(1));
+    core.set_limits(ServerLimits {
+        max_sessions: args.max_sessions,
+        idle_ttl: args.ttl_ms.map(Duration::from_millis),
+    });
+    core.set_autosave_interval(Duration::from_millis(args.autosave_ms.max(1)));
+    if let Some(dir) = &args.persist_dir {
+        let (restored, rejected) = core.attach_persistence(dir.clone())?;
+        eprintln!(
+            "recovered {restored} session(s) from {} ({rejected} rejected)",
+            dir.display()
+        );
+    }
     match &args.tcp {
-        Some(addr) => pm_server::serve_tcp(&mut core, addr)
+        Some(addr) => pm_server::serve_tcp(core, addr)
             .map(|_| ())
             .map_err(|e| format!("serve --tcp {addr}: {e}")),
-        None => pm_server::serve_stdio(&mut core).map_err(|e| format!("serve --stdio: {e}")),
+        None => pm_server::serve_stdio(core).map_err(|e| format!("serve --stdio: {e}")),
     }
+}
+
+/// The `serve --stdio` command line matching this invocation's knobs —
+/// what `client` spawns (and respawns at `!restart`).
+fn serve_command(args: &Args) -> Result<Vec<String>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("locate own executable: {e}"))?;
+    let mut command = vec![
+        exe.display().to_string(),
+        "serve".to_string(),
+        "--stdio".to_string(),
+        "--slice".to_string(),
+        args.slice.to_string(),
+        "--threads".to_string(),
+        args.threads.to_string(),
+        "--autosave-ms".to_string(),
+        args.autosave_ms.to_string(),
+    ];
+    if let Some(dir) = &args.persist_dir {
+        command.push("--persist-dir".to_string());
+        command.push(dir.display().to_string());
+    }
+    if let Some(ttl) = args.ttl_ms {
+        command.push("--ttl-ms".to_string());
+        command.push(ttl.to_string());
+    }
+    if let Some(max) = args.max_sessions {
+        command.push("--max-sessions".to_string());
+        command.push(max.to_string());
+    }
+    Ok(command)
 }
 
 /// Replays a request script against `serve --stdio` child processes,
@@ -347,18 +423,192 @@ fn cmd_client(args: &Args) -> Result<(), String> {
         .ok_or("client needs --script FILE (a .jsonl request script)")?;
     let script =
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-    let exe = std::env::current_exe().map_err(|e| format!("locate own executable: {e}"))?;
-    let command = vec![
-        exe.display().to_string(),
-        "serve".to_string(),
-        "--stdio".to_string(),
-        "--slice".to_string(),
-        args.slice.to_string(),
-        "--threads".to_string(),
-        args.threads.to_string(),
-    ];
+    let command = serve_command(args)?;
     let stdout = std::io::stdout();
     pm_server::run_script(&command, &script, &mut stdout.lock())
+}
+
+/// One TCP protocol connection for the load generator.
+struct LoadConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl LoadConn {
+    fn connect(addr: &str) -> Result<LoadConn, String> {
+        let writer = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = BufReader::new(
+            writer
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        Ok(LoadConn { reader, writer })
+    }
+
+    /// Sends one request and reads to its final response.
+    fn request(&mut self, request: &Request) -> Result<Response, String> {
+        let line = serde_json::to_string(request).map_err(|e| format!("serialize: {e}"))?;
+        writeln!(self.writer, "{line}").map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("flush: {e}"))?;
+        loop {
+            let mut raw = String::new();
+            let read = self
+                .reader
+                .read_line(&mut raw)
+                .map_err(|e| format!("receive: {e}"))?;
+            if read == 0 {
+                return Err("server closed the connection mid-request".to_string());
+            }
+            let response: Response = serde_json::from_str(raw.trim())
+                .map_err(|e| format!("unparseable response `{}`: {e}", raw.trim()))?;
+            if response.is_final() {
+                return Ok(response);
+            }
+        }
+    }
+
+    /// Sends a request, backing off and retrying while the server answers
+    /// with the retryable `Busy`.
+    fn request_with_retry(&mut self, request: &Request) -> Result<Response, String> {
+        for attempt in 1..=1000u32 {
+            match self.request(request)? {
+                Response::Busy { .. } => {
+                    std::thread::sleep(Duration::from_millis(u64::from(attempt.min(20))))
+                }
+                response => return Ok(response),
+            }
+        }
+        Err("server stayed busy through 1000 retries".to_string())
+    }
+}
+
+/// Floods a freshly spawned TCP server with many small sessions from
+/// concurrent client threads, asserting fairness (every session completes
+/// with a unique leader) and bounded memory (each client cancels its
+/// finished sessions, and the final `stats` verb confirms the live-session
+/// count stayed within the budget). The budget deliberately sits below the
+/// client count so the retryable `Busy` path is exercised under real
+/// contention.
+fn cmd_load(args: &Args) -> Result<(), String> {
+    let sessions = args.sessions.max(1);
+    let clients = args.clients.max(1);
+    let budget = args.max_sessions.unwrap_or((clients / 2).max(2));
+    let exe = std::env::current_exe().map_err(|e| format!("locate own executable: {e}"))?;
+    let mut server = std::process::Command::new(&exe)
+        .args([
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--slice",
+            &args.slice.to_string(),
+            "--threads",
+            &args.threads.to_string(),
+            "--max-sessions",
+            &budget.to_string(),
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn server: {e}"))?;
+    let stderr = BufReader::new(server.stderr.take().expect("stderr was piped"));
+    let mut addr = None;
+    for line in stderr.lines() {
+        let line = line.map_err(|e| format!("read server stderr: {e}"))?;
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            addr = Some(rest.trim().to_string());
+            break;
+        }
+    }
+    let addr = addr.ok_or("server never announced its address")?;
+
+    let completed = std::sync::atomic::AtomicUsize::new(0);
+    let failures = std::sync::Mutex::new(Vec::new());
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let (addr, completed, failures) = (&addr, &completed, &failures);
+            scope.spawn(move || {
+                let run = || -> Result<usize, String> {
+                    let mut conn = LoadConn::connect(addr)?;
+                    let mut finished = 0;
+                    // Client `c` owns sessions c, c+clients, c+2*clients, …
+                    for index in (client..sessions).step_by(clients) {
+                        let spec = ScenarioSpec::new(
+                            format!("load-{index}"),
+                            GeneratorSpec::Hexagon { radius: 2 },
+                        );
+                        let submitted = conn.request_with_retry(&Request::Submit { spec })?;
+                        let Response::Submitted { session, .. } = submitted else {
+                            return Err(format!(
+                                "load-{index}: expected Submitted, got {submitted:?}"
+                            ));
+                        };
+                        match conn.request(&Request::Run { session })? {
+                            Response::Done { report, .. } if report.unique_leader() => {}
+                            other => {
+                                return Err(format!(
+                                    "load-{index}: expected unique leader, got {other:?}"
+                                ))
+                            }
+                        }
+                        // Cancelling finished sessions is what keeps the
+                        // server's live set (and memory) bounded.
+                        match conn.request(&Request::Cancel { session })? {
+                            Response::Cancelled { .. } => finished += 1,
+                            other => return Err(format!("load-{index}: cancel got {other:?}")),
+                        }
+                    }
+                    Ok(finished)
+                };
+                match run() {
+                    Ok(finished) => {
+                        completed.fetch_add(finished, std::sync::atomic::Ordering::SeqCst);
+                    }
+                    Err(error) => failures.lock().unwrap().push(error),
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let mut control = LoadConn::connect(&addr)?;
+    let stats = match control.request(&Request::Stats)? {
+        Response::Stats { stats } => stats,
+        other => return Err(format!("expected Stats, got {other:?}")),
+    };
+    control.request(&Request::Shutdown)?;
+    let status = server.wait().map_err(|e| format!("wait for server: {e}"))?;
+
+    let failures = failures.into_inner().unwrap();
+    let completed = completed.into_inner();
+    eprintln!(
+        "load: {completed}/{sessions} session(s) completed by {clients} client(s) in {:.2}s \
+         ({:.0}/s); budget {budget}, live at end {}, sweeps {}, busy-retries exercised",
+        elapsed.as_secs_f64(),
+        completed as f64 / elapsed.as_secs_f64().max(0.001),
+        stats.sessions,
+        stats.sweeps,
+    );
+    if let Some(error) = failures.first() {
+        return Err(format!(
+            "{} client(s) failed; first: {error}",
+            failures.len()
+        ));
+    }
+    if completed != sessions {
+        return Err(format!(
+            "fairness violated: {completed}/{sessions} sessions completed"
+        ));
+    }
+    if stats.sessions > budget {
+        return Err(format!(
+            "memory bound violated: {} live sessions exceed the budget {budget}",
+            stats.sessions
+        ));
+    }
+    if !status.success() {
+        return Err(format!("server exited with {status}"));
+    }
+    Ok(())
 }
 
 /// Rewrites the committed corpus and smoke golden file from the built-in
@@ -400,6 +650,7 @@ fn main() -> ExitCode {
         "regen" => cmd_regen(),
         "serve" => cmd_serve(&args),
         "client" => cmd_client(&args),
+        "load" => cmd_load(&args),
         command => match load_corpus(&args) {
             Err(e) => Err(e),
             Ok(specs) => match (command, args.operand.as_deref()) {

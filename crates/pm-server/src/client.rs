@@ -16,10 +16,21 @@
 //! order, with each request's lines prefixed by a `# >` echo of the request
 //! for readability — deterministic end to end, so CI diffs it against a
 //! committed golden file.
+//!
+//! When the server rejects a request with the retryable `Busy` response
+//! (its session budget is exhausted), the client backs off and resends the
+//! same line a bounded number of times before recording the rejection —
+//! only the finally-accepted (or finally-rejected) response stream lands
+//! in the transcript, so scripts that never hit the budget stay
+//! byte-reproducible.
 
 use crate::protocol::{Request, Response, SessionCheckpoint};
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+/// How many times a `Busy` rejection is retried before giving up.
+const BUSY_RETRIES: u32 = 50;
 
 /// A live server child process with line-buffered pipes.
 struct ServerChild {
@@ -148,7 +159,15 @@ pub fn run_script(
             request_line.as_str()
         };
         writeln!(transcript, "# > {echo}").map_err(|e| format!("write transcript: {e}"))?;
-        for (text, response) in active.request(&request_line)? {
+        let mut responses = active.request(&request_line)?;
+        let mut attempt = 0;
+        while matches!(responses.last(), Some((_, Response::Busy { .. }))) && attempt < BUSY_RETRIES
+        {
+            attempt += 1;
+            std::thread::sleep(Duration::from_millis(u64::from(attempt.min(10)) * 5));
+            responses = active.request(&request_line)?;
+        }
+        for (text, response) in responses {
             writeln!(transcript, "{text}").map_err(|e| format!("write transcript: {e}"))?;
             match response {
                 Response::Checkpointed { checkpoint, .. } => last_checkpoint = Some(checkpoint),

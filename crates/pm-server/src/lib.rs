@@ -9,25 +9,37 @@
 //!
 //! * [`protocol`] — the line-delimited JSON [`Request`]/[`Response`] verbs
 //!   (`submit`, `status`, `watch`, `run`, `perturb`, `pause`, `resume`,
-//!   `cancel`, `checkpoint`, `restore`, `sessions`, `shutdown`), documented
-//!   with examples in `PROTOCOL.md` at the repository root.
+//!   `cancel`, `checkpoint`, `restore`, `sessions`, `stats`, `shutdown`),
+//!   documented with examples in `PROTOCOL.md` at the repository root.
 //! * [`server`] — [`ServerCore`]: the transport-agnostic request handler
 //!   multiplexing every live session through one fair scheduler, so no
-//!   session starves another while a request pumps.
+//!   session starves another while a request pumps. The core also owns the
+//!   operational envelope: session budgets and idle-TTL eviction
+//!   ([`ServerLimits`]), interval autosave with baseline re-anchoring, and
+//!   crash recovery from a persist directory.
+//! * [`persist`] — durable checkpoint files: atomic temp-file-plus-rename
+//!   writes (never torn), a startup scan that reports corrupt files as
+//!   typed errors instead of dying on them.
 //! * [`transport`] — the stdio and TCP servers (std-only, fully offline).
+//!   TCP serves every connection on its own thread over the shared core,
+//!   with read timeouts, accept-error backoff, and graceful shutdown.
 //! * [`client`] — the scripted client behind `pm-scenarios client`:
 //!   replays a `.jsonl` request script against server child processes,
 //!   restarting them on demand to prove checkpoints survive process death.
+//!   Retries requests the server rejects with the retryable `Busy`.
 //!
 //! The crate also owns the workspace CLI binary (`pm-scenarios`), which
-//! gains `serve` and `client` subcommands next to the corpus tooling.
+//! gains `serve`, `client` and `load` subcommands next to the corpus
+//! tooling.
 
 pub mod client;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
 pub use client::run_script;
-pub use protocol::{Request, Response, SessionCheckpoint, SessionSummary};
-pub use server::ServerCore;
+pub use persist::{PersistDir, PersistError};
+pub use protocol::{Request, Response, ServerStats, SessionCheckpoint, SessionSummary};
+pub use server::{ServerCore, ServerLimits};
 pub use transport::{serve, serve_stdio, serve_tcp};

@@ -80,6 +80,10 @@ pub enum Request {
     },
     /// Lists every live session.
     Sessions,
+    /// Reports server-wide operational counters as [`Response::Stats`].
+    /// Uptime is wall-clock, so transcripts containing this verb are not
+    /// byte-reproducible — keep it out of golden-diffed scripts.
+    Stats,
     /// Stops serving after acknowledging with [`Response::Bye`].
     Shutdown,
 }
@@ -176,6 +180,19 @@ pub enum Response {
         /// One summary per live session, ascending by id.
         sessions: Vec<SessionSummary>,
     },
+    /// The server-wide operational counters.
+    Stats {
+        /// The counters snapshot.
+        stats: ServerStats,
+    },
+    /// The request was valid but the server is at its session budget.
+    /// Unlike [`Response::Error`], this rejection is *retryable*: the same
+    /// request succeeds once sessions complete, are cancelled, or expire —
+    /// clients should back off and resend.
+    Busy {
+        /// Which budget rejected the request.
+        message: String,
+    },
     /// The request could not be served (unknown session, invalid spec,
     /// malformed JSON, rejected perturbation or checkpoint…).
     Error {
@@ -192,6 +209,33 @@ impl Response {
     pub fn is_final(&self) -> bool {
         !matches!(self, Response::Round { .. })
     }
+}
+
+/// Server-wide operational counters, reported by the `stats` verb. The
+/// session counts partition the live sessions: `running + paused + done ==
+/// sessions`. The remaining counters are monotone over the process
+/// lifetime (they reset on restart, not on recovery).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Milliseconds since the server core was created.
+    pub uptime_ms: u64,
+    /// Live sessions right now.
+    pub sessions: usize,
+    /// Live sessions that are neither paused nor finished.
+    pub running: usize,
+    /// Live sessions currently paused.
+    pub paused: usize,
+    /// Live sessions holding a final outcome.
+    pub done: usize,
+    /// Scheduler sweeps performed by `watch`/`run` pumping.
+    pub sweeps: u64,
+    /// Checkpoint files written by autosave (skips unchanged sessions).
+    pub checkpoints_written: u64,
+    /// Sessions evicted by the idle-TTL sweep.
+    pub evictions: u64,
+    /// Sessions rebuilt from checkpoints: `restore` verbs plus the startup
+    /// recovery scan.
+    pub restores: u64,
 }
 
 /// One row of the `Sessions` listing.

@@ -9,11 +9,13 @@
 //! scheduler, so every runnable session advances while one client's request
 //! is being served, and no session can starve the rest.
 
-use crate::protocol::{Request, Response, SessionCheckpoint, SessionSummary};
+use crate::persist::PersistDir;
+use crate::protocol::{Request, Response, ServerStats, SessionCheckpoint, SessionSummary};
 use pm_core::api::Execution;
 use pm_core::session::{Goal, SessionId, SessionScheduler};
 use pm_scenarios::{PerturbationScript, PerturbationSpec, ScenarioSpec};
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 /// The per-step hook every session runs under: fire the session's due
 /// perturbation events against the live system before the next round. Live
@@ -21,6 +23,19 @@ use std::collections::BTreeMap;
 /// restored sessions reproduce perturbed runs exactly.
 fn apply_perturbations(script: &mut PerturbationScript, execution: &mut Execution<'static>) {
     script.apply_due(execution);
+}
+
+/// Resource bounds a server core enforces. The defaults bound nothing —
+/// existing embedded uses keep their unlimited behavior unless they opt in.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerLimits {
+    /// Reject `submit`/`restore` with the retryable [`Response::Busy`] once
+    /// this many sessions are live. Sessions are the server's only
+    /// per-client state, so this is also the memory budget.
+    pub max_sessions: Option<usize>,
+    /// Evict sessions idle (no request touched them) for at least this
+    /// long during [`ServerCore::housekeeping`] sweeps.
+    pub idle_ttl: Option<Duration>,
 }
 
 /// The multi-tenant session server behind every transport. See the
@@ -32,6 +47,20 @@ pub struct ServerCore {
     /// this is what a checkpoint persists, so a fresh process can rebuild
     /// the session from nothing but the checkpoint.
     specs: BTreeMap<SessionId, ScenarioSpec>,
+    /// When each session was last named by a request (idle-TTL eviction).
+    touched: BTreeMap<SessionId, Instant>,
+    /// The autosave cursor last written per session — sessions that have
+    /// not advanced since are skipped, so an idle server writes nothing.
+    saved: BTreeMap<SessionId, (u64, u64, usize)>,
+    persist: Option<PersistDir>,
+    limits: ServerLimits,
+    /// How often transports should call [`ServerCore::housekeeping`].
+    autosave_interval: Duration,
+    started: Instant,
+    sweeps: u64,
+    checkpoints_written: u64,
+    evictions: u64,
+    restores: u64,
 }
 
 impl ServerCore {
@@ -41,6 +70,16 @@ impl ServerCore {
         ServerCore {
             scheduler: SessionScheduler::with_threads(slice_steps, threads),
             specs: BTreeMap::new(),
+            touched: BTreeMap::new(),
+            saved: BTreeMap::new(),
+            persist: None,
+            limits: ServerLimits::default(),
+            autosave_interval: Duration::from_millis(500),
+            started: Instant::now(),
+            sweeps: 0,
+            checkpoints_written: 0,
+            evictions: 0,
+            restores: 0,
         }
     }
 
@@ -49,11 +88,87 @@ impl ServerCore {
         self.scheduler.len()
     }
 
+    /// Installs resource bounds (session budget, idle TTL).
+    pub fn set_limits(&mut self, limits: ServerLimits) {
+        self.limits = limits;
+    }
+
+    /// Sets how often transports run [`ServerCore::housekeeping`].
+    pub fn set_autosave_interval(&mut self, interval: Duration) {
+        self.autosave_interval = interval.max(Duration::from_millis(1));
+    }
+
+    /// The housekeeping cadence transports should honor.
+    pub fn autosave_interval(&self) -> Duration {
+        self.autosave_interval
+    }
+
+    /// Whether this core wants a periodic housekeeping tick at all (it does
+    /// once persistence or an idle TTL is configured).
+    pub fn wants_housekeeping(&self) -> bool {
+        self.persist.is_some() || self.limits.idle_ttl.is_some()
+    }
+
+    /// Attaches a persist directory and recovers every session checkpointed
+    /// in it, in ascending saved-id order (restored sessions get fresh ids,
+    /// preserving the original order). Corrupt or torn files are logged to
+    /// stderr with their typed error and skipped — recovery never panics
+    /// and never aborts the scan. Returns `(restored, rejected)` counts.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the directory cannot be created or listed.
+    pub fn attach_persistence(
+        &mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(usize, usize), String> {
+        let persist = PersistDir::open(dir).map_err(|e| e.to_string())?;
+        let scanned = persist.scan().map_err(|e| e.to_string())?;
+        let mut restored = 0;
+        let mut rejected = 0;
+        for (path, parsed) in scanned {
+            let checkpoint = match parsed {
+                Ok(checkpoint) => checkpoint,
+                Err(error) => {
+                    eprintln!("recovery: skipping {error}");
+                    rejected += 1;
+                    continue;
+                }
+            };
+            let name = checkpoint.spec.name.clone();
+            match self.restore(checkpoint) {
+                Response::Restored { session, .. } => {
+                    // The session lives under a fresh id now; the stale file
+                    // must not resurrect a duplicate on the next restart.
+                    let _ = std::fs::remove_file(&path);
+                    if let Some(checkpoint) = self.session_checkpoint(session) {
+                        if persist.save(session, &checkpoint).is_ok() {
+                            self.mark_saved(session);
+                        }
+                    }
+                    restored += 1;
+                }
+                response => {
+                    eprintln!(
+                        "recovery: skipping {} (`{name}`): {response:?}",
+                        path.display()
+                    );
+                    rejected += 1;
+                }
+            }
+        }
+        self.persist = Some(persist);
+        Ok((restored, rejected))
+    }
+
     /// Serves one request, appending every response line to `out` (exactly
     /// one final response, preceded by any number of [`Response::Round`]
     /// stream lines). Returns `true` iff the request was [`Request::Shutdown`]
     /// and the transport should stop reading.
     pub fn handle(&mut self, request: Request, out: &mut Vec<Response>) -> bool {
+        if let Some(session) = ServerCore::named_session(&request) {
+            self.touch(session);
+        }
         match request {
             Request::Submit { spec } => out.push(self.submit(spec)),
             Request::Status { session } => out.push(self.status(session)),
@@ -66,12 +181,180 @@ impl ServerCore {
             Request::Checkpoint { session } => out.push(self.checkpoint(session)),
             Request::Restore { checkpoint } => out.push(self.restore(checkpoint)),
             Request::Sessions => out.push(self.list()),
+            Request::Stats => out.push(self.stats()),
             Request::Shutdown => {
                 out.push(Response::Bye);
                 return true;
             }
         }
         false
+    }
+
+    /// The session a request names, if any — every such request counts as
+    /// client interest for the idle-TTL clock.
+    fn named_session(request: &Request) -> Option<SessionId> {
+        match request {
+            Request::Status { session }
+            | Request::Watch { session, .. }
+            | Request::Run { session }
+            | Request::Perturb { session, .. }
+            | Request::Pause { session }
+            | Request::Resume { session }
+            | Request::Cancel { session }
+            | Request::Checkpoint { session } => Some(*session),
+            Request::Submit { .. }
+            | Request::Restore { .. }
+            | Request::Sessions
+            | Request::Stats
+            | Request::Shutdown => None,
+        }
+    }
+
+    fn touch(&mut self, session: SessionId) {
+        if self.scheduler.view(session).is_some() {
+            self.touched.insert(session, Instant::now());
+        }
+    }
+
+    /// Pumps the scheduler until `session` reaches its goal, counting the
+    /// sweeps for the `stats` verb.
+    fn drive(&mut self, session: SessionId) {
+        while self.scheduler.runnable(session) {
+            self.scheduler.sweep(&apply_perturbations);
+            self.sweeps += 1;
+        }
+    }
+
+    /// The retryable rejection when the session budget is exhausted, or
+    /// `None` while there is room.
+    fn at_budget(&self) -> Option<Response> {
+        let max = self.limits.max_sessions?;
+        (self.scheduler.len() >= max).then(|| Response::Busy {
+            message: format!(
+                "session budget {max} exhausted; retry after sessions complete, \
+                 are cancelled, or expire"
+            ),
+        })
+    }
+
+    /// One housekeeping sweep: evict idle sessions past their TTL, then
+    /// autosave every session that advanced since its last save (capturing
+    /// a fresh baseline first, so restore replay stays bounded by the
+    /// autosave interval instead of session age). Transports call this on
+    /// the [`ServerCore::autosave_interval`] cadence and once more right
+    /// before exiting. Returns `(evicted, files_written)`.
+    pub fn housekeeping(&mut self) -> (usize, usize) {
+        let now = Instant::now();
+        let mut evicted = 0;
+        if let Some(ttl) = self.limits.idle_ttl {
+            for id in self.scheduler.ids() {
+                let fresh = self
+                    .touched
+                    .get(&id)
+                    .is_some_and(|at| now.duration_since(*at) < ttl);
+                if !fresh {
+                    self.forget(id);
+                    self.evictions += 1;
+                    evicted += 1;
+                }
+            }
+        }
+        let mut written = 0;
+        if self.persist.is_none() {
+            return (evicted, written);
+        }
+        for id in self.scheduler.ids() {
+            let cursor = self.cursor(id);
+            if self.saved.get(&id) == Some(&cursor) {
+                continue;
+            }
+            // Bound future replay cost before snapshotting: the saved
+            // checkpoint carries a baseline at the current cursor.
+            self.scheduler.rebaseline(id);
+            let Some(checkpoint) = self.session_checkpoint(id) else {
+                continue;
+            };
+            match self.persist.as_ref().map(|p| p.save(id, &checkpoint)) {
+                Some(Ok(())) => {
+                    self.saved.insert(id, cursor);
+                    self.checkpoints_written += 1;
+                    written += 1;
+                }
+                Some(Err(error)) => eprintln!("autosave: {error}"),
+                None => {}
+            }
+        }
+        (evicted, written)
+    }
+
+    /// Drops every trace of a session: scheduler slot, spec, TTL clock,
+    /// autosave cursor, and checkpoint file.
+    fn forget(&mut self, session: SessionId) {
+        self.scheduler.remove(session);
+        self.specs.remove(&session);
+        self.touched.remove(&session);
+        self.saved.remove(&session);
+        if let Some(persist) = &self.persist {
+            persist.delete(session);
+        }
+    }
+
+    /// The autosave-staleness cursor: a session whose cursor is unchanged
+    /// since its last save has an up-to-date file on disk.
+    fn cursor(&self, session: SessionId) -> (u64, u64, usize) {
+        let view = self.scheduler.view(session).expect("live session");
+        let events = self
+            .specs
+            .get(&session)
+            .map_or(0, |spec| spec.perturbations.len());
+        (view.steps, view.rounds, events)
+    }
+
+    fn mark_saved(&mut self, session: SessionId) {
+        let cursor = self.cursor(session);
+        self.saved.insert(session, cursor);
+        self.checkpoints_written += 1;
+    }
+
+    /// The full restorable snapshot of one session (spec + execution
+    /// checkpoint), shared by the `checkpoint` verb and autosave.
+    fn session_checkpoint(&self, session: SessionId) -> Option<SessionCheckpoint> {
+        match (self.scheduler.checkpoint(session), self.specs.get(&session)) {
+            (Some(execution), Some(spec)) => Some(SessionCheckpoint {
+                spec: spec.clone(),
+                execution,
+            }),
+            _ => None,
+        }
+    }
+
+    fn stats(&self) -> Response {
+        let mut running = 0;
+        let mut paused = 0;
+        let mut done = 0;
+        for id in self.scheduler.ids() {
+            let view = self.scheduler.view(id).expect("listed id exists");
+            if view.done {
+                done += 1;
+            } else if view.paused {
+                paused += 1;
+            } else {
+                running += 1;
+            }
+        }
+        Response::Stats {
+            stats: ServerStats {
+                uptime_ms: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+                sessions: self.scheduler.len(),
+                running,
+                paused,
+                done,
+                sweeps: self.sweeps,
+                checkpoints_written: self.checkpoints_written,
+                evictions: self.evictions,
+                restores: self.restores,
+            },
+        }
     }
 
     fn error(message: impl Into<String>) -> Response {
@@ -103,6 +386,9 @@ impl ServerCore {
     }
 
     fn submit(&mut self, spec: ScenarioSpec) -> Response {
+        if let Some(busy) = self.at_budget() {
+            return busy;
+        }
         let execution = match ServerCore::start(&spec) {
             Ok(execution) => execution,
             Err(message) => return ServerCore::error(message),
@@ -117,6 +403,7 @@ impl ServerCore {
             n,
         };
         self.specs.insert(session, spec);
+        self.touch(session);
         response
     }
 
@@ -157,7 +444,7 @@ impl ServerCore {
         self.scheduler.set_recording(session, true);
         self.scheduler
             .set_goal(session, Goal::Rounds(view.rounds + rounds));
-        self.scheduler.drive(session, &apply_perturbations);
+        self.drive(session);
         self.scheduler.set_goal(session, Goal::Hold);
         self.scheduler.set_recording(session, false);
         for status in self.scheduler.drain_recorded(session) {
@@ -172,7 +459,7 @@ impl ServerCore {
             return;
         }
         self.scheduler.set_goal(session, Goal::Complete);
-        self.scheduler.drive(session, &apply_perturbations);
+        self.drive(session);
         out.push(self.outcome_or_status(session));
     }
 
@@ -226,8 +513,8 @@ impl ServerCore {
     }
 
     fn cancel(&mut self, session: SessionId) -> Response {
-        if self.scheduler.remove(session).is_some() {
-            self.specs.remove(&session);
+        if self.scheduler.view(session).is_some() {
+            self.forget(session);
             Response::Cancelled { session }
         } else {
             ServerCore::unknown(session)
@@ -235,19 +522,19 @@ impl ServerCore {
     }
 
     fn checkpoint(&self, session: SessionId) -> Response {
-        match (self.scheduler.checkpoint(session), self.specs.get(&session)) {
-            (Some(execution), Some(spec)) => Response::Checkpointed {
+        match self.session_checkpoint(session) {
+            Some(checkpoint) => Response::Checkpointed {
                 session,
-                checkpoint: SessionCheckpoint {
-                    spec: spec.clone(),
-                    execution,
-                },
+                checkpoint,
             },
-            _ => ServerCore::unknown(session),
+            None => ServerCore::unknown(session),
         }
     }
 
     fn restore(&mut self, checkpoint: SessionCheckpoint) -> Response {
+        if let Some(busy) = self.at_budget() {
+            return busy;
+        }
         let execution = match ServerCore::start(&checkpoint.spec) {
             Ok(execution) => execution,
             Err(message) => return ServerCore::error(message),
@@ -261,6 +548,8 @@ impl ServerCore {
         ) {
             Ok(session) => {
                 self.specs.insert(session, checkpoint.spec);
+                self.touch(session);
+                self.restores += 1;
                 let view = self.scheduler.view(session).expect("just restored");
                 Response::Restored {
                     session,
@@ -432,6 +721,134 @@ mod tests {
                 other => panic!("expected Error, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn session_budget_rejects_with_retryable_busy() {
+        let mut core = ServerCore::default();
+        core.set_limits(ServerLimits {
+            max_sessions: Some(1),
+            idle_ttl: None,
+        });
+        let first = submit(&mut core, "a");
+        match handle(&mut core, Request::Submit { spec: spec("b") }).remove(0) {
+            Response::Busy { message } => assert!(message.contains("retry")),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // Freeing a slot makes the identical request succeed: the
+        // rejection was retryable, not an error.
+        handle(&mut core, Request::Cancel { session: first });
+        submit(&mut core, "b");
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_by_housekeeping() {
+        let mut core = ServerCore::default();
+        core.set_limits(ServerLimits {
+            max_sessions: None,
+            idle_ttl: Some(Duration::ZERO),
+        });
+        submit(&mut core, "a");
+        submit(&mut core, "b");
+        let (evicted, written) = core.housekeeping();
+        assert_eq!((evicted, written), (2, 0));
+        assert_eq!(core.sessions(), 0);
+        match handle(&mut core, Request::Stats).remove(0) {
+            Response::Stats { stats } => assert_eq!(stats.evictions, 2),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_partitions_sessions_and_counts_sweeps() {
+        let mut core = ServerCore::default();
+        let a = submit(&mut core, "a");
+        let b = submit(&mut core, "b");
+        handle(&mut core, Request::Pause { session: b });
+        handle(&mut core, Request::Run { session: a });
+        match handle(&mut core, Request::Stats).remove(0) {
+            Response::Stats { stats } => {
+                assert_eq!(
+                    (stats.sessions, stats.running, stats.paused, stats.done),
+                    (2, 0, 1, 1)
+                );
+                assert!(stats.sweeps > 0, "run pumped at least one sweep");
+                assert_eq!(stats.checkpoints_written, 0, "no persistence attached");
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pm-server-core-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn autosaved_sessions_recover_byte_identically_in_a_fresh_core() {
+        let reference = {
+            let mut core = ServerCore::default();
+            let session = submit(&mut core, "a");
+            match handle(&mut core, Request::Run { session }).remove(0) {
+                Response::Done { report, .. } => report,
+                other => panic!("expected Done, got {other:?}"),
+            }
+        };
+
+        let dir = temp_dir("recover");
+        let mut crashed = ServerCore::default();
+        assert_eq!(crashed.attach_persistence(&dir).unwrap(), (0, 0));
+        let session = submit(&mut crashed, "a");
+        handle(&mut crashed, Request::Watch { session, rounds: 4 });
+        let (_, written) = crashed.housekeeping();
+        assert_eq!(written, 1, "the advanced session was autosaved");
+        let (_, rewritten) = crashed.housekeeping();
+        assert_eq!(rewritten, 0, "unchanged sessions are not rewritten");
+        drop(crashed); // SIGKILL stand-in: no shutdown, no final sweep.
+
+        // A torn file next to the good one must be rejected, not fatal.
+        std::fs::write(dir.join("session-7.json"), b"{\"Sub").unwrap();
+        let mut fresh = ServerCore::default();
+        let (restored, rejected) = fresh.attach_persistence(&dir).unwrap();
+        assert_eq!((restored, rejected), (1, 1));
+        let restored_id = match handle(&mut fresh, Request::Sessions).remove(0) {
+            Response::Sessions { sessions } => {
+                assert_eq!(sessions.len(), 1);
+                assert_eq!(sessions[0].rounds, 4, "recovery lands on the saved cursor");
+                sessions[0].session
+            }
+            other => panic!("expected Sessions, got {other:?}"),
+        };
+        match handle(
+            &mut fresh,
+            Request::Run {
+                session: restored_id,
+            },
+        )
+        .remove(0)
+        {
+            Response::Done { report, .. } => assert_eq!(report, reference),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cancel_removes_the_checkpoint_file() {
+        let dir = temp_dir("cancel");
+        let mut core = ServerCore::default();
+        core.attach_persistence(&dir).unwrap();
+        let session = submit(&mut core, "a");
+        handle(&mut core, Request::Watch { session, rounds: 2 });
+        core.housekeeping();
+        assert!(dir.join(format!("session-{session}.json")).exists());
+        handle(&mut core, Request::Cancel { session });
+        assert!(
+            !dir.join(format!("session-{session}.json")).exists(),
+            "cancelled sessions must not resurrect on restart"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -5,11 +5,35 @@
 //! every request so clients can stream. Malformed lines answer with an
 //! `Error` response and the connection keeps serving; blank lines and
 //! `#`-prefixed comment lines are ignored (scripts interleave them freely).
+//!
+//! The TCP transport is concurrent: every accepted connection gets its own
+//! thread, all of them serializing requests through one shared
+//! `Mutex<ServerCore>` (the core itself pumps sessions fairly, so one
+//! client's long `run` cannot starve another session — only delay the
+//! other client's next response). Connections read with a short timeout so
+//! slow or silent clients hold no lock and every thread notices shutdown
+//! promptly; repeated `accept` failures back off exponentially instead of
+//! spinning. Both transports run the core's housekeeping (autosave,
+//! idle-TTL eviction) on its configured cadence from a background tick
+//! thread, and once more right before exiting, so a graceful shutdown
+//! always leaves current checkpoint files behind.
 
 use crate::protocol::{Request, Response};
 use crate::server::ServerCore;
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener};
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long a connection read blocks before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Accept-error backoff bounds: doubles from the floor to the ceiling.
+const BACKOFF_FLOOR: Duration = Duration::from_millis(20);
+const BACKOFF_CEILING: Duration = Duration::from_secs(1);
 
 /// Serves one connection: reads requests from `input` until EOF or a
 /// `shutdown` verb, writing response lines to `output`. Returns `true` iff
@@ -27,70 +51,248 @@ pub fn serve(
     let mut responses = Vec::new();
     for line in input.lines() {
         let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        responses.clear();
-        let shutdown = match serde_json::from_str::<Request>(line) {
-            Ok(request) => core.handle(request, &mut responses),
-            Err(e) => {
-                responses.push(Response::Error {
-                    message: format!("malformed request: {e}"),
-                });
-                false
-            }
-        };
-        for response in &responses {
-            let json = serde_json::to_string(response)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-            writeln!(output, "{json}")?;
-        }
-        output.flush()?;
-        if shutdown {
+        if handle_line(core, &line, &mut responses, &mut output)? {
             return Ok(true);
         }
     }
     Ok(false)
 }
 
-/// Serves the core over stdin/stdout until EOF or `shutdown`.
+/// Parses and serves one request line, writing its responses. Returns
+/// `true` iff the line was a `shutdown` verb. Blank and comment lines are
+/// no-ops.
+fn handle_line(
+    core: &mut ServerCore,
+    line: &str,
+    responses: &mut Vec<Response>,
+    output: &mut impl Write,
+) -> io::Result<bool> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(false);
+    }
+    responses.clear();
+    let shutdown = match serde_json::from_str::<Request>(line) {
+        Ok(request) => core.handle(request, responses),
+        Err(e) => {
+            responses.push(Response::Error {
+                message: format!("malformed request: {e}"),
+            });
+            false
+        }
+    };
+    for response in responses.iter() {
+        let json = serde_json::to_string(response)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(output, "{json}")?;
+    }
+    output.flush()?;
+    Ok(shutdown)
+}
+
+/// The state every connection thread shares.
+struct Shared {
+    core: Mutex<ServerCore>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn new(core: ServerCore) -> Arc<Shared> {
+        Arc::new(Shared {
+            core: Mutex::new(core),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ServerCore> {
+        // A poisoned mutex means a handler panicked; the core's state is
+        // still a valid set of sessions (handlers don't leave partial
+        // state), so keep serving the remaining clients.
+        self.core
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Runs one final housekeeping sweep so shutdown leaves current
+    /// checkpoint files on disk.
+    fn final_sweep(&self) {
+        let mut core = self.lock();
+        if core.wants_housekeeping() {
+            core.housekeeping();
+        }
+    }
+
+    /// Spawns the periodic housekeeping tick, if the core wants one.
+    /// Returns the handle to join after the shutdown flag is raised.
+    fn spawn_housekeeping(self: &Arc<Self>) -> Option<thread::JoinHandle<()>> {
+        let interval = {
+            let core = self.lock();
+            core.wants_housekeeping().then(|| core.autosave_interval())
+        }?;
+        let shared = Arc::clone(self);
+        Some(thread::spawn(move || {
+            let mut due = Instant::now() + interval;
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                thread::sleep(ACCEPT_POLL.min(interval));
+                if Instant::now() >= due {
+                    shared.lock().housekeeping();
+                    due = Instant::now() + interval;
+                }
+            }
+        }))
+    }
+}
+
+/// Serves the core over stdin/stdout until EOF or `shutdown`, running
+/// housekeeping (autosave, eviction) on the core's cadence in the
+/// background and once more before returning.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the standard streams.
-pub fn serve_stdio(core: &mut ServerCore) -> io::Result<()> {
+pub fn serve_stdio(core: ServerCore) -> io::Result<()> {
+    let shared = Shared::new(core);
+    let housekeeper = shared.spawn_housekeeping();
     let stdin = io::stdin();
     let stdout = io::stdout();
-    serve(core, stdin.lock(), stdout.lock())?;
+    let mut output = stdout.lock();
+    let mut responses = Vec::new();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let shutdown = handle_line(&mut shared.lock(), &line, &mut responses, &mut output)?;
+        if shutdown {
+            break;
+        }
+    }
+    shared.shutdown.store(true, Ordering::SeqCst);
+    if let Some(housekeeper) = housekeeper {
+        let _ = housekeeper.join();
+    }
+    shared.final_sweep();
     Ok(())
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
-/// connections sequentially until one of them sends `shutdown`. Sessions
-/// persist across connections — a client may submit, disconnect, and a
-/// later connection resumes the same sessions. The bound address is
-/// announced on stderr as `listening on ADDR` (tests parse this to learn
-/// the ephemeral port).
+/// connections concurrently — one thread per connection over the shared
+/// core — until one of them sends `shutdown`. Sessions persist across
+/// connections: a client may submit, disconnect, and a later connection
+/// resumes the same sessions. The bound address is announced on stderr as
+/// `listening on ADDR` (tests parse this to learn the ephemeral port).
+///
+/// Per-connection I/O errors are logged to stderr with the peer address
+/// and drop only that connection; `accept` errors back off exponentially.
+/// On shutdown the listener stops accepting, every in-flight connection
+/// thread drains and joins, and a final housekeeping sweep persists
+/// whatever the autosave cadence had not yet written.
 ///
 /// # Errors
 ///
-/// Propagates bind and accept errors; per-connection I/O errors only drop
-/// that connection.
-pub fn serve_tcp(core: &mut ServerCore, addr: &str) -> io::Result<SocketAddr> {
+/// Propagates bind errors and listener configuration failures.
+pub fn serve_tcp(core: ServerCore, addr: &str) -> io::Result<SocketAddr> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
     eprintln!("listening on {local}");
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let reader = BufReader::new(stream.try_clone()?);
-        // A dropped client mid-request is the client's problem, not the
-        // server's: keep accepting.
-        match serve(core, reader, &stream) {
-            Ok(true) => break,
-            Ok(false) => {}
-            Err(e) => eprintln!("connection error: {e}"),
+
+    let shared = Shared::new(core);
+    let housekeeper = shared.spawn_housekeeping();
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    let mut backoff = BACKOFF_FLOOR;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                backoff = BACKOFF_FLOOR;
+                let shared = Arc::clone(&shared);
+                connections.push(thread::spawn(move || {
+                    if let Err(e) = serve_connection(&shared, stream) {
+                        // A dropped or misbehaving client is its own
+                        // problem, not the server's: log and keep serving.
+                        eprintln!("connection {peer}: {e}");
+                    }
+                }));
+                connections.retain(|handle| !handle.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(e) => {
+                eprintln!("accept error: {e} (backing off {backoff:?})");
+                thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CEILING);
+            }
         }
     }
+    for handle in connections {
+        let _ = handle.join();
+    }
+    if let Some(housekeeper) = housekeeper {
+        let _ = housekeeper.join();
+    }
+    shared.final_sweep();
     Ok(local)
+}
+
+/// Serves one TCP connection until EOF, error, or server shutdown. Reads
+/// poll with a short timeout so a slow client never holds the core lock
+/// and the thread notices shutdown raised elsewhere; a partial line
+/// survives across polls until its newline arrives.
+fn serve_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut responses = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF: client hung up (possibly mid-line).
+            Ok(_) => {
+                let shutdown = handle_line(&mut shared.lock(), &line, &mut responses, &mut writer)?;
+                line.clear();
+                if shutdown {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
+            }
+            // Timeout (reported as either kind, platform-dependent): the
+            // partial line stays buffered; go check the shutdown flag.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_scenarios::{GeneratorSpec, ScenarioSpec};
+
+    #[test]
+    fn malformed_and_comment_lines_keep_the_connection_serving() {
+        let mut core = ServerCore::default();
+        let script = "# a comment\n\nnot json\n\"Sessions\"\n";
+        let mut out = Vec::new();
+        let shutdown = serve(&mut core, script.as_bytes(), &mut out).unwrap();
+        assert!(!shutdown);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("malformed request"));
+        assert!(lines[1].contains("sessions"));
+    }
+
+    #[test]
+    fn shutdown_stops_the_stream_after_bye() {
+        let mut core = ServerCore::default();
+        let submit = serde_json::to_string(&Request::Submit {
+            spec: ScenarioSpec::new("s", GeneratorSpec::Hexagon { radius: 2 }),
+        })
+        .unwrap();
+        let script = format!("{submit}\n\"Shutdown\"\n\"Shutdown\"\n");
+        let mut out = Vec::new();
+        let shutdown = serve(&mut core, script.as_bytes(), &mut out).unwrap();
+        assert!(shutdown);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "nothing served after Bye");
+        assert!(lines[1].contains("Bye"));
+    }
 }

@@ -101,6 +101,24 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's internal state words, for external persistence.
+        ///
+        /// Upstream `rand` has no such accessor; this vendored stand-in
+        /// exposes one so the workspace can snapshot a mid-stream generator
+        /// and later resume the *identical* stream via [`StdRng::from_state`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words captured by
+        /// [`StdRng::state`]. The restored generator continues the exact
+        /// output stream of the captured one.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -151,6 +169,18 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(8);
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_identical_stream() {
+        let mut original = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            original.next_u64();
+        }
+        let mut resumed = StdRng::from_state(original.state());
+        for _ in 0..100 {
+            assert_eq!(original.next_u64(), resumed.next_u64());
+        }
     }
 
     #[test]
