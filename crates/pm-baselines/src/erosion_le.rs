@@ -99,7 +99,7 @@ enum ErosionState {
     Start,
     Rounds,
     Finish,
-    Done(RunReport),
+    Done(Box<RunReport>),
 }
 
 /// The resumable state machine behind [`ErosionLeaderElection`]'s
@@ -244,11 +244,12 @@ impl<S: Scheduler> ExecutionDriver for ErosionExecution<S> {
                     },
                     final_connected,
                     final_positions,
+                    profile: Vec::new(),
                 };
-                self.state = ErosionState::Done(report.clone());
+                self.state = ErosionState::Done(Box::new(report.clone()));
                 Ok(StepOutcome::Finished(report))
             }
-            ErosionState::Done(report) => Ok(StepOutcome::Finished(report.clone())),
+            ErosionState::Done(report) => Ok(StepOutcome::Finished((**report).clone())),
         }
     }
 

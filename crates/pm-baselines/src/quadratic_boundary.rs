@@ -41,7 +41,7 @@ enum QuadraticState {
     Start,
     Run,
     Finish,
-    Done(RunReport),
+    Done(Box<RunReport>),
 }
 
 /// The resumable state machine behind [`QuadraticBoundary`]'s
@@ -133,11 +133,12 @@ impl ExecutionDriver for QuadraticExecution<'_> {
                     // Boundary election never moves particles.
                     final_connected: true,
                     final_positions: self.shape.iter().collect(),
+                    profile: Vec::new(),
                 };
-                self.state = QuadraticState::Done(report.clone());
+                self.state = QuadraticState::Done(Box::new(report.clone()));
                 Ok(StepOutcome::Finished(report))
             }
-            QuadraticState::Done(report) => Ok(StepOutcome::Finished(report.clone())),
+            QuadraticState::Done(report) => Ok(StepOutcome::Finished((**report).clone())),
         }
     }
 

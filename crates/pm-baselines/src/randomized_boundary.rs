@@ -88,7 +88,7 @@ enum RandomizedState {
     StartFlood,
     RunFlood,
     Finish,
-    Done(RunReport),
+    Done(Box<RunReport>),
 }
 
 /// The resumable state machine behind [`RandomizedBoundary`]'s
@@ -196,11 +196,12 @@ impl ExecutionDriver for RandomizedExecution<'_> {
                     // Boundary election never moves particles.
                     final_connected: true,
                     final_positions: self.shape.iter().collect(),
+                    profile: Vec::new(),
                 };
-                self.state = RandomizedState::Done(report.clone());
+                self.state = RandomizedState::Done(Box::new(report.clone()));
                 Ok(StepOutcome::Finished(report))
             }
-            RandomizedState::Done(report) => Ok(StepOutcome::Finished(report.clone())),
+            RandomizedState::Done(report) => Ok(StepOutcome::Finished((**report).clone())),
         }
     }
 

@@ -1,0 +1,134 @@
+//! Telemetry overhead check: the same full election (`OBD → DLE →
+//! Collect`) stepped through the `Execution` handle with per-phase
+//! profiling disabled vs enabled, on the ball family up to `max_n`.
+//!
+//! Profiling is the only telemetry that sits on the per-step hot path (one
+//! `Instant::now()` pair per step plus a phase-table update); everything
+//! else in `pm-telemetry` records per request or per sweep. The disabled
+//! path must stay a single `Option` check, and the enabled path must stay
+//! within a ~2% wall-clock regression on ball-10k — this binary measures
+//! both and merges a `telemetry_overhead` section into
+//! `BENCH_results.json` without touching the throughput sections.
+//!
+//! Usage: `cargo run --release -p pm-bench --bin telemetry_overhead [max_n]`
+//! (`max_n` caps the scenario size; CI smoke runs pass a small value).
+
+use pm_amoebot::scheduler::SeededRandom;
+use pm_bench::arg_or;
+use pm_core::api::{LeaderElection, PaperPipeline, RunOptions, RunReport};
+use pm_grid::Shape;
+use pm_scenarios::GeneratorSpec;
+use serde_json::Value;
+use std::time::Instant;
+
+/// The ball family at n ≈ 100 / 1k / 10k, as in the throughput bench.
+const BALLS: [(&str, GeneratorSpec); 3] = [
+    ("ball-100", GeneratorSpec::Hexagon { radius: 5 }),
+    ("ball-1k", GeneratorSpec::Hexagon { radius: 18 }),
+    ("ball-10k", GeneratorSpec::Hexagon { radius: 57 }),
+];
+
+/// One full election through the steppable handle; profiling per `profile`.
+fn timed_run(shape: &Shape, profile: bool) -> (RunReport, f64) {
+    let mut execution = PaperPipeline
+        .start_owned(
+            shape,
+            Box::new(SeededRandom::new(7)),
+            &RunOptions::default(),
+        )
+        .expect("election starts on a connected shape");
+    if profile {
+        execution.enable_profiling();
+    }
+    let start = Instant::now();
+    let report = execution.finish().expect("election succeeds");
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let max_n = arg_or(10_000);
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<12} {:>6} {:>12} {:>12} {:>10}",
+        "scenario", "n", "plain_ms", "profiled_ms", "overhead"
+    );
+    for (label, spec) in BALLS {
+        let shape = spec.build();
+        if shape.len() > max_n as usize {
+            continue;
+        }
+        let reps = if shape.len() <= 2_000 { 20 } else { 7 };
+        // Interleave the two modes so drift (thermal, cache) hits both;
+        // take the minimum of each, the standard noise floor estimate.
+        let mut plain = f64::INFINITY;
+        let mut profiled = f64::INFINITY;
+        for _ in 0..reps {
+            let (plain_report, secs) = timed_run(&shape, false);
+            plain = plain.min(secs);
+            let (profiled_report, secs) = timed_run(&shape, true);
+            profiled = profiled.min(secs);
+            assert!(plain_report.profile.is_empty());
+            assert_eq!(
+                profiled_report.profile.len(),
+                profiled_report.phases.len(),
+                "one profile entry per phase"
+            );
+            assert_eq!(
+                plain_report, profiled_report,
+                "profiling changed the election outcome"
+            );
+        }
+        let overhead_pct = (profiled - plain) / plain.max(1e-9) * 100.0;
+        println!(
+            "{:<12} {:>6} {:>12.2} {:>12.2} {:>9.2}%",
+            label,
+            shape.len(),
+            plain * 1e3,
+            profiled * 1e3,
+            overhead_pct
+        );
+        rows.push(Value::Object(vec![
+            ("label".to_string(), Value::Str(label.to_string())),
+            ("n".to_string(), Value::UInt(shape.len() as u64)),
+            ("plain_ms".to_string(), Value::Float(plain * 1e3)),
+            ("profiled_ms".to_string(), Value::Float(profiled * 1e3)),
+            (
+                "overhead_pct".to_string(),
+                Value::Float((overhead_pct * 100.0).round() / 100.0),
+            ),
+        ]));
+    }
+
+    let section = Value::Object(vec![
+        (
+            "benchmark".to_string(),
+            Value::Str(
+                "execution profiling enabled vs disabled (full election, SeededRandom(7))"
+                    .to_string(),
+            ),
+        ),
+        ("budget_pct".to_string(), Value::Float(2.0)),
+        ("results".to_string(), Value::Array(rows)),
+    ]);
+
+    // Merge into BENCH_results.json without disturbing the throughput
+    // sections (the file may not exist yet on a fresh checkout).
+    let out_path = repo_root.join("BENCH_results.json");
+    let mut root = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok())
+        .and_then(|value| match value {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        })
+        .unwrap_or_default();
+    root.retain(|(key, _)| key != "telemetry_overhead");
+    root.push(("telemetry_overhead".to_string(), section));
+    let text = serde_json::to_string_pretty(&Value::Object(root)).expect("results serialize");
+    std::fs::write(&out_path, text + "\n").expect("write BENCH_results.json");
+    println!("wrote {}", out_path.display());
+}

@@ -204,6 +204,31 @@ pub struct PhaseReport {
     pub moves: u64,
 }
 
+/// Wall-clock profile of one phase of a *profiled* execution — the
+/// out-of-band companion to [`PhaseReport`], produced only when the caller
+/// opted in via [`Execution::enable_profiling`].
+///
+/// Profiles ride along on [`RunReport::profile`] but are **excluded from
+/// serialization** (`#[serde(skip)]`): wall-clock timings differ run to
+/// run, and serialized reports are golden-diffed byte-for-byte. A
+/// deserialized report therefore always carries an empty profile.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Phase name (see [`phase`]).
+    pub name: String,
+    /// [`Execution::step_round`] calls charged to the phase, boundary steps
+    /// included.
+    pub steps: u64,
+    /// Rounds the phase reported (mirrors [`PhaseReport::rounds`]).
+    pub rounds: u64,
+    /// Activations the phase reported (mirrors [`PhaseReport::activations`]).
+    pub activations: u64,
+    /// Moves the phase reported (mirrors [`PhaseReport::moves`]).
+    pub moves: u64,
+    /// Wall-clock nanoseconds spent inside the phase's steps.
+    pub wall_nanos: u64,
+}
+
 /// Connectivity observations of a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConnectivityReport {
@@ -219,7 +244,12 @@ pub struct ConnectivityReport {
 }
 
 /// The uniform, serializable result of any [`LeaderElection`] run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Equality ignores [`RunReport::profile`]: profiles carry wall-clock
+/// timings, and two executions of the same scenario must compare equal
+/// whether or not either was profiled (checkpoint-restore tests rely on
+/// exactly this).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RunReport {
     /// The algorithm's [`LeaderElection::name`].
     pub algorithm: String,
@@ -258,6 +288,33 @@ pub struct RunReport {
     pub final_connected: bool,
     /// Final particle positions.
     pub final_positions: Vec<Point>,
+    /// Per-phase wall-clock profile, populated only by profiled executions
+    /// ([`Execution::enable_profiling`]); empty otherwise. Never serialized
+    /// — see [`PhaseProfile`].
+    #[serde(skip)]
+    pub profile: Vec<PhaseProfile>,
+}
+
+impl PartialEq for RunReport {
+    /// Field-wise equality over every *deterministic* field; the wall-clock
+    /// [`RunReport::profile`] is deliberately excluded.
+    fn eq(&self, other: &RunReport) -> bool {
+        self.algorithm == other.algorithm
+            && self.scheduler == other.scheduler
+            && self.n == other.n
+            && self.leader == other.leader
+            && self.leaders == other.leaders
+            && self.followers == other.followers
+            && self.undecided == other.undecided
+            && self.phases == other.phases
+            && self.total_rounds == other.total_rounds
+            && self.activations == other.activations
+            && self.moves == other.moves
+            && self.peak_memory_bits == other.peak_memory_bits
+            && self.connectivity == other.connectivity
+            && self.final_connected == other.final_connected
+            && self.final_positions == other.final_positions
+    }
 }
 
 impl RunReport {
@@ -494,6 +551,54 @@ pub trait ExecutionDriver {
 /// them from worker threads; see [`crate::session::SessionScheduler`].
 pub struct Execution<'a> {
     driver: Box<dyn ExecutionDriver + Send + 'a>,
+    /// Per-phase wall-clock accounting, present only after
+    /// [`Execution::enable_profiling`] — the disabled path adds no timing
+    /// call and no branch beyond one `Option` check.
+    profiler: Option<Profiler>,
+}
+
+/// The profiling state of a profiled [`Execution`]: phase profiles in
+/// execution order, with the index of the phase currently running.
+#[derive(Default)]
+struct Profiler {
+    phases: Vec<PhaseProfile>,
+    current: Option<usize>,
+}
+
+impl Profiler {
+    /// Charges one completed step (its outcome and wall time) to the
+    /// profile, and stamps the accumulated profile into finished reports.
+    fn record(&mut self, outcome: &mut StepOutcome, wall_nanos: u64) {
+        match outcome {
+            StepOutcome::PhaseStarted { phase } => {
+                self.phases.push(PhaseProfile {
+                    name: (*phase).to_string(),
+                    steps: 1,
+                    wall_nanos,
+                    ..PhaseProfile::default()
+                });
+                self.current = Some(self.phases.len() - 1);
+            }
+            StepOutcome::RoundCompleted { .. } => {
+                if let Some(profile) = self.current.and_then(|i| self.phases.get_mut(i)) {
+                    profile.steps += 1;
+                    profile.wall_nanos += wall_nanos;
+                }
+            }
+            StepOutcome::PhaseEnded { report } => {
+                if let Some(profile) = self.current.take().and_then(|i| self.phases.get_mut(i)) {
+                    profile.steps += 1;
+                    profile.wall_nanos += wall_nanos;
+                    profile.rounds = report.rounds;
+                    profile.activations = report.activations;
+                    profile.moves = report.moves;
+                }
+            }
+            StepOutcome::Finished(report) => {
+                report.profile = self.phases.clone();
+            }
+        }
+    }
 }
 
 impl<'a> Execution<'a> {
@@ -502,7 +607,34 @@ impl<'a> Execution<'a> {
     pub fn new(driver: impl ExecutionDriver + Send + 'a) -> Execution<'a> {
         Execution {
             driver: Box::new(driver),
+            profiler: None,
         }
+    }
+
+    /// Turns on per-phase wall-clock profiling: from now on every
+    /// [`Execution::step_round`] is timed and charged to the active phase,
+    /// and the final report's [`RunReport::profile`] carries one
+    /// [`PhaseProfile`] per executed phase. Telemetry is out-of-band by
+    /// contract — profiling never changes the election's outcome, its
+    /// serialized bytes, or its checkpoint/replay behavior (restored
+    /// executions re-profile their own replay). Idempotent.
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Profiler::default());
+        }
+    }
+
+    /// Whether [`Execution::enable_profiling`] was called.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// The per-phase profile accumulated so far (the running phase's entry
+    /// updates step by step). Empty unless profiling is enabled.
+    pub fn profile(&self) -> &[PhaseProfile] {
+        self.profiler
+            .as_ref()
+            .map_or(&[], |profiler| profiler.phases.as_slice())
     }
 
     /// Advances the run by one step: a phase boundary, one asynchronous
@@ -515,7 +647,14 @@ impl<'a> Execution<'a> {
     /// The same errors as [`LeaderElection::elect`], surfaced at the step
     /// that hits them.
     pub fn step_round(&mut self) -> Result<StepOutcome, ElectionError> {
-        self.driver.step()
+        let Some(profiler) = self.profiler.as_mut() else {
+            return self.driver.step();
+        };
+        let started = std::time::Instant::now();
+        let mut outcome = self.driver.step()?;
+        let wall_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        profiler.record(&mut outcome, wall_nanos);
+        Ok(outcome)
     }
 
     /// The current status snapshot: phase, round counters, decided and
@@ -719,7 +858,7 @@ enum PipelineState {
     StartCollect,
     RunCollect,
     Finish,
-    Done(RunReport),
+    Done(Box<RunReport>),
 }
 
 /// The serialized form of a [`PipelineExecution`] mid-run: everything that
@@ -936,11 +1075,12 @@ impl<S: Scheduler> ExecutionDriver for PipelineExecution<'_, S> {
                     },
                     final_connected,
                     final_positions,
+                    profile: Vec::new(),
                 };
-                self.state = PipelineState::Done(report.clone());
+                self.state = PipelineState::Done(Box::new(report.clone()));
                 Ok(StepOutcome::Finished(report))
             }
-            PipelineState::Done(report) => Ok(StepOutcome::Finished(report.clone())),
+            PipelineState::Done(report) => Ok(StepOutcome::Finished((**report).clone())),
         }
     }
 
@@ -1013,7 +1153,7 @@ impl<S: Scheduler> ExecutionDriver for PipelineExecution<'_, S> {
             PipelineState::StartCollect => ("start-collect", None),
             PipelineState::RunCollect => ("run-collect", None),
             PipelineState::Finish => ("finish", None),
-            PipelineState::Done(report) => ("done", Some(report.clone())),
+            PipelineState::Done(report) => ("done", Some((**report).clone())),
         };
         let runner = if matches!(self.state, PipelineState::RunDle) {
             Some(
@@ -1050,9 +1190,9 @@ impl<S: Scheduler> ExecutionDriver for PipelineExecution<'_, S> {
             "start-collect" => PipelineState::StartCollect,
             "run-collect" => PipelineState::RunCollect,
             "finish" => PipelineState::Finish,
-            "done" => {
-                PipelineState::Done(snap.done.ok_or("`done` snapshot carries no final report")?)
-            }
+            "done" => PipelineState::Done(Box::new(
+                snap.done.ok_or("`done` snapshot carries no final report")?,
+            )),
             other => return Err(format!("unknown pipeline snapshot state `{other}`")),
         };
         match &state {
@@ -1530,5 +1670,67 @@ mod tests {
             assert!(report.peak_memory_bits >= DLE_MEMORY_BITS);
             assert_eq!(report.moves, report.phases.iter().map(|p| p.moves).sum());
         }
+    }
+
+    #[test]
+    fn profiling_mirrors_the_phase_reports_without_changing_the_outcome() {
+        let shape = annulus(4, 1);
+        let mut scheduler = SeededRandom::new(3);
+        let opts = RunOptions::default();
+        let mut execution = PaperPipeline.start(&shape, &mut scheduler, &opts).unwrap();
+        assert!(!execution.profiling_enabled());
+        execution.enable_profiling();
+        execution.enable_profiling(); // idempotent
+        assert!(execution.profiling_enabled());
+        let profiled = execution.finish().unwrap();
+
+        let mut scheduler = SeededRandom::new(3);
+        let plain = PaperPipeline
+            .start(&shape, &mut scheduler, &opts)
+            .unwrap()
+            .finish()
+            .unwrap();
+        assert!(plain.profile.is_empty());
+        // Telemetry is out-of-band: the deterministic fields (everything
+        // PartialEq compares) are untouched by profiling.
+        assert_eq!(profiled, plain);
+
+        // One profile entry per executed phase, agreeing with the
+        // deterministic per-phase counters; every step was timed.
+        assert_eq!(profiled.profile.len(), profiled.phases.len());
+        for (profile, phase) in profiled.profile.iter().zip(&profiled.phases) {
+            assert_eq!(profile.name, phase.name);
+            assert_eq!(profile.rounds, phase.rounds);
+            assert_eq!(profile.activations, phase.activations);
+            assert_eq!(profile.moves, phase.moves);
+            // PhaseStarted + the phase body + PhaseEnded.
+            assert!(profile.steps >= 2);
+        }
+    }
+
+    #[test]
+    fn profiles_stay_out_of_the_serialized_report() {
+        let shape = hexagon(2);
+        let mut scheduler = SeededRandom::new(0);
+        let mut execution = PaperPipeline
+            .start(&shape, &mut scheduler, &RunOptions::default())
+            .unwrap();
+        execution.enable_profiling();
+        let report = execution.finish().unwrap();
+        assert!(!report.profile.is_empty());
+
+        let value = serde::Serialize::to_value(&report);
+        if let serde::Value::Object(entries) = &value {
+            assert!(
+                entries.iter().all(|(key, _)| key != "profile"),
+                "profile must not leak into serialized reports"
+            );
+        } else {
+            panic!("reports serialize to objects");
+        }
+        let restored: RunReport = serde::Deserialize::from_value(&value).unwrap();
+        assert!(restored.profile.is_empty());
+        // Equality ignores the (non-deterministic, wall-clock) profile.
+        assert_eq!(restored, report);
     }
 }

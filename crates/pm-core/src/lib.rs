@@ -51,12 +51,12 @@ pub mod session;
 
 pub use api::{
     Election, ElectionBuilder, ElectionError, LeaderElection, NoopObserver, PaperPipeline,
-    PhaseReport, RunObserver, RunOptions, RunReport,
+    PhaseProfile, PhaseReport, RunObserver, RunOptions, RunReport,
 };
 pub use batch::{BatchJob, BatchRunner, BatchScenario, SchedulerSpec};
 pub use collect::{CollectOutcome, CollectSimulator};
 pub use dle::{DleAlgorithm, DleMemory, DleOutcome, Status};
 pub use obd::{CompetitionCostModel, ObdOutcome, ObdSimulator};
 pub use session::{
-    ExecutionCheckpoint, Goal, RestoreError, SessionId, SessionScheduler, SessionView,
+    ExecutionCheckpoint, Goal, RestoreError, SessionId, SessionScheduler, SessionView, SweepTotals,
 };

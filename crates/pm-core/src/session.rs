@@ -285,6 +285,24 @@ pub struct SessionScheduler<P = ()> {
     next_id: SessionId,
     slice_steps: u64,
     threads: usize,
+    totals: SweepTotals,
+}
+
+/// Cumulative sweep accounting, kept by the scheduler across its lifetime.
+/// Deterministic (no wall-clock — callers time sweeps themselves if they
+/// want latency), so it is safe to read anywhere without perturbing
+/// byte-reproducible runs. `slices / sweeps` is the mean number of sessions
+/// granted a slice per sweep — the fairness denominator a server's
+/// telemetry reports alongside sweep latency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepTotals {
+    /// Sweeps performed ([`SessionScheduler::sweep`] calls).
+    pub sweeps: u64,
+    /// Execution steps performed across all sweeps.
+    pub steps: u64,
+    /// Session-slices granted: one per runnable session per sweep,
+    /// whether or not the session used its whole step budget.
+    pub slices: u64,
 }
 
 /// The hook type sweeps thread through to every step: called with the
@@ -311,7 +329,13 @@ impl<P: Send> SessionScheduler<P> {
             next_id: 1,
             slice_steps: slice_steps.max(1),
             threads: threads.max(1),
+            totals: SweepTotals::default(),
         }
+    }
+
+    /// Cumulative sweep accounting since the scheduler was created.
+    pub fn sweep_totals(&self) -> SweepTotals {
+        self.totals
     }
 
     /// Number of live sessions (any goal, paused or not).
@@ -460,32 +484,39 @@ impl<P: Send> SessionScheduler<P> {
             .values_mut()
             .filter(|slot| slot.runnable())
             .collect();
+        let granted = runnable.len() as u64;
         let workers = self.threads.min(runnable.len());
-        if workers <= 1 {
-            return runnable
+        let steps = if workers <= 1 {
+            runnable
                 .iter_mut()
                 .map(|slot| slot.advance(slice, hook))
-                .sum();
-        }
-        // Contiguous shards: any partition yields identical results because
-        // sessions never interact — the shard boundary is pure wall-clock.
-        let shard = runnable.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            runnable
-                .chunks_mut(shard)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter_mut()
-                            .map(|slot| slot.advance(slice, hook))
-                            .sum::<u64>()
-                    })
-                })
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|handle| handle.join().expect("sweep workers do not panic"))
                 .sum()
-        })
+        } else {
+            // Contiguous shards: any partition yields identical results
+            // because sessions never interact — the shard boundary is pure
+            // wall-clock.
+            let shard = runnable.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                runnable
+                    .chunks_mut(shard)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter_mut()
+                                .map(|slot| slot.advance(slice, hook))
+                                .sum::<u64>()
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|handle| handle.join().expect("sweep workers do not panic"))
+                    .sum()
+            })
+        };
+        self.totals.sweeps += 1;
+        self.totals.steps += steps;
+        self.totals.slices += granted;
+        steps
     }
 
     /// Sweeps until the given session stops being runnable (goal reached,
@@ -952,5 +983,46 @@ mod tests {
         assert!(scheduler.status(id).is_none());
         assert!(!scheduler.runnable(id));
         assert_eq!(scheduler.drive(id, &no_hook), 0);
+    }
+
+    #[test]
+    fn sweep_totals_account_every_sweep_step_and_slice() {
+        let mut scheduler: SessionScheduler = SessionScheduler::new(4);
+        assert_eq!(scheduler.sweep_totals(), SweepTotals::default());
+
+        let a = scheduler.admit(start(1), ());
+        let b = scheduler.admit(start(2), ());
+        scheduler.set_goal(a, Goal::Complete);
+        scheduler.set_goal(b, Goal::Complete);
+
+        // Two runnable sessions, each stepped its full budget.
+        let steps = scheduler.sweep(&no_hook);
+        let totals = scheduler.sweep_totals();
+        assert_eq!(
+            totals,
+            SweepTotals {
+                sweeps: 1,
+                steps,
+                slices: 2
+            }
+        );
+
+        // Drain both sessions; every later sweep keeps the books balanced.
+        let mut expected = totals;
+        loop {
+            let granted = u64::from(scheduler.runnable(a)) + u64::from(scheduler.runnable(b));
+            let steps = scheduler.sweep(&no_hook);
+            expected = SweepTotals {
+                sweeps: expected.sweeps + 1,
+                steps: expected.steps + steps,
+                slices: expected.slices + granted,
+            };
+            assert_eq!(scheduler.sweep_totals(), expected);
+            if steps == 0 {
+                break;
+            }
+        }
+        // An idle sweep still counts as a sweep but grants no slices.
+        assert_eq!(scheduler.sweep_totals().sweeps, expected.sweeps);
     }
 }

@@ -5,7 +5,7 @@
 //! pm-scenarios suites [--corpus FILE]
 //! pm-scenarios render <name>  [--corpus FILE]
 //! pm-scenarios run <suite>    [--corpus FILE] [--threads N] [--out FILE]
-//! pm-scenarios trace <name>   [--corpus FILE] [--json]
+//! pm-scenarios trace <name>   [--corpus FILE] [--json] [--profile]
 //! pm-scenarios serve  [--stdio | --tcp ADDR] [--slice N] [--threads N]
 //!                     [--persist-dir DIR] [--autosave-ms N] [--ttl-ms N]
 //!                     [--max-sessions N]
@@ -34,6 +34,15 @@
 //! sets the housekeeping cadence; `--ttl-ms N` evicts sessions no request
 //! has touched for N milliseconds; `--max-sessions N` rejects `submit` and
 //! `restore` with the retryable `Busy` response once N sessions are live.
+//!
+//! Observability: every subcommand accepts `--log-level
+//! error|warn|info|debug` (default `info`) and `--log-json` (JSON-lines
+//! log records on stderr instead of human text). `trace --profile` times
+//! each phase through the execution's profiler and prints a per-phase
+//! table (with `--json`, one extra JSON line holding the `PhaseProfile`
+//! array). A running server exposes the full metric registry via the
+//! protocol's `metrics` verb — JSON and Prometheus text exposition from
+//! one snapshot; see PROTOCOL.md.
 
 use pm_amoebot::ascii::render_shape;
 use pm_core::api::StepOutcome;
@@ -42,6 +51,7 @@ use pm_scenarios::{
     report_json, run_suite, select, suite_tags, GeneratorSpec, PerturbationScript, ScenarioSpec,
 };
 use pm_server::{Request, Response, ServerCore, ServerLimits};
+use pm_telemetry::{info, logging, Level};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -58,6 +68,9 @@ struct Args {
     threads: usize,
     slice: u64,
     json: bool,
+    profile: bool,
+    log_level: Level,
+    log_json: bool,
     persist_dir: Option<PathBuf>,
     autosave_ms: u64,
     ttl_ms: Option<u64>,
@@ -68,10 +81,11 @@ struct Args {
 
 const USAGE: &str =
     "usage: pm-scenarios <list|suites|render <name>|run <suite>|trace <name>|serve|client|load|regen> \
-                     [--corpus FILE] [--threads N] [--out FILE] [--json] \
+                     [--corpus FILE] [--threads N] [--out FILE] [--json] [--profile] \
                      [--stdio] [--tcp ADDR] [--slice N] [--script FILE] \
                      [--persist-dir DIR] [--autosave-ms N] [--ttl-ms N] [--max-sessions N] \
-                     [--sessions N] [--clients N]";
+                     [--sessions N] [--clients N] \
+                     [--log-level error|warn|info|debug] [--log-json]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
@@ -86,6 +100,9 @@ fn parse_args() -> Result<Args, String> {
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         slice: 64,
         json: false,
+        profile: false,
+        log_level: Level::Info,
+        log_json: false,
         persist_dir: None,
         autosave_ms: 500,
         ttl_ms: None,
@@ -133,6 +150,13 @@ fn parse_args() -> Result<Args, String> {
             "--sessions" => parsed.sessions = number(args.next(), "--sessions")?,
             "--clients" => parsed.clients = number(args.next(), "--clients")?,
             "--json" => parsed.json = true,
+            "--profile" => parsed.profile = true,
+            "--log-level" => {
+                let level = args.next().ok_or("--log-level needs a level")?;
+                parsed.log_level =
+                    Level::parse(&level).ok_or(format!("--log-level: unknown level `{level}`"))?;
+            }
+            "--log-json" => parsed.log_json = true,
             other if parsed.operand.is_none() && !other.starts_with("--") => {
                 parsed.operand = Some(other.to_string())
             }
@@ -251,7 +275,7 @@ fn cmd_run(specs: &[ScenarioSpec], args: &Args, suite: &str) -> Result<(), Strin
 /// carries one `ExecutionStatus` JSON line per completed round (the shape
 /// the server's `watch` verb streams) and the final `RunReport` JSON line;
 /// the human framing moves to stderr.
-fn cmd_trace(specs: &[ScenarioSpec], name: &str, json: bool) -> Result<(), String> {
+fn cmd_trace(specs: &[ScenarioSpec], name: &str, json: bool, profile: bool) -> Result<(), String> {
     let spec = specs
         .iter()
         .find(|s| s.name == name)
@@ -284,6 +308,9 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str, json: bool) -> Result<(), Strin
         .instance()
         .start(&shape, &mut *scheduler, &spec.options)
         .map_err(|e| format!("start: {e}"))?;
+    if profile {
+        execution.enable_profiling();
+    }
     let mut script = PerturbationScript::new(spec.perturbations.clone());
     let report = loop {
         // The caller owns the loop: fire due events against the live
@@ -333,6 +360,13 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str, json: bool) -> Result<(), Strin
     if json {
         let line = serde_json::to_string(&report).map_err(|e| format!("serialize report: {e}"))?;
         println!("{line}");
+        // The report line never carries the profile (telemetry is
+        // out-of-band), so --profile appends it as its own JSON line.
+        if profile {
+            let line = serde_json::to_string(&report.profile)
+                .map_err(|e| format!("serialize profile: {e}"))?;
+            println!("{line}");
+        }
         return Ok(());
     }
     if script.fired() > 0 {
@@ -357,6 +391,23 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str, json: bool) -> Result<(), Strin
         report.final_positions.len(),
         report.peak_memory_bits
     );
+    if profile {
+        println!(
+            "profile: {:<12} {:>8} {:>8} {:>12} {:>8} {:>12}",
+            "phase", "steps", "rounds", "activations", "moves", "wall µs"
+        );
+        for phase in &report.profile {
+            println!(
+                "profile: {:<12} {:>8} {:>8} {:>12} {:>8} {:>12}",
+                phase.name,
+                phase.steps,
+                phase.rounds,
+                phase.activations,
+                phase.moves,
+                phase.wall_nanos / 1_000
+            );
+        }
+    }
     Ok(())
 }
 
@@ -371,7 +422,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     core.set_autosave_interval(Duration::from_millis(args.autosave_ms.max(1)));
     if let Some(dir) = &args.persist_dir {
         let (restored, rejected) = core.attach_persistence(dir.clone())?;
-        eprintln!(
+        info!(
+            "pm_scenarios::serve",
             "recovered {restored} session(s) from {} ({rejected} rejected)",
             dir.display()
         );
@@ -410,6 +462,11 @@ fn serve_command(args: &Args) -> Result<Vec<String>, String> {
     if let Some(max) = args.max_sessions {
         command.push("--max-sessions".to_string());
         command.push(max.to_string());
+    }
+    command.push("--log-level".to_string());
+    command.push(args.log_level.as_str().to_string());
+    if args.log_json {
+        command.push("--log-json".to_string());
     }
     Ok(command)
 }
@@ -513,8 +570,10 @@ fn cmd_load(args: &Args) -> Result<(), String> {
     let mut addr = None;
     for line in stderr.lines() {
         let line = line.map_err(|e| format!("read server stderr: {e}"))?;
-        if let Some(rest) = line.strip_prefix("listening on ") {
-            addr = Some(rest.trim().to_string());
+        // The announcement is a log line now, so match the substring
+        // rather than the whole line.
+        if let Some(at) = line.find("listening on ") {
+            addr = Some(line[at + "listening on ".len()..].trim().to_string());
             break;
         }
     }
@@ -605,6 +664,19 @@ fn cmd_load(args: &Args) -> Result<(), String> {
             stats.sessions
         ));
     }
+    if stats.bytes_read == 0 || stats.bytes_written == 0 {
+        return Err(format!(
+            "byte accounting broken: {} read / {} written after {completed} sessions",
+            stats.bytes_read, stats.bytes_written
+        ));
+    }
+    // The control connection that asked for the stats is still open.
+    if stats.active_connections < 1 {
+        return Err(format!(
+            "connection accounting broken: {} active at stats time",
+            stats.active_connections
+        ));
+    }
     if !status.success() {
         return Err(format!("server exited with {status}"));
     }
@@ -646,6 +718,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    logging::init(args.log_level, args.log_json);
     let result = match args.command.as_str() {
         "regen" => cmd_regen(),
         "serve" => cmd_serve(&args),
@@ -669,7 +742,7 @@ fn main() -> ExitCode {
                 ("render", None) => Err("render needs a scenario name".to_string()),
                 ("run", Some(suite)) => cmd_run(&specs, &args, suite),
                 ("run", None) => Err("run needs a suite name (try `smoke` or `all`)".to_string()),
-                ("trace", Some(name)) => cmd_trace(&specs, name, args.json),
+                ("trace", Some(name)) => cmd_trace(&specs, name, args.json, args.profile),
                 ("trace", None) => Err("trace needs a scenario name".to_string()),
                 (other, _) => Err(format!("unknown command `{other}`\n{USAGE}")),
             },

@@ -9,8 +9,9 @@
 //!
 //! * [`protocol`] — the line-delimited JSON [`Request`]/[`Response`] verbs
 //!   (`submit`, `status`, `watch`, `run`, `perturb`, `pause`, `resume`,
-//!   `cancel`, `checkpoint`, `restore`, `sessions`, `stats`, `shutdown`),
-//!   documented with examples in `PROTOCOL.md` at the repository root.
+//!   `cancel`, `checkpoint`, `restore`, `sessions`, `stats`, `metrics`,
+//!   `shutdown`), documented with examples in `PROTOCOL.md` at the
+//!   repository root.
 //! * [`server`] — [`ServerCore`]: the transport-agnostic request handler
 //!   multiplexing every live session through one fair scheduler, so no
 //!   session starves another while a request pumps. The core also owns the
@@ -23,6 +24,10 @@
 //! * [`transport`] — the stdio and TCP servers (std-only, fully offline).
 //!   TCP serves every connection on its own thread over the shared core,
 //!   with read timeouts, accept-error backoff, and graceful shutdown.
+//! * [`telemetry`] — the shared [`pm_telemetry`] registry and its
+//!   hot-path handles: per-verb latency histograms, sweep and checkpoint
+//!   timings, byte and connection counters, and harvested per-phase
+//!   election profiles, all scrapeable via the `metrics` verb.
 //! * [`client`] — the scripted client behind `pm-scenarios client`:
 //!   replays a `.jsonl` request script against server child processes,
 //!   restarting them on demand to prove checkpoints survive process death.
@@ -36,10 +41,12 @@ pub mod client;
 pub mod persist;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 pub mod transport;
 
 pub use client::run_script;
 pub use persist::{PersistDir, PersistError};
 pub use protocol::{Request, Response, ServerStats, SessionCheckpoint, SessionSummary};
 pub use server::{ServerCore, ServerLimits};
+pub use telemetry::ServerTelemetry;
 pub use transport::{serve, serve_stdio, serve_tcp};

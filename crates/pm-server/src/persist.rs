@@ -87,12 +87,13 @@ impl PersistDir {
 
     /// Atomically writes `checkpoint` as `session-<id>.json`: temp file in
     /// the same directory, sync, rename. A crash mid-write never tears the
-    /// previous checkpoint.
+    /// previous checkpoint. Returns the file's size in bytes (telemetry
+    /// feeds it to the checkpoint-size histogram).
     ///
     /// # Errors
     ///
     /// Surfaces filesystem failures as [`PersistError::Io`].
-    pub fn save(&self, id: SessionId, checkpoint: &SessionCheckpoint) -> Result<(), PersistError> {
+    pub fn save(&self, id: SessionId, checkpoint: &SessionCheckpoint) -> Result<u64, PersistError> {
         let target = self.file(id);
         let temp = self.dir.join(format!(".session-{id}.json.tmp"));
         let io_err = |path: &Path| {
@@ -106,7 +107,8 @@ impl PersistDir {
             .and_then(|()| file.sync_all())
             .map_err(io_err(&temp))?;
         drop(file);
-        fs::rename(&temp, &target).map_err(io_err(&target))
+        fs::rename(&temp, &target).map_err(io_err(&target))?;
+        Ok(json.len() as u64 + 1)
     }
 
     /// Removes the session's checkpoint file, if any (cancelled and evicted

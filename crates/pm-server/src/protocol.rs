@@ -12,6 +12,7 @@
 use pm_core::api::{ExecutionStatus, RunReport};
 use pm_core::session::{ExecutionCheckpoint, SessionId};
 use pm_scenarios::{PerturbationSpec, ScenarioSpec};
+use pm_telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// One client request, one JSON line.
@@ -84,6 +85,12 @@ pub enum Request {
     /// Uptime is wall-clock, so transcripts containing this verb are not
     /// byte-reproducible — keep it out of golden-diffed scripts.
     Stats,
+    /// Reports the full telemetry registry as [`Response::Metrics`]: one
+    /// consistent snapshot rendered both as structured JSON and as
+    /// Prometheus text exposition. Like `Stats`, the payload contains
+    /// wall-clock-derived values (latency histograms, durations), so it is
+    /// *not* byte-reproducible — keep it out of golden-diffed scripts.
+    Metrics,
     /// Stops serving after acknowledging with [`Response::Bye`].
     Shutdown,
 }
@@ -185,6 +192,14 @@ pub enum Response {
         /// The counters snapshot.
         stats: ServerStats,
     },
+    /// The telemetry registry, snapshotted once and rendered twice.
+    Metrics {
+        /// The structured snapshot (counters, gauges, histograms).
+        metrics: MetricsSnapshot,
+        /// The same snapshot as Prometheus text exposition (one string,
+        /// embedded newlines — scrapers unwrap it to a `/metrics` body).
+        prometheus: String,
+    },
     /// The request was valid but the server is at its session budget.
     /// Unlike [`Response::Error`], this rejection is *retryable*: the same
     /// request succeeds once sessions complete, are cancelled, or expire —
@@ -236,6 +251,13 @@ pub struct ServerStats {
     /// Sessions rebuilt from checkpoints: `restore` verbs plus the startup
     /// recovery scan.
     pub restores: u64,
+    /// Request bytes read off client connections (all transports).
+    pub bytes_read: u64,
+    /// Response bytes written to client connections (all transports).
+    pub bytes_written: u64,
+    /// Client connections currently open (the stdio transport counts as
+    /// one connection for its whole lifetime).
+    pub active_connections: i64,
 }
 
 /// One row of the `Sessions` listing.

@@ -11,11 +11,17 @@
 
 use crate::persist::PersistDir;
 use crate::protocol::{Request, Response, ServerStats, SessionCheckpoint, SessionSummary};
+use crate::telemetry::{as_micros, ServerTelemetry};
 use pm_core::api::Execution;
 use pm_core::session::{Goal, SessionId, SessionScheduler};
 use pm_scenarios::{PerturbationScript, PerturbationSpec, ScenarioSpec};
-use std::collections::BTreeMap;
+use pm_telemetry::warn;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The log target every core-side line is tagged with.
+const LOG: &str = "pm_server::core";
 
 /// The per-step hook every session runs under: fire the session's due
 /// perturbation events against the live system before the next round. Live
@@ -61,6 +67,12 @@ pub struct ServerCore {
     checkpoints_written: u64,
     evictions: u64,
     restores: u64,
+    /// The shared metric registry and its hot-path handles; transports
+    /// clone the `Arc` and record without taking the core lock.
+    telemetry: Arc<ServerTelemetry>,
+    /// Sessions whose finished profile was already folded into the
+    /// registry (profiles must count exactly once per election).
+    harvested: BTreeSet<SessionId>,
 }
 
 impl ServerCore {
@@ -80,7 +92,16 @@ impl ServerCore {
             checkpoints_written: 0,
             evictions: 0,
             restores: 0,
+            telemetry: ServerTelemetry::new(),
+            harvested: BTreeSet::new(),
         }
+    }
+
+    /// The core's telemetry bundle — transports clone it to record
+    /// connection and byte counters off the core lock, and embedders can
+    /// scrape it directly.
+    pub fn telemetry(&self) -> Arc<ServerTelemetry> {
+        Arc::clone(&self.telemetry)
     }
 
     /// Number of live sessions.
@@ -130,7 +151,7 @@ impl ServerCore {
             let checkpoint = match parsed {
                 Ok(checkpoint) => checkpoint,
                 Err(error) => {
-                    eprintln!("recovery: skipping {error}");
+                    warn!(LOG, "recovery: skipping {error}");
                     rejected += 1;
                     continue;
                 }
@@ -149,7 +170,8 @@ impl ServerCore {
                     restored += 1;
                 }
                 response => {
-                    eprintln!(
+                    warn!(
+                        LOG,
                         "recovery: skipping {} (`{name}`): {response:?}",
                         path.display()
                     );
@@ -166,28 +188,91 @@ impl ServerCore {
     /// stream lines). Returns `true` iff the request was [`Request::Shutdown`]
     /// and the transport should stop reading.
     pub fn handle(&mut self, request: Request, out: &mut Vec<Response>) -> bool {
+        let verb = ServerCore::verb_name(&request);
+        let served = Instant::now();
         if let Some(session) = ServerCore::named_session(&request) {
             self.touch(session);
         }
-        match request {
-            Request::Submit { spec } => out.push(self.submit(spec)),
-            Request::Status { session } => out.push(self.status(session)),
-            Request::Watch { session, rounds } => self.watch(session, rounds, out),
-            Request::Run { session } => self.run(session, out),
-            Request::Perturb { session, event } => out.push(self.perturb(session, event)),
-            Request::Pause { session } => out.push(self.pause(session)),
-            Request::Resume { session } => out.push(self.resume(session)),
-            Request::Cancel { session } => out.push(self.cancel(session)),
-            Request::Checkpoint { session } => out.push(self.checkpoint(session)),
-            Request::Restore { checkpoint } => out.push(self.restore(checkpoint)),
-            Request::Sessions => out.push(self.list()),
-            Request::Stats => out.push(self.stats()),
+        let shutdown = match request {
+            Request::Submit { spec } => {
+                out.push(self.submit(spec));
+                false
+            }
+            Request::Status { session } => {
+                out.push(self.status(session));
+                false
+            }
+            Request::Watch { session, rounds } => {
+                self.watch(session, rounds, out);
+                false
+            }
+            Request::Run { session } => {
+                self.run(session, out);
+                false
+            }
+            Request::Perturb { session, event } => {
+                out.push(self.perturb(session, event));
+                false
+            }
+            Request::Pause { session } => {
+                out.push(self.pause(session));
+                false
+            }
+            Request::Resume { session } => {
+                out.push(self.resume(session));
+                false
+            }
+            Request::Cancel { session } => {
+                out.push(self.cancel(session));
+                false
+            }
+            Request::Checkpoint { session } => {
+                out.push(self.checkpoint(session));
+                false
+            }
+            Request::Restore { checkpoint } => {
+                out.push(self.restore(checkpoint));
+                false
+            }
+            Request::Sessions => {
+                out.push(self.list());
+                false
+            }
+            Request::Stats => {
+                out.push(self.stats());
+                false
+            }
+            Request::Metrics => {
+                out.push(self.metrics());
+                false
+            }
             Request::Shutdown => {
                 out.push(Response::Bye);
-                return true;
+                true
             }
+        };
+        self.telemetry.observe_verb(verb, served.elapsed());
+        shutdown
+    }
+
+    /// The metric label each verb's latency is recorded under.
+    fn verb_name(request: &Request) -> &'static str {
+        match request {
+            Request::Submit { .. } => "submit",
+            Request::Status { .. } => "status",
+            Request::Watch { .. } => "watch",
+            Request::Run { .. } => "run",
+            Request::Perturb { .. } => "perturb",
+            Request::Pause { .. } => "pause",
+            Request::Resume { .. } => "resume",
+            Request::Cancel { .. } => "cancel",
+            Request::Checkpoint { .. } => "checkpoint",
+            Request::Restore { .. } => "restore",
+            Request::Sessions => "sessions",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
         }
-        false
     }
 
     /// The session a request names, if any — every such request counts as
@@ -206,6 +291,7 @@ impl ServerCore {
             | Request::Restore { .. }
             | Request::Sessions
             | Request::Stats
+            | Request::Metrics
             | Request::Shutdown => None,
         }
     }
@@ -217,11 +303,32 @@ impl ServerCore {
     }
 
     /// Pumps the scheduler until `session` reaches its goal, counting the
-    /// sweeps for the `stats` verb.
+    /// sweeps for the `stats` verb and timing each one for the registry.
+    /// Sessions that finish during the pumping — the named one or any
+    /// other runnable session — get their profiles harvested.
     fn drive(&mut self, session: SessionId) {
         while self.scheduler.runnable(session) {
+            let swept = Instant::now();
             self.scheduler.sweep(&apply_perturbations);
+            self.telemetry
+                .sweep_duration_us
+                .observe(as_micros(swept.elapsed()));
             self.sweeps += 1;
+        }
+        self.harvest_finished();
+    }
+
+    /// Folds every newly finished session's per-phase profile into the
+    /// registry, exactly once per session.
+    fn harvest_finished(&mut self) {
+        for id in self.scheduler.ids() {
+            if self.harvested.contains(&id) {
+                continue;
+            }
+            if let Some(Ok(report)) = self.scheduler.outcome(id) {
+                self.telemetry.harvest_profile(&report.profile);
+                self.harvested.insert(id);
+            }
         }
     }
 
@@ -245,6 +352,7 @@ impl ServerCore {
     /// before exiting. Returns `(evicted, files_written)`.
     pub fn housekeeping(&mut self) -> (usize, usize) {
         let now = Instant::now();
+        let pass = Instant::now();
         let mut evicted = 0;
         if let Some(ttl) = self.limits.idle_ttl {
             for id in self.scheduler.ids() {
@@ -261,6 +369,9 @@ impl ServerCore {
         }
         let mut written = 0;
         if self.persist.is_none() {
+            self.telemetry
+                .housekeeping_duration_us
+                .observe(as_micros(pass.elapsed()));
             return (evicted, written);
         }
         for id in self.scheduler.ids() {
@@ -274,16 +385,27 @@ impl ServerCore {
             let Some(checkpoint) = self.session_checkpoint(id) else {
                 continue;
             };
+            let saved_at = Instant::now();
             match self.persist.as_ref().map(|p| p.save(id, &checkpoint)) {
-                Some(Ok(())) => {
+                Some(Ok(bytes)) => {
+                    self.telemetry
+                        .checkpoint_write_us
+                        .observe(as_micros(saved_at.elapsed()));
+                    self.telemetry.checkpoint_bytes.observe(bytes);
                     self.saved.insert(id, cursor);
                     self.checkpoints_written += 1;
                     written += 1;
                 }
-                Some(Err(error)) => eprintln!("autosave: {error}"),
+                Some(Err(error)) => {
+                    self.telemetry.checkpoint_errors.inc();
+                    warn!(LOG, "autosave: {error}");
+                }
                 None => {}
             }
         }
+        self.telemetry
+            .housekeeping_duration_us
+            .observe(as_micros(pass.elapsed()));
         (evicted, written)
     }
 
@@ -294,6 +416,7 @@ impl ServerCore {
         self.specs.remove(&session);
         self.touched.remove(&session);
         self.saved.remove(&session);
+        self.harvested.remove(&session);
         if let Some(persist) = &self.persist {
             persist.delete(session);
         }
@@ -353,7 +476,24 @@ impl ServerCore {
                 checkpoints_written: self.checkpoints_written,
                 evictions: self.evictions,
                 restores: self.restores,
+                bytes_read: self.telemetry.bytes_read.get(),
+                bytes_written: self.telemetry.bytes_written.get(),
+                active_connections: self.telemetry.active_connections.get(),
             },
+        }
+    }
+
+    /// One registry snapshot, rendered as both structured JSON and
+    /// Prometheus text exposition. Harvests any sessions that finished
+    /// since the last pumping request first, so a scrape never misses a
+    /// completed election's phase profile.
+    fn metrics(&mut self) -> Response {
+        self.harvest_finished();
+        let metrics = self.telemetry.snapshot();
+        let prometheus = metrics.to_prometheus();
+        Response::Metrics {
+            metrics,
+            prometheus,
         }
     }
 
@@ -389,10 +529,13 @@ impl ServerCore {
         if let Some(busy) = self.at_budget() {
             return busy;
         }
-        let execution = match ServerCore::start(&spec) {
+        let mut execution = match ServerCore::start(&spec) {
             Ok(execution) => execution,
             Err(message) => return ServerCore::error(message),
         };
+        // Profiles feed the registry when the session finishes; they never
+        // touch the deterministic report fields or checkpoint replay.
+        execution.enable_profiling();
         let n = spec.build_shape().len();
         let script = PerturbationScript::new(spec.perturbations.clone());
         let session = self.scheduler.admit(execution, script);
@@ -535,10 +678,11 @@ impl ServerCore {
         if let Some(busy) = self.at_budget() {
             return busy;
         }
-        let execution = match ServerCore::start(&checkpoint.spec) {
+        let mut execution = match ServerCore::start(&checkpoint.spec) {
             Ok(execution) => execution,
             Err(message) => return ServerCore::error(message),
         };
+        execution.enable_profiling();
         let script = PerturbationScript::new(checkpoint.spec.perturbations.clone());
         match self.scheduler.restore(
             execution,

@@ -1,0 +1,218 @@
+//! The server's telemetry wiring: one process-wide [`Registry`] shared by
+//! the core, the transports, and the persist layer, plus the named handles
+//! each of them hammers on their hot paths.
+//!
+//! Telemetry is **out-of-band by contract**: nothing here feeds back into
+//! scheduling, elections, or the wire protocol's deterministic payloads.
+//! The only protocol surface is the `metrics` verb, which — like `stats` —
+//! is documented as not byte-reproducible and stays out of golden-diffed
+//! scripts. Handles are cheap `Arc`-backed atomics, so transports clone
+//! them once per connection and record without taking the core lock.
+
+use pm_core::api::PhaseProfile;
+use pm_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Microsecond buckets for request/sweep latencies: 50µs to ~10s.
+const LATENCY_US_BOUNDS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 10_000_000,
+];
+
+/// Microsecond buckets for durable-write latencies: disk syncs dominate,
+/// so the range shifts up relative to [`LATENCY_US_BOUNDS`].
+const WRITE_US_BOUNDS: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000, 2_000_000,
+];
+
+/// Byte-size buckets for checkpoint files: 1 KiB to 16 MiB.
+const BYTES_BOUNDS: &[u64] = &[
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+    16 << 20,
+];
+
+/// Every verb name `pm_server_verb_latency_us` is labeled with, in protocol
+/// order. Kept in one place so the smoke test and docs can enumerate them.
+pub const VERBS: &[&str] = &[
+    "submit",
+    "status",
+    "watch",
+    "run",
+    "perturb",
+    "pause",
+    "resume",
+    "cancel",
+    "checkpoint",
+    "restore",
+    "sessions",
+    "stats",
+    "metrics",
+    "shutdown",
+];
+
+/// The shared telemetry bundle: the registry plus pre-registered handles
+/// for every hot-path series. Clone the `Arc`, not the struct.
+pub struct ServerTelemetry {
+    registry: Registry,
+    /// Request bytes read off client connections.
+    pub bytes_read: Counter,
+    /// Response bytes written to client connections.
+    pub bytes_written: Counter,
+    /// Connections currently open.
+    pub active_connections: Gauge,
+    /// Connections accepted over the process lifetime.
+    pub connections_total: Counter,
+    /// Listener `accept` failures (backed off, not fatal).
+    pub accept_errors: Counter,
+    /// Per-connection I/O failures (connection dropped, server lives on).
+    pub connection_errors: Counter,
+    /// Malformed request lines answered with a protocol error.
+    pub malformed_requests: Counter,
+    /// Wall time of one scheduler sweep, µs.
+    pub sweep_duration_us: Histogram,
+    /// Wall time of one durable checkpoint write, µs.
+    pub checkpoint_write_us: Histogram,
+    /// Serialized size of one durable checkpoint, bytes.
+    pub checkpoint_bytes: Histogram,
+    /// Autosave failures (logged and skipped).
+    pub checkpoint_errors: Counter,
+    /// Wall time of one housekeeping pass, µs.
+    pub housekeeping_duration_us: Histogram,
+}
+
+impl ServerTelemetry {
+    /// A fresh registry with every hot-path series pre-registered, so the
+    /// first scrape already lists them (at zero) and the smoke test can
+    /// assert their presence without traffic.
+    pub fn new() -> Arc<ServerTelemetry> {
+        let registry = Registry::new();
+        for verb in VERBS {
+            registry.histogram_with(
+                "pm_server_verb_latency_us",
+                &[("verb", verb)],
+                LATENCY_US_BOUNDS,
+            );
+        }
+        let telemetry = ServerTelemetry {
+            bytes_read: registry.counter("pm_server_bytes_read_total"),
+            bytes_written: registry.counter("pm_server_bytes_written_total"),
+            active_connections: registry.gauge("pm_server_active_connections"),
+            connections_total: registry.counter("pm_server_connections_total"),
+            accept_errors: registry.counter("pm_server_accept_errors_total"),
+            connection_errors: registry.counter("pm_server_connection_errors_total"),
+            malformed_requests: registry.counter("pm_server_malformed_requests_total"),
+            sweep_duration_us: registry.histogram("pm_server_sweep_duration_us", LATENCY_US_BOUNDS),
+            checkpoint_write_us: registry
+                .histogram("pm_server_checkpoint_write_us", WRITE_US_BOUNDS),
+            checkpoint_bytes: registry.histogram("pm_server_checkpoint_bytes", BYTES_BOUNDS),
+            checkpoint_errors: registry.counter("pm_server_checkpoint_errors_total"),
+            housekeeping_duration_us: registry
+                .histogram("pm_server_housekeeping_duration_us", LATENCY_US_BOUNDS),
+            registry,
+        };
+        Arc::new(telemetry)
+    }
+
+    /// The verb-latency histogram for one protocol verb (get-or-create, so
+    /// unknown labels never panic).
+    pub fn verb_latency(&self, verb: &str) -> Histogram {
+        self.registry.histogram_with(
+            "pm_server_verb_latency_us",
+            &[("verb", verb)],
+            LATENCY_US_BOUNDS,
+        )
+    }
+
+    /// Records one served request against its verb's latency series.
+    pub fn observe_verb(&self, verb: &str, elapsed: Duration) {
+        self.verb_latency(verb).observe(as_micros(elapsed));
+    }
+
+    /// Folds one finished election's per-phase profile into the registry:
+    /// wall time as `pm_election_phase_wall_us{phase=…}` plus monotone
+    /// round/activation/move totals per phase. Call once per session — the
+    /// core guards this with its harvested-session set.
+    pub fn harvest_profile(&self, profile: &[PhaseProfile]) {
+        for phase in profile {
+            let labels = &[("phase", phase.name.as_str())];
+            self.registry
+                .histogram_with("pm_election_phase_wall_us", labels, LATENCY_US_BOUNDS)
+                .observe(phase.wall_nanos / 1_000);
+            self.registry
+                .counter_with("pm_election_phase_rounds_total", labels)
+                .add(phase.rounds);
+            self.registry
+                .counter_with("pm_election_phase_activations_total", labels)
+                .add(phase.activations);
+            self.registry
+                .counter_with("pm_election_phase_moves_total", labels)
+                .add(phase.moves);
+        }
+    }
+
+    /// One consistent snapshot of every registered series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+/// Saturating `Duration` → whole microseconds.
+pub fn as_micros(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_verb_series_exists_before_any_traffic() {
+        let telemetry = ServerTelemetry::new();
+        let snapshot = telemetry.snapshot();
+        let verbs: Vec<&str> = snapshot
+            .histograms
+            .iter()
+            .filter(|h| h.name == "pm_server_verb_latency_us")
+            .flat_map(|h| h.labels.iter())
+            .filter(|l| l.key == "verb")
+            .map(|l| l.value.as_str())
+            .collect();
+        for verb in VERBS {
+            assert!(verbs.contains(verb), "missing verb series `{verb}`");
+        }
+    }
+
+    #[test]
+    fn harvesting_a_profile_creates_the_phase_series() {
+        let telemetry = ServerTelemetry::new();
+        telemetry.harvest_profile(&[PhaseProfile {
+            name: "dle".to_string(),
+            steps: 10,
+            rounds: 7,
+            activations: 40,
+            moves: 3,
+            wall_nanos: 5_000,
+        }]);
+        let snapshot = telemetry.snapshot();
+        let wall = snapshot
+            .histograms
+            .iter()
+            .find(|h| h.name == "pm_election_phase_wall_us")
+            .expect("phase wall series");
+        assert_eq!(wall.count, 1);
+        assert_eq!(wall.sum, 5);
+        let rounds = snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == "pm_election_phase_rounds_total")
+            .expect("phase rounds series");
+        assert_eq!(rounds.value, 7);
+    }
+}

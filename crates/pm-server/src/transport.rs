@@ -20,12 +20,16 @@
 
 use crate::protocol::{Request, Response};
 use crate::server::ServerCore;
+use pm_telemetry::{error, info, warn};
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// The log target every transport-side line is tagged with.
+const LOG: &str = "pm_server::transport";
 
 /// How long a connection read blocks before re-checking the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
@@ -67,6 +71,8 @@ fn handle_line(
     responses: &mut Vec<Response>,
     output: &mut impl Write,
 ) -> io::Result<bool> {
+    let telemetry = core.telemetry();
+    telemetry.bytes_read.add(line.len() as u64);
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(false);
@@ -75,6 +81,7 @@ fn handle_line(
     let shutdown = match serde_json::from_str::<Request>(line) {
         Ok(request) => core.handle(request, responses),
         Err(e) => {
+            telemetry.malformed_requests.inc();
             responses.push(Response::Error {
                 message: format!("malformed request: {e}"),
             });
@@ -84,6 +91,7 @@ fn handle_line(
     for response in responses.iter() {
         let json = serde_json::to_string(response)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        telemetry.bytes_written.add(json.len() as u64 + 1);
         writeln!(output, "{json}")?;
     }
     output.flush()?;
@@ -151,25 +159,42 @@ impl Shared {
 ///
 /// Propagates I/O errors from the standard streams.
 pub fn serve_stdio(core: ServerCore) -> io::Result<()> {
+    let telemetry = core.telemetry();
     let shared = Shared::new(core);
     let housekeeper = shared.spawn_housekeeping();
+    // The stdio pipe counts as one connection for its whole lifetime, so
+    // the same dashboards cover both transports.
+    telemetry.connections_total.inc();
+    telemetry.active_connections.add(1);
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut output = stdout.lock();
     let mut responses = Vec::new();
+    let mut result = Ok(());
     for line in stdin.lock().lines() {
-        let line = line?;
-        let shutdown = handle_line(&mut shared.lock(), &line, &mut responses, &mut output)?;
-        if shutdown {
-            break;
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        };
+        match handle_line(&mut shared.lock(), &line, &mut responses, &mut output) {
+            Ok(false) => {}
+            Ok(true) => break,
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
         }
     }
+    telemetry.active_connections.add(-1);
     shared.shutdown.store(true, Ordering::SeqCst);
     if let Some(housekeeper) = housekeeper {
         let _ = housekeeper.join();
     }
     shared.final_sweep();
-    Ok(())
+    result
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
@@ -177,7 +202,8 @@ pub fn serve_stdio(core: ServerCore) -> io::Result<()> {
 /// core — until one of them sends `shutdown`. Sessions persist across
 /// connections: a client may submit, disconnect, and a later connection
 /// resumes the same sessions. The bound address is announced on stderr as
-/// `listening on ADDR` (tests parse this to learn the ephemeral port).
+/// an info-level log line containing `listening on ADDR` (tests scan for
+/// that substring to learn the ephemeral port).
 ///
 /// Per-connection I/O errors are logged to stderr with the peer address
 /// and drop only that connection; `accept` errors back off exponentially.
@@ -192,8 +218,9 @@ pub fn serve_tcp(core: ServerCore, addr: &str) -> io::Result<SocketAddr> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
-    eprintln!("listening on {local}");
+    info!(LOG, "listening on {local}");
 
+    let telemetry = core.telemetry();
     let shared = Shared::new(core);
     let housekeeper = shared.spawn_housekeeping();
     let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
@@ -203,18 +230,25 @@ pub fn serve_tcp(core: ServerCore, addr: &str) -> io::Result<SocketAddr> {
             Ok((stream, peer)) => {
                 backoff = BACKOFF_FLOOR;
                 let shared = Arc::clone(&shared);
+                let telemetry = Arc::clone(&telemetry);
                 connections.push(thread::spawn(move || {
-                    if let Err(e) = serve_connection(&shared, stream) {
+                    telemetry.connections_total.inc();
+                    telemetry.active_connections.add(1);
+                    let served = serve_connection(&shared, stream);
+                    telemetry.active_connections.add(-1);
+                    if let Err(e) = served {
                         // A dropped or misbehaving client is its own
                         // problem, not the server's: log and keep serving.
-                        eprintln!("connection {peer}: {e}");
+                        telemetry.connection_errors.inc();
+                        warn!(LOG, "connection {peer}: {e}");
                     }
                 }));
                 connections.retain(|handle| !handle.is_finished());
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
             Err(e) => {
-                eprintln!("accept error: {e} (backing off {backoff:?})");
+                telemetry.accept_errors.inc();
+                error!(LOG, "accept error: {e} (backing off {backoff:?})");
                 thread::sleep(backoff);
                 backoff = (backoff * 2).min(BACKOFF_CEILING);
             }

@@ -263,8 +263,9 @@ fn spawn_tcp(extra: &[&str]) -> (Child, String, std::thread::JoinHandle<()>) {
     let mut addr = None;
     let mut line = String::new();
     while stderr.read_line(&mut line).expect("read stderr") > 0 {
-        if let Some(rest) = line.trim().strip_prefix("listening on ") {
-            addr = Some(rest.to_string());
+        // The announcement is a log line now: match the substring.
+        if let Some(at) = line.find("listening on ") {
+            addr = Some(line[at + "listening on ".len()..].trim().to_string());
             break;
         }
         line.clear();

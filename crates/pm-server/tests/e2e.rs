@@ -112,15 +112,23 @@ fn tcp_transport_serves_the_same_protocol() {
         .stderr(Stdio::piped())
         .spawn()
         .expect("server spawns");
-    // The server announces its ephemeral port on stderr.
+    // The server announces its ephemeral port on stderr (as a log line, so
+    // scan lines for the substring rather than assuming it comes first).
     let mut stderr = BufReader::new(server.stderr.take().expect("stderr piped"));
+    let mut addr = None;
     let mut announcement = String::new();
-    stderr.read_line(&mut announcement).expect("announcement");
-    let addr = announcement
-        .trim()
-        .strip_prefix("listening on ")
-        .unwrap_or_else(|| panic!("unexpected announcement `{announcement}`"))
-        .to_string();
+    while stderr.read_line(&mut announcement).expect("announcement") > 0 {
+        if let Some(at) = announcement.find("listening on ") {
+            addr = Some(
+                announcement[at + "listening on ".len()..]
+                    .trim()
+                    .to_string(),
+            );
+            break;
+        }
+        announcement.clear();
+    }
+    let addr = addr.expect("server announced its address");
 
     let spec = r#"{"Submit":{"spec":{"name":"tcp","tags":[],"generator":{"Hexagon":{"radius":3}},"algorithm":"Pipeline","scheduler":{"SeededRandom":7},"options":{"assume_outer_boundary_known":false,"reconnect":true,"track_connectivity":false,"round_budget":null,"seed":7,"occupancy":"Dense"},"perturbations":[]}}}"#;
 

@@ -1,0 +1,35 @@
+//! Observability for the election stack: metrics and structured logging.
+//!
+//! Everything here is *out-of-band* by design — nothing in this crate may
+//! influence an election's byte-deterministic outcome, only observe it.
+//! Two facilities:
+//!
+//! * [`metrics`] — a process-wide [`Registry`] of named series: atomic
+//!   [`Counter`]s, [`Gauge`]s, and fixed-bucket [`Histogram`]s, optionally
+//!   labeled (`verb="submit"`, `phase="dle"`). Handles are cheap `Arc`
+//!   clones; every increment/observe is a handful of atomic operations and
+//!   takes no lock (the registry mutex guards only series *registration*).
+//!   [`Registry::snapshot`] samples every series into a serializable
+//!   [`MetricsSnapshot`], which renders to Prometheus text exposition via
+//!   [`MetricsSnapshot::to_prometheus`].
+//! * [`logging`] — a leveled logging facade over stderr with two formats:
+//!   human text (`[WARN pm-server::transport] message`) and JSON lines
+//!   (`{"ts_ms":…,"level":"warn","target":…,"msg":…}`). The [`error!`],
+//!   [`warn!`], [`info!`] and [`debug!`] macros check the level with one
+//!   relaxed atomic load before doing any formatting, so disabled levels
+//!   cost nothing measurable.
+//!
+//! The serialized snapshot types intentionally derive the full protocol
+//! bundle (`Clone`/`Debug`/`PartialEq`/`Serialize`/`Deserialize`) so a
+//! server can embed them in wire responses. Wall-clock values make such
+//! responses non-reproducible across runs — keep them out of golden-diffed
+//! transcripts, exactly like a `stats` verb.
+
+pub mod logging;
+pub mod metrics;
+
+pub use logging::Level;
+pub use metrics::{
+    Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, LabelPair,
+    MetricsSnapshot, Registry,
+};

@@ -1,0 +1,210 @@
+//! The leveled logging facade: structured lines on stderr.
+//!
+//! Initialize once with [`init`] (level + format), then log through the
+//! [`error!`](crate::error), [`warn!`](crate::warn), [`info!`](crate::info)
+//! and [`debug!`](crate::debug) macros. Each macro takes a `target` (a
+//! module-ish origin string such as `"pm-server::transport"`) followed by a
+//! `format!` message. Levels above the configured maximum are filtered by a
+//! single relaxed atomic load before any formatting happens — a disabled
+//! `debug!` in a hot loop costs nothing measurable.
+//!
+//! Two output formats, chosen at [`init`]:
+//!
+//! * text (default): `[WARN pm-server::transport] connection …` — grepable,
+//!   and existing log consumers that search for message substrings keep
+//!   working because the message text is never rewritten;
+//! * JSON lines (`--log-json` on the CLI):
+//!   `{"ts_ms":1700000000000,"level":"warn","target":"pm-server::transport","msg":"connection …"}`.
+//!
+//! Each line is written with one locked `stderr` write, so concurrent
+//! threads never interleave partial lines.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed and was abandoned.
+    Error = 0,
+    /// Something degraded but the server keeps serving.
+    Warn = 1,
+    /// Lifecycle milestones (startup, recovery summary, listen address).
+    Info = 2,
+    /// High-volume diagnostics.
+    Debug = 3,
+}
+
+impl Level {
+    /// The lowercase name (`"warn"`), as used in JSON lines and
+    /// `--log-level` values.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// The uppercase name (`"WARN"`), as used in text lines.
+    pub fn as_upper(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    /// Parses a `--log-level` value, case-insensitively.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Most severe level that is emitted; defaults to [`Level::Info`].
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+/// Whether lines are JSON (`true`) or human text (`false`).
+static JSON: AtomicBool = AtomicBool::new(false);
+
+/// Configures the facade: messages at `level` and more severe are emitted,
+/// as JSON lines when `json` is set, human text otherwise. Callable any
+/// time (tests re-init freely); affects subsequent lines only.
+pub fn init(level: Level, json: bool) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+    JSON.store(json, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would currently be emitted — the macros'
+/// fast path.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Emits one log line (the macros' slow path; call those instead). The
+/// level re-check makes direct calls safe too.
+pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let msg = args.to_string();
+    let line = if JSON.load(Ordering::Relaxed) {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+        let mut line = format!(
+            "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"target\":\"",
+            level.as_str()
+        );
+        escape_json(target, &mut line);
+        line.push_str("\",\"msg\":\"");
+        escape_json(&msg, &mut line);
+        line.push_str("\"}");
+        line
+    } else {
+        format!("[{} {target}] {msg}", level.as_upper())
+    };
+    // One locked write per line: concurrent threads cannot interleave.
+    let stderr = std::io::stderr();
+    let _ = writeln!(stderr.lock(), "{line}");
+}
+
+/// Logs at [`Level::Error`]: `error!("pm-server::x", "failed: {e}")`.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::logging::enabled($crate::logging::Level::Error) {
+            $crate::logging::log(
+                $crate::logging::Level::Error,
+                $target,
+                ::core::format_args!($($arg)+),
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`]: `warn!("pm-server::x", "degraded: {e}")`.
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::logging::enabled($crate::logging::Level::Warn) {
+            $crate::logging::log(
+                $crate::logging::Level::Warn,
+                $target,
+                ::core::format_args!($($arg)+),
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Info`]: `info!("pm-server::x", "listening on {addr}")`.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::logging::enabled($crate::logging::Level::Info) {
+            $crate::logging::log(
+                $crate::logging::Level::Info,
+                $target,
+                ::core::format_args!($($arg)+),
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`]: `debug!("pm-server::x", "sweep took {us}us")`.
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)+) => {
+        if $crate::logging::enabled($crate::logging::Level::Debug) {
+            $crate::logging::log(
+                $crate::logging::Level::Debug,
+                $target,
+                ::core::format_args!($($arg)+),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_and_ordering() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Debug, "severity ordering");
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,97 @@
+//! The metrics registry under concurrency: many threads hammering shared
+//! counters and histograms while snapshots are taken mid-flight.
+
+use pm_telemetry::Registry;
+
+const THREADS: usize = 8;
+const OPS: u64 = 20_000;
+
+#[test]
+fn hammered_counters_lose_nothing() {
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = registry.counter("pm_hammer_total");
+            scope.spawn(move || {
+                for _ in 0..OPS {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        registry.counter("pm_hammer_total").get(),
+        THREADS as u64 * OPS
+    );
+}
+
+#[test]
+fn hammered_histograms_account_every_observation() {
+    let registry = Registry::new();
+    let bounds = [4, 16, 64, 256];
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let histogram = registry.histogram("pm_hammer_us", &bounds);
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    histogram.observe((i + t as u64) % 512);
+                }
+            });
+        }
+    });
+    let sample = &registry.snapshot().histograms[0];
+    let total = THREADS as u64 * OPS;
+    assert_eq!(sample.count, total);
+    assert_eq!(sample.buckets.iter().sum::<u64>(), total);
+    assert_eq!(sample.buckets.len(), bounds.len() + 1);
+}
+
+#[test]
+fn snapshots_taken_mid_hammer_hold_their_invariants() {
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let histogram = registry.histogram("pm_live_us", &[10, 100]);
+            let counter = registry.counter("pm_live_total");
+            scope.spawn(move || {
+                for i in 0..OPS {
+                    histogram.observe(i % 200);
+                    counter.inc();
+                }
+            });
+        }
+        // Sample while the writers are running: bucket totals must cover
+        // every counted observation (`sum(buckets) >= count`), and counts
+        // must be monotone between consecutive snapshots.
+        let mut last_count = 0;
+        for _ in 0..50 {
+            let snapshot = registry.snapshot();
+            let sample = &snapshot.histograms[0];
+            assert!(
+                sample.buckets.iter().sum::<u64>() >= sample.count,
+                "a counted observation was missing its bucket increment"
+            );
+            assert!(sample.count >= last_count, "histogram count went backwards");
+            last_count = sample.count;
+        }
+    });
+    let total = THREADS as u64 * OPS;
+    assert_eq!(registry.counter("pm_live_total").get(), total);
+    assert_eq!(registry.snapshot().histograms[0].count, total);
+}
+
+#[test]
+fn snapshot_serializes_and_round_trips() {
+    let registry = Registry::new();
+    registry
+        .counter_with("pm_rt_total", &[("verb", "run")])
+        .add(3);
+    registry.gauge("pm_rt_level").set(-4);
+    registry.histogram("pm_rt_us", &[1, 2]).observe(2);
+    let snapshot = registry.snapshot();
+    let json = serde_json::to_string(&snapshot).expect("snapshot serializes");
+    let back: pm_telemetry::MetricsSnapshot =
+        serde_json::from_str(&json).expect("snapshot deserializes");
+    assert_eq!(back, snapshot);
+    assert!(snapshot.to_prometheus().contains("pm_rt_us_count 1"));
+}

@@ -10,11 +10,15 @@
 //! * unit structs,
 //! * enums with unit, tuple and struct variants (discriminants allowed).
 //!
-//! Field and variant attributes (`#[default]`, doc comments, …) are skipped;
-//! `#[serde(...)]` customization is intentionally unsupported and the
-//! workspace does not use it.
+//! Field and variant attributes (`#[default]`, doc comments, …) are skipped.
+//! Exactly one `#[serde(...)]` customization is supported: `#[serde(skip)]`
+//! on a named field, which omits the field from serialization and fills it
+//! with `Default::default()` on deserialization — out-of-band instrumentation
+//! (e.g. wall-clock profiles) rides along on serialized reports without
+//! changing their wire bytes. Any other `#[serde(...)]` content is a
+//! compile-time panic, never a silent misbehavior.
 
-use proc_macro::{Delimiter, TokenStream, TokenTree};
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
 #[derive(Debug)]
 struct Input {
@@ -27,10 +31,17 @@ struct Input {
 
 #[derive(Debug)]
 enum Kind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// One named field: its identifier and whether `#[serde(skip)]` marked it.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
 }
 
 #[derive(Debug)]
@@ -43,11 +54,11 @@ struct Variant {
 enum VariantFields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 /// Derives the vendored `serde::Serialize` (value-tree form).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_input(input);
     gen_serialize(&item)
@@ -56,7 +67,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the vendored `serde::Deserialize` (value-tree form).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_input(input);
     gen_deserialize(&item)
@@ -87,6 +98,37 @@ fn ident_of(t: &TokenTree) -> Option<String> {
 fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
     while is_punct(toks.get(*i), '#') && is_group(toks.get(*i + 1), Delimiter::Bracket) {
         *i += 2;
+    }
+}
+
+/// Advances past leading `#[...]` attributes, returning whether one of them
+/// was `#[serde(skip)]`. Any other `#[serde(...)]` content panics — the
+/// derive supports exactly this one customization.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while is_punct(toks.get(*i), '#') && is_group(toks.get(*i + 1), Delimiter::Bracket) {
+        if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+            skip |= attr_is_serde_skip(g);
+        }
+        *i += 2;
+    }
+    skip
+}
+
+/// Whether a `#[...]` bracket group's content is exactly `serde(skip)`.
+fn attr_is_serde_skip(attr: &Group) -> bool {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    let is_serde = matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return false;
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else {
+        panic!("#[serde] attribute without arguments is unsupported");
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    match args.as_slice() {
+        [TokenTree::Ident(id)] if id.to_string() == "skip" => true,
+        _ => panic!("only #[serde(skip)] is supported by the vendored derive"),
     }
 }
 
@@ -148,14 +190,14 @@ fn count_tuple_fields(ts: TokenStream) -> usize {
     fields
 }
 
-/// Parses `name: Type, ...` named fields, skipping attributes, visibility
-/// and the (ignored) type tokens.
-fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+/// Parses `name: Type, ...` named fields, honoring `#[serde(skip)]` and
+/// skipping visibility and the (ignored) type tokens.
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
     let toks: Vec<TokenTree> = ts.into_iter().collect();
     let mut i = 0usize;
     let mut fields = Vec::new();
     while i < toks.len() {
-        skip_attrs(&toks, &mut i);
+        let skip = take_attrs(&toks, &mut i);
         skip_vis(&toks, &mut i);
         let Some(t) = toks.get(i) else { break };
         let name = ident_of(t).expect("expected field name in derive input");
@@ -178,7 +220,7 @@ fn parse_named_fields(ts: TokenStream) -> Vec<String> {
             i += 1;
         }
         i += 1; // past the comma (or the end)
-        fields.push(name);
+        fields.push(Field { name, skip });
     }
     fields
 }
@@ -278,7 +320,9 @@ fn gen_serialize(item: &Input) -> String {
         Kind::NamedStruct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
+                .filter(|f| !f.skip)
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f}))"
@@ -330,7 +374,12 @@ fn gen_serialize(item: &Input) -> String {
                             )
                         }
                         VariantFields::Named(fields) => {
-                            let entries: Vec<String> = fields
+                            let kept: Vec<&str> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| f.name.as_str())
+                                .collect();
+                            let entries: Vec<String> = kept
                                 .iter()
                                 .map(|f| {
                                     format!(
@@ -339,11 +388,16 @@ fn gen_serialize(item: &Input) -> String {
                                     )
                                 })
                                 .collect();
+                            // `..` absorbs any skipped fields (and is legal
+                            // even when none are).
                             format!(
-                                "{name}::{vname} {{ {fields} }} => ::serde::Value::Object(\
+                                "{name}::{vname} {{ {fields} .. }} => ::serde::Value::Object(\
                                  ::std::vec![(::std::string::String::from(\"{vname}\"), \
                                  ::serde::Value::Object(::std::vec![{entries}]))]),",
-                                fields = fields.join(", "),
+                                fields = kept
+                                    .iter()
+                                    .map(|f| format!("{f}, "))
+                                    .collect::<String>(),
                                 entries = entries.join(", ")
                             )
                         }
@@ -366,7 +420,14 @@ fn gen_deserialize(item: &Input) -> String {
         Kind::NamedStruct(fields) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::__field(__entries, \"{name}\", \"{f}\")?"))
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        let f = &f.name;
+                        format!("{f}: ::serde::__field(__entries, \"{name}\", \"{f}\")?")
+                    }
+                })
                 .collect();
             format!(
                 "let __entries = __v.as_object().ok_or_else(|| \
@@ -430,10 +491,15 @@ fn gen_deserialize(item: &Input) -> String {
                             let inits: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::__field(__fields, \
-                                         \"{name}::{vname}\", \"{f}\")?"
-                                    )
+                                    if f.skip {
+                                        format!("{}: ::std::default::Default::default()", f.name)
+                                    } else {
+                                        let f = &f.name;
+                                        format!(
+                                            "{f}: ::serde::__field(__fields, \
+                                             \"{name}::{vname}\", \"{f}\")?"
+                                        )
+                                    }
                                 })
                                 .collect();
                             Some(format!(
