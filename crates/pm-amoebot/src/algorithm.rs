@@ -75,6 +75,20 @@ pub trait Algorithm {
     fn supports_quiescence(&self) -> bool {
         false
     }
+
+    /// Scrambles a particle's memory from adversarial `entropy` bits — the
+    /// transient-fault model of self-stabilisation (arXiv 2408.08775): the
+    /// adversary may overwrite a particle's memory with an arbitrary value
+    /// of the memory type, and a self-stabilising algorithm must recover
+    /// without a global reset. Returns whether the memory was changed.
+    ///
+    /// The default leaves the memory untouched and returns `false`: the
+    /// algorithm defines no corruption model, and corruption faults against
+    /// it are reported as not applied by the fault driver.
+    fn corrupt(&self, memory: &mut Self::Memory, entropy: u64) -> bool {
+        let _ = (memory, entropy);
+        false
+    }
 }
 
 /// The local view and action interface of the particle being activated.

@@ -332,6 +332,28 @@ impl<A: Algorithm> SystemControl for RunnerControl<'_, A> {
         }
     }
 
+    fn add_at(&mut self, p: Point) -> bool {
+        let added = self.system.add_particle(p, self.algorithm);
+        if added {
+            *self.live_primed = false;
+        }
+        added
+    }
+
+    fn corrupt_at(&mut self, p: Point, entropy: u64) -> bool {
+        match self.system.particle_at(p) {
+            Some(id) => {
+                let corrupted = self.system.corrupt_particle(id, self.algorithm, entropy);
+                if corrupted {
+                    // A revoked final state must re-enter the live list.
+                    *self.live_primed = false;
+                }
+                corrupted
+            }
+            None => false,
+        }
+    }
+
     fn reinitialize(&mut self) {
         self.system.reinitialize(self.algorithm);
         *self.live_primed = false;

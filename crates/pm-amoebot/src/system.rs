@@ -336,6 +336,19 @@ pub trait SystemControl {
     /// vanishes entirely). Returns whether a particle was removed.
     fn remove_at(&mut self, p: Point) -> bool;
 
+    /// Adds a fresh contracted particle at the empty point `p`, with a
+    /// memory produced by the algorithm's initializer on the post-addition
+    /// shape (regrow faults). Returns whether a particle was added (`false`
+    /// if the point was occupied).
+    fn add_at(&mut self, p: Point) -> bool;
+
+    /// Corrupts the memory of the particle occupying `p` with adversarial
+    /// `entropy` via the algorithm's corruption hook
+    /// ([`crate::algorithm::Algorithm::corrupt`]). Returns whether a memory
+    /// was changed (`false` on an empty point, or when the algorithm
+    /// defines no corruption model).
+    fn corrupt_at(&mut self, p: Point, entropy: u64) -> bool;
+
     /// Re-initializes every surviving particle from the current
     /// configuration: expanded particles are force-contracted into their
     /// heads, memories are rebuilt by the algorithm's initializer on the
@@ -781,6 +794,67 @@ impl<M> ParticleSystem<M> {
         if tail != head {
             self.wake_adjacent_to(tail);
         }
+        true
+    }
+
+    /// Adds a fresh contracted particle at the empty `point` (regrow-fault
+    /// support): it gets a new id (slots of removed particles are never
+    /// reused), a memory produced by the algorithm's initializer on the
+    /// *post-addition* shape, and takes part in every subsequent round.
+    /// Returns `false` — without changing anything — if the point is
+    /// occupied.
+    ///
+    /// Snapshots taken before an addition have fewer particle slots than
+    /// the grown system, so [`ParticleSystem::restore_snapshot`] rejects
+    /// them; checkpoint layers fall back to replaying from the initial
+    /// configuration, which re-applies the addition deterministically.
+    pub fn add_particle<A>(&mut self, point: Point, algorithm: &A) -> bool
+    where
+        A: Algorithm<Memory = M> + ?Sized,
+    {
+        if self.occupancy.get(point).is_some() {
+            return false;
+        }
+        let mut points = self.occupancy.points();
+        points.push(point);
+        let shape = Shape::from_points(points);
+        let analysis = shape.analyze();
+        let ctx = init_context(&analysis, point);
+        let memory = algorithm.init(&ctx);
+        let id = ParticleId(self.particles.len());
+        self.occupancy.insert(point, id);
+        self.particles.push(Particle::contracted(point, memory));
+        self.removed.push(false);
+        self.parked.push(false);
+        self.alive += 1;
+        // Neighbouring particles observe the newly occupied point.
+        self.wake_adjacent_to(point);
+        true
+    }
+
+    /// Corrupts the memory of particle `id` with adversarial `entropy` via
+    /// the algorithm's [`Algorithm::corrupt`] hook (transient-fault
+    /// support). If the memory changed, any final-state flag is revoked —
+    /// the one sanctioned exception to termination monotonicity, since an
+    /// adversary that scrambles a memory can scramble a "final" state too —
+    /// and the particle and its neighbours are woken. Returns whether the
+    /// memory was changed.
+    pub fn corrupt_particle<A>(&mut self, id: ParticleId, algorithm: &A, entropy: u64) -> bool
+    where
+        A: Algorithm<Memory = M> + ?Sized,
+    {
+        if id.0 >= self.particles.len() || self.removed[id.0] {
+            return false;
+        }
+        if !algorithm.corrupt(&mut self.particles[id.0].memory, entropy) {
+            return false;
+        }
+        if self.particles[id.0].terminated {
+            self.particles[id.0].terminated = false;
+            self.terminated -= 1;
+        }
+        self.wake(id);
+        self.wake_neighbors_of(id);
         true
     }
 
@@ -1263,6 +1337,81 @@ mod tests {
         }
         // Movement counters survive the reset (the report keeps run totals).
         assert_eq!(sys.move_counts().0, 1);
+    }
+
+    #[test]
+    fn add_particle_grows_the_system_with_a_fresh_slot() {
+        let mut sys = ParticleSystem::from_shape(&line(2), &Dummy);
+        let p = Point::new(2, 0);
+        assert!(sys.add_particle(p, &Dummy));
+        assert!(!sys.add_particle(p, &Dummy), "point now occupied");
+        assert_eq!(sys.len(), 3);
+        assert!(sys.is_connected());
+        sys.check_invariants().unwrap();
+        // The new particle's memory was initialized on the post-addition
+        // shape: it sees exactly its one west neighbour.
+        let id = sys.particle_at(p).unwrap();
+        assert_eq!(id.index(), 2, "fresh slot, ids stay stable");
+        assert_eq!(*sys.particle(id).memory(), 1);
+        // Additions work on both backends, including outside the dense
+        // rectangle (overflow map).
+        let far = Point::new(40, 0);
+        assert!(sys.add_particle(far, &Dummy));
+        assert_eq!(*sys.particle(sys.particle_at(far).unwrap()).memory(), 0);
+        sys.check_invariants().unwrap();
+        let mut hashed =
+            ParticleSystem::from_shape_with_backend(&line(2), &Dummy, OccupancyBackend::Hashed);
+        assert!(hashed.add_particle(p, &Dummy));
+        hashed.check_invariants().unwrap();
+    }
+
+    /// Corruption support: `corrupt` overwrites the counter with the
+    /// entropy's low bits and reports a change iff the value differs.
+    struct Corruptible;
+    impl Algorithm for Corruptible {
+        type Memory = u32;
+        fn init(&self, _ctx: &InitContext) -> u32 {
+            0
+        }
+        fn activate(&self, ctx: &mut ActivationContext<'_, u32>) {
+            ctx.terminate();
+        }
+        fn corrupt(&self, memory: &mut u32, entropy: u64) -> bool {
+            let scrambled = entropy as u32;
+            let changed = *memory != scrambled;
+            *memory = scrambled;
+            changed
+        }
+    }
+
+    #[test]
+    fn corrupt_particle_scrambles_memory_and_revokes_termination() {
+        let mut sys = ParticleSystem::from_shape(&line(2), &Corruptible);
+        let left = sys.particle_at(Point::new(0, 0)).unwrap();
+        let right = sys.particle_at(Point::new(1, 0)).unwrap();
+        sys.set_terminated(left);
+        sys.set_terminated(right);
+        assert!(sys.all_terminated());
+        assert!(sys.corrupt_particle(left, &Corruptible, 7));
+        assert_eq!(*sys.particle(left).memory(), 7);
+        assert!(!sys.particle(left).is_terminated(), "final state revoked");
+        assert!(!sys.all_terminated());
+        sys.check_invariants().unwrap();
+        // A corruption that does not change the memory is not a fault.
+        assert!(!sys.corrupt_particle(left, &Corruptible, 7));
+        // Removed particles cannot be corrupted.
+        sys.remove_particle(left);
+        assert!(!sys.corrupt_particle(left, &Corruptible, 9));
+    }
+
+    #[test]
+    fn corrupt_particle_is_a_noop_without_a_corruption_model() {
+        // `Dummy` keeps the default `corrupt` (no corruption model).
+        let mut sys = ParticleSystem::from_shape(&line(1), &Dummy);
+        let id = sys.particle_at(Point::new(0, 0)).unwrap();
+        let before = *sys.particle(id).memory();
+        assert!(!sys.corrupt_particle(id, &Dummy, u64::MAX));
+        assert_eq!(*sys.particle(id).memory(), before);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   election (Bazzi–Briones \[3\] style): deterministic, handles holes, elects
 //!   up to six leaders, but pays `O(|s|·|s1|)` per segment comparison and is
 //!   therefore quadratic overall.
+//! * [`self_stab`] — the self-stabilising family (Chalopin–Das–Kokkou,
+//!   arXiv 2408.08775): deterministic, handles holes, never moves, and —
+//!   uniquely among the contenders — recovers a unique leader from arbitrary
+//!   memory corruption without a global reset.
 //!
 //! Every baseline implements the unified
 //! [`LeaderElection`](pm_core::api::LeaderElection) trait and returns the
@@ -44,10 +48,12 @@
 pub mod erosion_le;
 pub mod quadratic_boundary;
 pub mod randomized_boundary;
+pub mod self_stab;
 
 pub use erosion_le::{ErosionLeaderElection, ErosionMemory, EROSION_MEMORY_BITS};
 pub use quadratic_boundary::{QuadraticBoundary, QUADRATIC_BOUNDARY_MEMORY_BITS};
 pub use randomized_boundary::{RandomizedBoundary, RANDOMIZED_BOUNDARY_MEMORY_BITS};
+pub use self_stab::{SelfStabMaxElection, SelfStabMemory, SELF_STAB_MEMORY_BITS};
 
 #[cfg(test)]
 mod tests {
@@ -58,15 +64,21 @@ mod tests {
 
     #[test]
     fn all_baselines_run_through_the_trait_object() {
-        let algorithms: [&dyn LeaderElection; 3] = [
+        let algorithms: [&dyn LeaderElection; 4] = [
             &ErosionLeaderElection,
             &RandomizedBoundary,
             &QuadraticBoundary,
+            &SelfStabMaxElection,
         ];
         let names: Vec<&str> = algorithms.iter().map(|a| a.name()).collect();
         assert_eq!(
             names,
-            ["erosion-le", "randomized-boundary", "quadratic-boundary"]
+            [
+                "erosion-le",
+                "randomized-boundary",
+                "quadratic-boundary",
+                "self-stab-max"
+            ]
         );
         for algorithm in algorithms {
             let report = algorithm
@@ -89,6 +101,9 @@ mod tests {
             .elect(&holey, &mut rr, &RunOptions::default())
             .is_ok());
         assert!(QuadraticBoundary
+            .elect(&holey, &mut rr, &RunOptions::default())
+            .is_ok());
+        assert!(SelfStabMaxElection
             .elect(&holey, &mut rr, &RunOptions::default())
             .is_ok());
     }

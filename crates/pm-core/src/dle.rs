@@ -185,6 +185,32 @@ impl Algorithm for DleAlgorithm {
             ctx.memory_mut().status = Status::Follower;
         }
     }
+
+    /// Transient-fault model for the fault-injection harness: scrambles the
+    /// mutable election state (status and eligibility flags) while leaving
+    /// the read-only `outer` port labelling intact. DLE has no certificate
+    /// to detect the damage, so absorbing such a fault requires a global
+    /// reset — this is exactly the reset-and-recover baseline the recovery
+    /// benchmarks compare against the self-stabilising election.
+    fn corrupt(&self, memory: &mut DleMemory, entropy: u64) -> bool {
+        fn mix(state: u64) -> u64 {
+            let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let before = *memory;
+        let word = mix(entropy);
+        memory.status = match word % 3 {
+            0 => Status::Undecided,
+            1 => Status::Leader,
+            _ => Status::Follower,
+        };
+        for (i, slot) in memory.eligible.iter_mut().enumerate() {
+            *slot = (word >> (8 + i)) & 1 == 1;
+        }
+        *memory != before
+    }
 }
 
 /// The result of running Algorithm DLE on an initial shape.

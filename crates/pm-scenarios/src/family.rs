@@ -13,6 +13,7 @@ use crate::perturb::PerturbationSpec;
 use crate::spec::{AlgorithmSpec, ScenarioSpec};
 use pm_core::api::RunOptions;
 use pm_core::batch::SchedulerSpec;
+use pm_faults::FaultSpec;
 use serde::{Deserialize, Serialize};
 
 /// One entry of the committed corpus: a concrete scenario, or a family that
@@ -69,6 +70,8 @@ pub struct FamilySpec {
     pub options: RunOptions,
     /// Perturbation script shared by every instance.
     pub perturbations: Vec<PerturbationSpec>,
+    /// Fault plan shared by every instance (empty = fault-free).
+    pub faults: FaultSpec,
 }
 
 impl FamilySpec {
@@ -86,6 +89,7 @@ impl FamilySpec {
             scheduler: SchedulerSpec::SeededRandom(7),
             options: RunOptions::default(),
             perturbations: Vec::new(),
+            faults: FaultSpec::default(),
         }
     }
 
@@ -131,6 +135,12 @@ impl FamilySpec {
         self
     }
 
+    /// Replaces the shared fault plan.
+    pub fn faults(mut self, faults: FaultSpec) -> FamilySpec {
+        self.faults = faults;
+        self
+    }
+
     /// Expands the grid into concrete scenarios, sizes-major.
     ///
     /// # Errors
@@ -168,6 +178,7 @@ impl FamilySpec {
                     scheduler: self.scheduler,
                     options: self.options,
                     perturbations: self.perturbations.clone(),
+                    faults: self.faults.clone(),
                 });
             }
         }

@@ -13,6 +13,9 @@
 //!   split-along-a-column events with reset-and-recover semantics, fired by
 //!   a caller-side driver loop over the steppable
 //!   [`Execution`](pm_core::api::Execution) handle.
+//! * [`script`] — [`ScenarioScript`]: the combined adversary of one run
+//!   (perturbation script plus the generalised `pm_faults::FaultPlan`),
+//!   driven by the same caller-side loop.
 //! * [`family`] — scenario families: [`FamilySpec`] parameter grids
 //!   (sizes × seeds) that expand into concrete scenarios at load time.
 //! * [`corpus`] — the committed scenario corpus (`corpus/scenarios.json`,
@@ -35,6 +38,7 @@ pub mod family;
 pub mod generators;
 pub mod perturb;
 pub mod runner;
+pub mod script;
 pub mod spec;
 
 pub use corpus::{builtin_corpus, builtin_entries, load_embedded, load_file, select, suite_tags};
@@ -42,4 +46,5 @@ pub use family::{CorpusEntry, FamilySpec};
 pub use generators::GeneratorSpec;
 pub use perturb::{PerturbationScript, PerturbationSpec};
 pub use runner::{report_json, run_suite, ScenarioReport};
+pub use script::ScenarioScript;
 pub use spec::{AlgorithmSpec, ScenarioSpec};

@@ -24,7 +24,8 @@
 
 use pm_amoebot::system::SystemControl;
 use pm_core::api::{phase, ElectionError, Execution, RunReport, StepOutcome};
-use pm_grid::{Point, Shape};
+use pm_faults::prune_to_largest_component;
+use pm_grid::Point;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -107,29 +108,6 @@ impl fmt::Display for PerturbationSpec {
             }
         }
     }
-}
-
-/// Removes every particle outside the largest connected component of the
-/// occupied shape (largest by size; ties broken by the lexicographically
-/// smallest point, so the choice is deterministic). Returns how many
-/// particles were removed.
-fn prune_to_largest_component(system: &mut dyn SystemControl) -> usize {
-    let shape = system.occupied_shape();
-    if shape.is_empty() || shape.is_connected() {
-        return 0;
-    }
-    let components = shape.connected_components();
-    let keep: &Shape = components
-        .iter()
-        .max_by_key(|c| (c.len(), std::cmp::Reverse(c.first_point())))
-        .expect("a non-empty shape has at least one component");
-    let mut removed = 0;
-    for p in shape.iter() {
-        if !keep.contains(p) && system.remove_at(p) {
-            removed += 1;
-        }
-    }
-    removed
 }
 
 /// A perturbation script bound to one run: drives a steppable

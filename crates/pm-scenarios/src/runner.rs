@@ -1,6 +1,6 @@
 //! Driving scenario suites through the thread-sharded batch runner.
 
-use crate::perturb::{PerturbationScript, PerturbationSpec};
+use crate::script::ScenarioScript;
 use crate::spec::ScenarioSpec;
 use pm_core::api::{ElectionError, Execution, RunReport};
 use pm_core::batch::{BatchJob, BatchRunner, BatchScenario};
@@ -21,6 +21,8 @@ pub struct ScenarioReport {
     pub n: usize,
     /// Number of scripted perturbation events.
     pub perturbations: usize,
+    /// Number of fault-plan processes scheduled by the scenario.
+    pub faults: usize,
     /// Whether the run produced a report.
     pub ok: bool,
     /// The election report (`null` when the run errored).
@@ -32,43 +34,50 @@ pub struct ScenarioReport {
 /// Runs a suite through [`BatchRunner`] with the given worker count.
 ///
 /// Results come back in scenario order and are **bit-identical across thread
-/// counts and repeated runs**: every shape, scheduler and perturbation is
-/// seeded, the batch merge is deterministic, and each run's perturbation
-/// script is a fresh [`PerturbationScript`] built inside the worker.
+/// counts and repeated runs**: every shape, scheduler, perturbation and fault
+/// firing is seeded, the batch merge is deterministic, and each adversarial
+/// run's combined script is a fresh [`ScenarioScript`] built inside the
+/// worker.
 pub fn run_suite(specs: &[&ScenarioSpec], threads: usize) -> Vec<ScenarioReport> {
     type BoxedDriver =
         Box<dyn for<'s> Fn(Execution<'s>) -> Result<RunReport, ElectionError> + Sync>;
     /// Drives one execution under a fresh script instance — built per *run*
-    /// (inside the worker), so batched perturbed runs equal sequential ones.
+    /// (inside the worker), so batched adversarial runs equal sequential
+    /// ones.
     fn drive_scripted(
-        events: &[PerturbationSpec],
+        spec: &ScenarioSpec,
         execution: Execution<'_>,
     ) -> Result<RunReport, ElectionError> {
-        PerturbationScript::new(events.to_vec()).drive(execution)
+        ScenarioScript::for_spec(spec).drive(execution)
     }
     let drivers: Vec<Option<BoxedDriver>> = specs
         .iter()
         .map(|spec| {
-            if spec.perturbations.is_empty() {
-                None
-            } else {
-                let events = spec.perturbations.clone();
+            if spec.is_adversarial() {
+                let spec = (*spec).clone();
                 let driver: BoxedDriver =
-                    Box::new(move |execution| drive_scripted(&events, execution));
+                    Box::new(move |execution| drive_scripted(&spec, execution));
                 Some(driver)
+            } else {
+                None
             }
         })
         .collect();
 
-    // A perturbation script on an algorithm with no round-driven phase
-    // would never fire; reject the scenario up front rather than report a
-    // fault-free run as perturbed.
+    // A perturbation script or fault plan on an algorithm with no
+    // round-driven phase would never fire; reject the scenario up front
+    // rather than report a fault-free run as adversarial.
     let rejections: Vec<Option<String>> = specs
         .iter()
         .map(|spec| {
-            if !spec.perturbations.is_empty() && !spec.algorithm.supports_perturbations() {
+            if spec.is_adversarial() && !spec.algorithm.supports_perturbations() {
+                let what = if spec.perturbations.is_empty() {
+                    "fault plan"
+                } else {
+                    "perturbation script"
+                };
                 Some(format!(
-                    "perturbation script attached to `{}`, which runs no round-driven \
+                    "{what} attached to `{}`, which runs no round-driven \
                      phase — the script would never fire",
                     spec.algorithm.name()
                 ))
@@ -121,6 +130,7 @@ pub fn run_suite(specs: &[&ScenarioSpec], threads: usize) -> Vec<ScenarioReport>
                 generator: spec.generator.to_string(),
                 n,
                 perturbations: spec.perturbations.len(),
+                faults: spec.faults.processes.len(),
                 ok,
                 report,
                 error,
@@ -140,7 +150,7 @@ pub fn report_json(reports: &[ScenarioReport]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus::{builtin_corpus, select, SMOKE};
+    use crate::corpus::{builtin_corpus, select, FAULTS, SMOKE};
 
     #[test]
     fn suite_results_are_identical_across_thread_counts() {
@@ -151,6 +161,40 @@ mod tests {
         assert_eq!(sequential, sharded);
         assert!(sequential.iter().all(|r| r.ok), "smoke runs must succeed");
         assert!(sequential.iter().any(|r| r.perturbations > 0));
+    }
+
+    #[test]
+    fn faults_suite_runs_and_is_deterministic() {
+        let corpus = builtin_corpus();
+        let faults = select(&corpus, FAULTS);
+        assert!(!faults.is_empty());
+        let sequential = run_suite(&faults, 1);
+        let sharded = run_suite(&faults, 4);
+        assert_eq!(sequential, sharded);
+        assert!(sequential.iter().all(|r| r.ok), "fault runs must succeed");
+        assert!(sequential.iter().all(|r| r.faults > 0));
+        // Every fault run still ends with a unique leader (self-stabilising
+        // contenders absorb the faults; reset-and-recover scenarios restart).
+        for report in &sequential {
+            let run = report.report.as_ref().expect("fault run report");
+            assert!(run.unique_leader(), "{}", report.scenario);
+        }
+    }
+
+    #[test]
+    fn fault_plans_on_closed_form_baselines_are_rejected() {
+        use crate::generators::GeneratorSpec;
+        use crate::spec::{AlgorithmSpec, ScenarioSpec};
+        use pm_faults::{FaultKind, FaultPlan, FaultProcess};
+        let spec = ScenarioSpec::new("bad-faults", GeneratorSpec::Hexagon { radius: 3 })
+            .algorithm(AlgorithmSpec::QuadraticBoundary)
+            .faults(FaultPlan::new(3).process(FaultProcess::once(FaultKind::Removals, 1, 2)));
+        let reports = run_suite(&[&spec], 1);
+        assert_eq!(reports.len(), 1);
+        assert!(!reports[0].ok);
+        let error = reports[0].error.as_deref().unwrap_or_default();
+        assert!(error.contains("fault plan"), "{error}");
+        assert!(error.contains("would never fire"), "{error}");
     }
 
     #[test]

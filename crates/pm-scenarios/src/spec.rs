@@ -2,9 +2,12 @@
 
 use crate::generators::GeneratorSpec;
 use crate::perturb::PerturbationSpec;
-use pm_baselines::{ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary};
+use pm_baselines::{
+    ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary, SelfStabMaxElection,
+};
 use pm_core::api::{LeaderElection, PaperPipeline, RunOptions};
 use pm_core::batch::SchedulerSpec;
+use pm_faults::FaultSpec;
 use pm_grid::Shape;
 use serde::{Deserialize, Serialize};
 
@@ -12,6 +15,7 @@ static PIPELINE: PaperPipeline = PaperPipeline;
 static EROSION: ErosionLeaderElection = ErosionLeaderElection;
 static RANDOMIZED: RandomizedBoundary = RandomizedBoundary;
 static QUADRATIC: QuadraticBoundary = QuadraticBoundary;
+static SELF_STAB: SelfStabMaxElection = SelfStabMaxElection;
 
 /// A serializable name for each algorithm behind the unified
 /// [`LeaderElection`] trait.
@@ -28,6 +32,11 @@ pub enum AlgorithmSpec {
     RandomizedBoundary,
     /// The quadratic deterministic boundary baseline.
     QuadraticBoundary,
+    /// The self-stabilising constant-memory election (Chalopin–Das–Kokkou,
+    /// arXiv 2408.08775): recovers from arbitrary memory corruption without
+    /// a reset, so it is the contender fault scenarios measure against the
+    /// reset-and-recover baselines.
+    SelfStabMax,
 }
 
 impl AlgorithmSpec {
@@ -38,6 +47,7 @@ impl AlgorithmSpec {
             AlgorithmSpec::Erosion => &EROSION,
             AlgorithmSpec::RandomizedBoundary => &RANDOMIZED,
             AlgorithmSpec::QuadraticBoundary => &QUADRATIC,
+            AlgorithmSpec::SelfStabMax => &SELF_STAB,
         }
     }
 
@@ -51,9 +61,13 @@ impl AlgorithmSpec {
     /// system to mutate). The boundary baselines are simulated in closed
     /// form — a script attached to them would never fire, so the suite
     /// runner rejects such scenarios instead of silently reporting a
-    /// fault-free run as perturbed.
+    /// fault-free run as perturbed. The same gate applies to fault plans,
+    /// which fire through the identical round-driven surface.
     pub fn supports_perturbations(&self) -> bool {
-        matches!(self, AlgorithmSpec::Pipeline | AlgorithmSpec::Erosion)
+        matches!(
+            self,
+            AlgorithmSpec::Pipeline | AlgorithmSpec::Erosion | AlgorithmSpec::SelfStabMax
+        )
     }
 }
 
@@ -78,6 +92,10 @@ pub struct ScenarioSpec {
     pub options: RunOptions,
     /// Adversarial events fired mid-run (empty = fault-free).
     pub perturbations: Vec<PerturbationSpec>,
+    /// The generalised fault schedule (periodic removals, regrow,
+    /// corruption, relocation — see `pm_faults::FaultPlan`); an empty plan
+    /// schedules nothing.
+    pub faults: FaultSpec,
 }
 
 impl ScenarioSpec {
@@ -93,6 +111,7 @@ impl ScenarioSpec {
             scheduler: SchedulerSpec::SeededRandom(7),
             options: RunOptions::default(),
             perturbations: Vec::new(),
+            faults: FaultSpec::default(),
         }
     }
 
@@ -126,6 +145,18 @@ impl ScenarioSpec {
         self
     }
 
+    /// Replaces the fault plan.
+    pub fn faults(mut self, faults: FaultSpec) -> ScenarioSpec {
+        self.faults = faults;
+        self
+    }
+
+    /// Whether the scenario schedules any adversarial events at all
+    /// (perturbations or fault processes).
+    pub fn is_adversarial(&self) -> bool {
+        !self.perturbations.is_empty() || !self.faults.is_empty()
+    }
+
     /// Builds the scenario's initial shape.
     pub fn build_shape(&self) -> Shape {
         self.generator.build()
@@ -153,10 +184,22 @@ mod tests {
             AlgorithmSpec::QuadraticBoundary.name(),
             "quadratic-boundary"
         );
+        assert_eq!(AlgorithmSpec::SelfStabMax.name(), "self-stab-max");
+    }
+
+    #[test]
+    fn self_stab_supports_adversarial_scripts() {
+        // The self-stabilising election runs a round-driven phase, so both
+        // perturbation scripts and fault plans can target it; the
+        // closed-form boundary baselines still cannot.
+        assert!(AlgorithmSpec::SelfStabMax.supports_perturbations());
+        assert!(!AlgorithmSpec::RandomizedBoundary.supports_perturbations());
+        assert!(!AlgorithmSpec::QuadraticBoundary.supports_perturbations());
     }
 
     #[test]
     fn builder_composes() {
+        use pm_faults::{FaultKind, FaultProcess};
         let spec = ScenarioSpec::new("s", GeneratorSpec::Hexagon { radius: 3 })
             .tag("smoke")
             .algorithm(AlgorithmSpec::Erosion)
@@ -170,6 +213,14 @@ mod tests {
         assert!(!spec.has_tag("full"));
         assert_eq!(spec.algorithm, AlgorithmSpec::Erosion);
         assert_eq!(spec.perturbations.len(), 1);
+        assert!(spec.faults.is_empty());
+        assert!(spec.is_adversarial());
         assert_eq!(spec.build_shape().len(), 37);
+
+        let faulted = ScenarioSpec::new("f", GeneratorSpec::Hexagon { radius: 3 })
+            .faults(FaultSpec::new(7).process(FaultProcess::once(FaultKind::Corruption, 3, 8)));
+        assert!(faulted.perturbations.is_empty());
+        assert!(faulted.is_adversarial());
+        assert!(!ScenarioSpec::new("q", GeneratorSpec::Line { n: 4 }).is_adversarial());
     }
 }

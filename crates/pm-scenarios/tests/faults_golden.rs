@@ -1,0 +1,49 @@
+//! Golden-file determinism for the `faults` suite: fault-plan scenarios
+//! produce byte-identical report JSON across thread counts and against the
+//! committed golden file (`golden/faults.json`) — the recovery analogue of
+//! the smoke golden test, and the contract the CI recovery smoke step diffs.
+
+use pm_scenarios::corpus::FAULTS;
+use pm_scenarios::{load_embedded, report_json, run_suite, select};
+
+fn faults_report(threads: usize) -> String {
+    let corpus = load_embedded().expect("committed corpus parses");
+    let faults = select(&corpus, FAULTS);
+    assert!(faults.len() >= 5, "faults suite shrank to {}", faults.len());
+    report_json(&run_suite(&faults, threads))
+}
+
+#[test]
+fn faults_suite_is_deterministic_across_runs_and_threads() {
+    let sequential = faults_report(1);
+    assert_eq!(sequential, faults_report(1), "repeated runs diverged");
+    assert_eq!(sequential, faults_report(2), "2-thread run diverged");
+    assert_eq!(sequential, faults_report(8), "8-thread run diverged");
+}
+
+#[test]
+fn faults_suite_matches_committed_golden_file() {
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/faults.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("committed golden file exists");
+    assert_eq!(
+        faults_report(1),
+        golden,
+        "golden/faults.json is out of date; run `cargo run -p pm-server --bin pm-scenarios -- regen` \
+         and review the diff"
+    );
+}
+
+#[test]
+fn faults_suite_reports_recover_a_unique_leader() {
+    let corpus = load_embedded().unwrap();
+    let faults = select(&corpus, FAULTS);
+    let reports = run_suite(&faults, 4);
+    assert!(!reports.is_empty());
+    for report in &reports {
+        assert!(report.ok, "{} failed: {:?}", report.scenario, report.error);
+        assert!(report.faults > 0, "{}", report.scenario);
+        let run = report.report.as_ref().unwrap();
+        assert!(run.unique_leader(), "{}", report.scenario);
+        assert_eq!(run.undecided, 0, "{}", report.scenario);
+    }
+}

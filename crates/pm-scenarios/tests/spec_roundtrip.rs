@@ -4,6 +4,7 @@
 use pm_amoebot::system::OccupancyBackend;
 use pm_core::api::RunOptions;
 use pm_core::batch::SchedulerSpec;
+use pm_faults::{FaultKind, FaultPlan, FaultProcess, ResetPolicy};
 use pm_scenarios::generators::FAMILY_COUNT;
 use pm_scenarios::{
     builtin_corpus, load_embedded, AlgorithmSpec, GeneratorSpec, PerturbationSpec, ScenarioSpec,
@@ -16,6 +17,7 @@ fn algorithm_strategy() -> impl Strategy<Value = AlgorithmSpec> {
         Just(AlgorithmSpec::Erosion),
         Just(AlgorithmSpec::RandomizedBoundary),
         Just(AlgorithmSpec::QuadraticBoundary),
+        Just(AlgorithmSpec::SelfStabMax),
     ]
 }
 
@@ -63,6 +65,41 @@ fn perturbation_strategy() -> impl Strategy<Value = PerturbationSpec> {
     ]
 }
 
+fn fault_process_strategy() -> impl Strategy<Value = FaultProcess> {
+    let kind = prop_oneof![
+        Just(FaultKind::Removals),
+        Just(FaultKind::Regrow),
+        Just(FaultKind::Corruption),
+        Just(FaultKind::Relocate),
+    ];
+    (kind, 0u64..30, 0u64..5, 0u64..60, 0u32..20).prop_map(|(kind, start, period, until, count)| {
+        if period == 0 {
+            FaultProcess::once(kind, start, count)
+        } else {
+            FaultProcess::periodic(kind, start, period, until, count)
+        }
+    })
+}
+
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        proptest::collection::vec(fault_process_strategy(), 0..3),
+    )
+        .prop_map(|(seed, reinit, processes)| {
+            let mut plan = FaultPlan::new(seed).reset(if reinit {
+                ResetPolicy::Reinitialize
+            } else {
+                ResetPolicy::None
+            });
+            for process in processes {
+                plan = plan.process(process);
+            }
+            plan
+        })
+}
+
 fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
     (
         (0usize..FAMILY_COUNT, 1u32..10, any::<u64>()),
@@ -71,16 +108,18 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
         scheduler_strategy(),
         options_strategy(),
         proptest::collection::vec(perturbation_strategy(), 0..3),
+        fault_plan_strategy(),
     )
         .prop_map(
-            |((family, size, seed), tags, algorithm, scheduler, options, perturbations)| {
+            |((family, size, seed), tags, algorithm, scheduler, options, perturbations, faults)| {
                 let mut spec = ScenarioSpec::new(
                     format!("scenario-{family}-{size}-{seed}"),
                     GeneratorSpec::sample(family, size, seed),
                 )
                 .algorithm(algorithm)
                 .scheduler(scheduler)
-                .options(options);
+                .options(options)
+                .faults(faults);
                 for tag in tags {
                     spec = spec.tag(tag);
                 }

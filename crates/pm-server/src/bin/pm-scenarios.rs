@@ -46,9 +46,9 @@
 
 use pm_amoebot::ascii::render_shape;
 use pm_core::api::StepOutcome;
-use pm_scenarios::corpus::{self, SMOKE};
+use pm_scenarios::corpus::{self, FAULTS, SMOKE};
 use pm_scenarios::{
-    report_json, run_suite, select, suite_tags, GeneratorSpec, PerturbationScript, ScenarioSpec,
+    report_json, run_suite, select, suite_tags, GeneratorSpec, ScenarioScript, ScenarioSpec,
 };
 use pm_server::{Request, Response, ServerCore, ServerLimits};
 use pm_telemetry::{info, logging, Level};
@@ -175,18 +175,19 @@ fn load_corpus(args: &Args) -> Result<Vec<ScenarioSpec>, String> {
 
 fn cmd_list(specs: &[ScenarioSpec]) {
     println!(
-        "{:<32} {:<28} {:>6} {:<20} {:<18} {:>8}",
-        "name", "generator", "n", "algorithm", "scheduler", "perturb"
+        "{:<32} {:<28} {:>6} {:<20} {:<18} {:>8} {:>7}",
+        "name", "generator", "n", "algorithm", "scheduler", "perturb", "faults"
     );
     for spec in specs {
         println!(
-            "{:<32} {:<28} {:>6} {:<20} {:<18} {:>8}",
+            "{:<32} {:<28} {:>6} {:<20} {:<18} {:>8} {:>7}",
             spec.name,
             spec.generator.to_string(),
             spec.build_shape().len(),
             spec.algorithm.name(),
             spec.scheduler.name(),
             spec.perturbations.len(),
+            spec.faults.processes.len(),
         );
     }
 }
@@ -207,6 +208,9 @@ fn cmd_render(specs: &[ScenarioSpec], name: &str) -> Result<(), String> {
     );
     for p in &spec.perturbations {
         println!("perturbation: {p}");
+    }
+    for process in &spec.faults.processes {
+        println!("fault: {process}");
     }
     println!("{}", render_shape(&shape));
     Ok(())
@@ -280,22 +284,24 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str, json: bool, profile: bool) -> R
         .iter()
         .find(|s| s.name == name)
         .ok_or_else(|| format!("no scenario named `{name}` (try `pm-scenarios list`)"))?;
-    if !spec.perturbations.is_empty() && !spec.algorithm.supports_perturbations() {
+    if spec.is_adversarial() && !spec.algorithm.supports_perturbations() {
         return Err(format!(
-            "scenario `{name}` attaches a perturbation script to `{}`, which runs no \
+            "scenario `{name}` attaches an adversarial script to `{}`, which runs no \
              round-driven phase",
             spec.algorithm.name()
         ));
     }
     let shape = spec.build_shape();
     let header = format!(
-        "tracing {} — {} (n = {}, algorithm = {}, scheduler = {}, {} perturbation event(s))",
+        "tracing {} — {} (n = {}, algorithm = {}, scheduler = {}, {} perturbation event(s), \
+         {} fault process(es))",
         spec.name,
         spec.generator,
         shape.len(),
         spec.algorithm.name(),
         spec.scheduler.name(),
         spec.perturbations.len(),
+        spec.faults.processes.len(),
     );
     if json {
         eprintln!("{header}");
@@ -311,15 +317,15 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str, json: bool, profile: bool) -> R
     if profile {
         execution.enable_profiling();
     }
-    let mut script = PerturbationScript::new(spec.perturbations.clone());
+    let mut script = ScenarioScript::for_spec(spec);
     let report = loop {
-        // The caller owns the loop: fire due events against the live
-        // system, then pump one step.
+        // The caller owns the loop: fire due events and fault processes
+        // against the live system, then pump one step.
         let fired_now = script.apply_due(&mut execution);
         if fired_now > 0 && !json {
             let status = execution.status();
             println!(
-                "  !! {fired_now} perturbation event(s) fired before round {}; {} particle(s) remain",
+                "  !! {fired_now} adversarial event(s) fired before round {}; {} particle(s) remain",
                 status.next_round.unwrap_or(status.rounds_in_phase),
                 status.decided + status.undecided
             );
@@ -369,11 +375,22 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str, json: bool, profile: bool) -> R
         }
         return Ok(());
     }
-    if script.fired() > 0 {
+    if script.perturbations().fired() > 0 {
         println!(
             "perturbations: {} event(s) fired, {} particle(s) removed",
-            script.fired(),
-            script.removed()
+            script.perturbations().fired(),
+            script.perturbations().removed()
+        );
+    }
+    if script.faults().fired() > 0 {
+        let faults = script.faults();
+        println!(
+            "faults: {} firing(s) — {} removed, {} added, {} corrupted, {} relocated",
+            faults.fired(),
+            faults.removed(),
+            faults.added(),
+            faults.corrupted(),
+            faults.relocated()
         );
     }
     println!(
@@ -698,15 +715,18 @@ fn cmd_regen() -> Result<(), String> {
     eprintln!("wrote {}", corpus_path.display());
 
     let corpus = pm_scenarios::builtin_corpus();
-    let smoke = select(&corpus, SMOKE);
-    let golden = report_json(&run_suite(&smoke, 1));
-    let golden_path = root.join("golden/smoke.json");
-    if let Some(parent) = golden_path.parent() {
-        std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+    for (suite, file) in [(SMOKE, "golden/smoke.json"), (FAULTS, "golden/faults.json")] {
+        let selected = select(&corpus, suite);
+        let golden = report_json(&run_suite(&selected, 1));
+        let golden_path = root.join(file);
+        if let Some(parent) = golden_path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+        }
+        std::fs::write(&golden_path, golden)
+            .map_err(|e| format!("write {}: {e}", golden_path.display()))?;
+        eprintln!("wrote {}", golden_path.display());
     }
-    std::fs::write(&golden_path, golden)
-        .map_err(|e| format!("write {}: {e}", golden_path.display()))?;
-    eprintln!("wrote {}", golden_path.display());
     Ok(())
 }
 

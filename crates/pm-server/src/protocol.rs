@@ -11,6 +11,7 @@
 
 use pm_core::api::{ExecutionStatus, RunReport};
 use pm_core::session::{ExecutionCheckpoint, SessionId};
+use pm_faults::FaultProcess;
 use pm_scenarios::{PerturbationSpec, ScenarioSpec};
 use pm_telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
@@ -52,6 +53,18 @@ pub enum Request {
         session: SessionId,
         /// The event to append to the session's script.
         event: PerturbationSpec,
+    },
+    /// Appends a fault process to a live session's plan (the generalised
+    /// adversary: periodic removals, regrow, corruption, relocation). The
+    /// same rejection rules as `Perturb` apply: finished sessions, sessions
+    /// whose round cursor already passed the process's first firing round,
+    /// and algorithms with no round-driven phase are rejected, so accepted
+    /// processes always replay identically from a checkpoint.
+    Fault {
+        /// The session to fault.
+        session: SessionId,
+        /// The process to append to the session's fault plan.
+        process: FaultProcess,
     },
     /// Parks the session: sweeps skip it until `Resume`.
     Pause {
@@ -150,6 +163,13 @@ pub enum Response {
         session: SessionId,
         /// Total events now in the session's script.
         events: usize,
+    },
+    /// `Fault` acknowledged.
+    Faulted {
+        /// The faulted session.
+        session: SessionId,
+        /// Total fault processes now in the session's plan.
+        processes: usize,
     },
     /// `Pause` acknowledged.
     Paused {
@@ -313,6 +333,10 @@ mod tests {
                     count: 2,
                     seed: 9,
                 },
+            },
+            Request::Fault {
+                session: 1,
+                process: FaultProcess::periodic(pm_faults::FaultKind::Removals, 2, 3, 11, 4),
             },
             Request::Sessions,
             Request::Shutdown,

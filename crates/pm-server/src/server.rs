@@ -14,7 +14,8 @@ use crate::protocol::{Request, Response, ServerStats, SessionCheckpoint, Session
 use crate::telemetry::{as_micros, ServerTelemetry};
 use pm_core::api::Execution;
 use pm_core::session::{Goal, SessionId, SessionScheduler};
-use pm_scenarios::{PerturbationScript, PerturbationSpec, ScenarioSpec};
+use pm_faults::FaultProcess;
+use pm_scenarios::{PerturbationSpec, ScenarioScript, ScenarioSpec};
 use pm_telemetry::warn;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -24,10 +25,11 @@ use std::time::{Duration, Instant};
 const LOG: &str = "pm_server::core";
 
 /// The per-step hook every session runs under: fire the session's due
-/// perturbation events against the live system before the next round. Live
-/// stepping and checkpoint replay share this hook, which is what makes
-/// restored sessions reproduce perturbed runs exactly.
-fn apply_perturbations(script: &mut PerturbationScript, execution: &mut Execution<'static>) {
+/// perturbation events and fault processes against the live system before
+/// the next round. Live stepping and checkpoint replay share this hook,
+/// which is what makes restored sessions reproduce adversarial runs
+/// exactly.
+fn apply_scripts(script: &mut ScenarioScript, execution: &mut Execution<'static>) {
     script.apply_due(execution);
 }
 
@@ -48,7 +50,7 @@ pub struct ServerLimits {
 /// [module docs](self) for the scheduling model and `PROTOCOL.md` for the
 /// wire protocol.
 pub struct ServerCore {
-    scheduler: SessionScheduler<PerturbationScript>,
+    scheduler: SessionScheduler<ScenarioScript>,
     /// Each session's scenario, kept current with injected perturbations —
     /// this is what a checkpoint persists, so a fresh process can rebuild
     /// the session from nothing but the checkpoint.
@@ -214,6 +216,10 @@ impl ServerCore {
                 out.push(self.perturb(session, event));
                 false
             }
+            Request::Fault { session, process } => {
+                out.push(self.fault(session, process));
+                false
+            }
             Request::Pause { session } => {
                 out.push(self.pause(session));
                 false
@@ -263,6 +269,7 @@ impl ServerCore {
             Request::Watch { .. } => "watch",
             Request::Run { .. } => "run",
             Request::Perturb { .. } => "perturb",
+            Request::Fault { .. } => "fault",
             Request::Pause { .. } => "pause",
             Request::Resume { .. } => "resume",
             Request::Cancel { .. } => "cancel",
@@ -283,6 +290,7 @@ impl ServerCore {
             | Request::Watch { session, .. }
             | Request::Run { session }
             | Request::Perturb { session, .. }
+            | Request::Fault { session, .. }
             | Request::Pause { session }
             | Request::Resume { session }
             | Request::Cancel { session }
@@ -309,7 +317,7 @@ impl ServerCore {
     fn drive(&mut self, session: SessionId) {
         while self.scheduler.runnable(session) {
             let swept = Instant::now();
-            self.scheduler.sweep(&apply_perturbations);
+            self.scheduler.sweep(&apply_scripts);
             self.telemetry
                 .sweep_duration_us
                 .observe(as_micros(swept.elapsed()));
@@ -318,17 +326,31 @@ impl ServerCore {
         self.harvest_finished();
     }
 
-    /// Folds every newly finished session's per-phase profile into the
-    /// registry, exactly once per session.
+    /// Folds every newly finished session's per-phase profile — and, for
+    /// fault-injected sessions, its recovery outcome — into the registry,
+    /// exactly once per session.
     fn harvest_finished(&mut self) {
         for id in self.scheduler.ids() {
             if self.harvested.contains(&id) {
                 continue;
             }
-            if let Some(Ok(report)) = self.scheduler.outcome(id) {
-                self.telemetry.harvest_profile(&report.profile);
-                self.harvested.insert(id);
+            let (total_rounds, recovered) = match self.scheduler.outcome(id) {
+                Some(Ok(report)) => {
+                    self.telemetry.harvest_profile(&report.profile);
+                    (report.total_rounds, report.unique_leader())
+                }
+                _ => continue,
+            };
+            if let Some(script) = self.scheduler.payload_mut(id) {
+                let faults = script.faults();
+                if faults.fired() > 0 {
+                    let recovery_rounds =
+                        total_rounds.saturating_sub(faults.rounds_at_last_fault());
+                    self.telemetry
+                        .harvest_recovery(faults.fired(), recovery_rounds, recovered);
+                }
             }
+            self.harvested.insert(id);
         }
     }
 
@@ -426,10 +448,9 @@ impl ServerCore {
     /// since its last save has an up-to-date file on disk.
     fn cursor(&self, session: SessionId) -> (u64, u64, usize) {
         let view = self.scheduler.view(session).expect("live session");
-        let events = self
-            .specs
-            .get(&session)
-            .map_or(0, |spec| spec.perturbations.len());
+        let events = self.specs.get(&session).map_or(0, |spec| {
+            spec.perturbations.len() + spec.faults.processes.len()
+        });
         (view.steps, view.rounds, events)
     }
 
@@ -510,9 +531,14 @@ impl ServerCore {
     /// Starts an owned execution for a scenario — the shared path behind
     /// `submit` and `restore`.
     fn start(spec: &ScenarioSpec) -> Result<Execution<'static>, String> {
-        if !spec.perturbations.is_empty() && !spec.algorithm.supports_perturbations() {
+        if spec.is_adversarial() && !spec.algorithm.supports_perturbations() {
+            let what = if spec.perturbations.is_empty() {
+                "fault plan"
+            } else {
+                "perturbation script"
+            };
             return Err(format!(
-                "scenario `{}` attaches a perturbation script to `{}`, which runs no \
+                "scenario `{}` attaches a {what} to `{}`, which runs no \
                  round-driven phase",
                 spec.name,
                 spec.algorithm.name()
@@ -537,7 +563,7 @@ impl ServerCore {
         // touch the deterministic report fields or checkpoint replay.
         execution.enable_profiling();
         let n = spec.build_shape().len();
-        let script = PerturbationScript::new(spec.perturbations.clone());
+        let script = ScenarioScript::for_spec(&spec);
         let session = self.scheduler.admit(execution, script);
         let response = Response::Submitted {
             session,
@@ -632,10 +658,47 @@ impl ServerCore {
         }
         spec.perturbations.push(event);
         let script = self.scheduler.payload_mut(session).expect("session exists");
-        script.push(event);
+        script.push_perturbation(event);
         Response::Perturbed {
             session,
-            events: script.specs().len(),
+            events: script.perturbations().specs().len(),
+        }
+    }
+
+    /// Appends a fault process to a live session's plan — the generalised
+    /// `perturb`, with the identical rejection rules: finished sessions,
+    /// algorithms with no round-driven phase, and processes whose first
+    /// firing round the session already completed are rejected, so every
+    /// accepted process replays identically from a checkpoint.
+    fn fault(&mut self, session: SessionId, process: FaultProcess) -> Response {
+        let Some(view) = self.scheduler.view(session) else {
+            return ServerCore::unknown(session);
+        };
+        let spec = self.specs.get_mut(&session).expect("specs mirror sessions");
+        if view.done || self.scheduler.status(session).is_some_and(|s| s.finished) {
+            return ServerCore::error(format!("session {session} has finished"));
+        }
+        if !spec.algorithm.supports_perturbations() {
+            return ServerCore::error(format!(
+                "`{}` runs no round-driven phase to fault",
+                spec.algorithm.name()
+            ));
+        }
+        // Like stale perturbations: a process starting at a round the
+        // session already completed would fire under replay but not live,
+        // breaking checkpoint determinism.
+        if process.start < view.rounds {
+            return ServerCore::error(format!(
+                "session {session} already completed round {} (process starts at round {})",
+                view.rounds, process.start
+            ));
+        }
+        spec.faults.processes.push(process);
+        let script = self.scheduler.payload_mut(session).expect("session exists");
+        script.push_fault(process);
+        Response::Faulted {
+            session,
+            processes: script.faults().plan().processes.len(),
         }
     }
 
@@ -683,13 +746,11 @@ impl ServerCore {
             Err(message) => return ServerCore::error(message),
         };
         execution.enable_profiling();
-        let script = PerturbationScript::new(checkpoint.spec.perturbations.clone());
-        match self.scheduler.restore(
-            execution,
-            script,
-            &checkpoint.execution,
-            &apply_perturbations,
-        ) {
+        let script = ScenarioScript::for_spec(&checkpoint.spec);
+        match self
+            .scheduler
+            .restore(execution, script, &checkpoint.execution, &apply_scripts)
+        {
             Ok(session) => {
                 self.specs.insert(session, checkpoint.spec);
                 self.touch(session);
@@ -842,6 +903,134 @@ mod tests {
         {
             Response::Perturbed { events, .. } => assert_eq!(events, 1),
             other => panic!("expected Perturbed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_processes_past_the_cursor_are_rejected() {
+        use pm_faults::FaultKind;
+        // Satellite contract: fault plans obey exactly the perturbation
+        // cursor rule — a process whose first firing round the session
+        // already completed is rejected with the same wording, so every
+        // accepted process replays identically from a checkpoint.
+        let mut core = ServerCore::default();
+        let session = submit(&mut core, "a");
+        handle(&mut core, Request::Watch { session, rounds: 5 });
+        let stale = FaultProcess::once(FaultKind::Removals, 2, 1);
+        match handle(
+            &mut core,
+            Request::Fault {
+                session,
+                process: stale,
+            },
+        )
+        .remove(0)
+        {
+            Response::Error { message } => assert!(message.contains("already completed")),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        let due = FaultProcess::periodic(FaultKind::Removals, 8, 2, 12, 1);
+        match handle(
+            &mut core,
+            Request::Fault {
+                session,
+                process: due,
+            },
+        )
+        .remove(0)
+        {
+            Response::Faulted { processes, .. } => assert_eq!(processes, 1),
+            other => panic!("expected Faulted, got {other:?}"),
+        }
+        // The spec mirrors the injection, so checkpoints replay it.
+        match handle(&mut core, Request::Checkpoint { session }).remove(0) {
+            Response::Checkpointed { checkpoint, .. } => {
+                assert_eq!(checkpoint.spec.faults.processes, vec![due]);
+            }
+            other => panic!("expected Checkpointed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_sessions_checkpoint_and_restore_byte_identically() {
+        use pm_faults::{FaultKind, FaultPlan};
+        // Self-stabilising contender: the only algorithm that survives a
+        // periodic removal process past the pipeline's early fault window
+        // without a reset, so the run actually terminates.
+        let faulted = |name: &str| {
+            spec(name)
+                .algorithm(pm_scenarios::AlgorithmSpec::SelfStabMax)
+                .faults(FaultPlan::new(7).process(FaultProcess::periodic(
+                    FaultKind::Removals,
+                    1,
+                    3,
+                    10,
+                    1,
+                )))
+        };
+        let reference = {
+            let mut core = ServerCore::default();
+            let session = match handle(
+                &mut core,
+                Request::Submit {
+                    spec: faulted("ref"),
+                },
+            )
+            .remove(0)
+            {
+                Response::Submitted { session, .. } => session,
+                other => panic!("expected Submitted, got {other:?}"),
+            };
+            match handle(&mut core, Request::Run { session }).remove(0) {
+                Response::Done { report, .. } => report,
+                other => panic!("expected Done, got {other:?}"),
+            }
+        };
+        assert!(reference.unique_leader());
+
+        // Checkpoint mid-run (inside the fault window) and finish in a
+        // fresh core: the fault firings replay bit-identically.
+        let mut core = ServerCore::default();
+        let session = match handle(
+            &mut core,
+            Request::Submit {
+                spec: faulted("ref"),
+            },
+        )
+        .remove(0)
+        {
+            Response::Submitted { session, .. } => session,
+            other => panic!("expected Submitted, got {other:?}"),
+        };
+        handle(&mut core, Request::Watch { session, rounds: 4 });
+        let checkpoint = match handle(&mut core, Request::Checkpoint { session }).remove(0) {
+            Response::Checkpointed { checkpoint, .. } => checkpoint,
+            other => panic!("expected Checkpointed, got {other:?}"),
+        };
+        let mut fresh = ServerCore::default();
+        let restored = match handle(&mut fresh, Request::Restore { checkpoint }).remove(0) {
+            Response::Restored { session, .. } => session,
+            other => panic!("expected Restored, got {other:?}"),
+        };
+        match handle(&mut fresh, Request::Run { session: restored }).remove(0) {
+            Response::Done { report, .. } => assert_eq!(report, reference),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_plans_on_closed_form_algorithms_are_rejected_at_submit() {
+        use pm_faults::{FaultKind, FaultPlan};
+        let mut core = ServerCore::default();
+        let bad = spec("bad")
+            .algorithm(pm_scenarios::AlgorithmSpec::QuadraticBoundary)
+            .faults(FaultPlan::new(1).process(FaultProcess::once(FaultKind::Removals, 1, 1)));
+        match handle(&mut core, Request::Submit { spec: bad }).remove(0) {
+            Response::Error { message } => {
+                assert!(message.contains("fault plan"), "{message}");
+                assert!(message.contains("no round-driven phase"), "{message}");
+            }
+            other => panic!("expected Error, got {other:?}"),
         }
     }
 

@@ -38,6 +38,9 @@ const BYTES_BOUNDS: &[u64] = &[
     16 << 20,
 ];
 
+/// Round-count buckets for recovery histograms: 1 to ~4k rounds.
+const ROUNDS_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 4_096];
+
 /// Every verb name `pm_server_verb_latency_us` is labeled with, in protocol
 /// order. Kept in one place so the smoke test and docs can enumerate them.
 pub const VERBS: &[&str] = &[
@@ -46,6 +49,7 @@ pub const VERBS: &[&str] = &[
     "watch",
     "run",
     "perturb",
+    "fault",
     "pause",
     "resume",
     "cancel",
@@ -85,6 +89,15 @@ pub struct ServerTelemetry {
     pub checkpoint_errors: Counter,
     /// Wall time of one housekeeping pass, µs.
     pub housekeeping_duration_us: Histogram,
+    /// Fault-plan firings across finished fault-injected sessions.
+    pub faults_fired_total: Counter,
+    /// Rounds from the last fault firing to termination, per finished
+    /// fault-injected session.
+    pub recovery_rounds: Histogram,
+    /// Fault-injected sessions that finished with a unique leader.
+    pub recoveries_total: Counter,
+    /// Fault-injected sessions that finished without a unique leader.
+    pub recovery_failures_total: Counter,
 }
 
 impl ServerTelemetry {
@@ -115,6 +128,10 @@ impl ServerTelemetry {
             checkpoint_errors: registry.counter("pm_server_checkpoint_errors_total"),
             housekeeping_duration_us: registry
                 .histogram("pm_server_housekeeping_duration_us", LATENCY_US_BOUNDS),
+            faults_fired_total: registry.counter("pm_election_faults_fired_total"),
+            recovery_rounds: registry.histogram("pm_election_recovery_rounds", ROUNDS_BOUNDS),
+            recoveries_total: registry.counter("pm_election_recoveries_total"),
+            recovery_failures_total: registry.counter("pm_election_recovery_failures_total"),
             registry,
         };
         Arc::new(telemetry)
@@ -154,6 +171,22 @@ impl ServerTelemetry {
             self.registry
                 .counter_with("pm_election_phase_moves_total", labels)
                 .add(phase.moves);
+        }
+    }
+
+    /// Folds one finished fault-injected session's recovery outcome into
+    /// the registry: total firings, rounds-to-termination after the last
+    /// firing, and whether a unique leader emerged. Call once per session
+    /// (guarded by the core's harvested-session set), and only for sessions
+    /// whose fault plan actually fired.
+    pub fn harvest_recovery(&self, faults_fired: usize, recovery_rounds: u64, recovered: bool) {
+        self.faults_fired_total
+            .add(u64::try_from(faults_fired).unwrap_or(u64::MAX));
+        self.recovery_rounds.observe(recovery_rounds);
+        if recovered {
+            self.recoveries_total.inc();
+        } else {
+            self.recovery_failures_total.inc();
         }
     }
 
@@ -214,5 +247,33 @@ mod tests {
             .find(|c| c.name == "pm_election_phase_rounds_total")
             .expect("phase rounds series");
         assert_eq!(rounds.value, 7);
+    }
+
+    #[test]
+    fn recovery_series_exist_at_zero_and_accumulate_on_harvest() {
+        let telemetry = ServerTelemetry::new();
+        let snapshot = telemetry.snapshot();
+        assert!(snapshot
+            .counters
+            .iter()
+            .any(|c| c.name == "pm_election_faults_fired_total" && c.value == 0));
+        assert!(snapshot
+            .histograms
+            .iter()
+            .any(|h| h.name == "pm_election_recovery_rounds" && h.count == 0));
+
+        telemetry.harvest_recovery(3, 12, true);
+        telemetry.harvest_recovery(1, 40, false);
+        let snapshot = telemetry.snapshot();
+        assert_eq!(telemetry.faults_fired_total.get(), 4);
+        assert_eq!(telemetry.recoveries_total.get(), 1);
+        assert_eq!(telemetry.recovery_failures_total.get(), 1);
+        let rounds = snapshot
+            .histograms
+            .iter()
+            .find(|h| h.name == "pm_election_recovery_rounds")
+            .expect("recovery rounds series");
+        assert_eq!(rounds.count, 2);
+        assert_eq!(rounds.sum, 52);
     }
 }

@@ -80,9 +80,15 @@ fn smoke_transcript_proves_the_full_lifecycle() {
         |r| matches!(r, Response::Restored { steps, rounds, .. } if *steps > 0 && *rounds > 0)
     ));
 
-    // The two final reports — live run and restored-after-restart run —
-    // must be byte-identical, with a unique leader and the perturbation's
-    // removals reflected in the survivors.
+    // The mid-flight fault injection on the self-stab session was accepted.
+    assert!(parsed
+        .iter()
+        .any(|r| matches!(r, Response::Faulted { processes: 2, .. })));
+
+    // Three final reports — live run, fault-injected self-stab run, and the
+    // restored-after-restart run. Live and restored must be byte-identical,
+    // with a unique leader and the perturbation's removals reflected in the
+    // survivors.
     let reports: Vec<_> = parsed
         .iter()
         .filter_map(|r| match r {
@@ -90,10 +96,14 @@ fn smoke_transcript_proves_the_full_lifecycle() {
             _ => None,
         })
         .collect();
-    assert_eq!(reports.len(), 2, "expected a live and a restored report");
+    assert_eq!(
+        reports.len(),
+        3,
+        "expected a live, a faulted and a restored report"
+    );
     assert_eq!(
         serde_json::to_string(reports[0]).unwrap(),
-        serde_json::to_string(reports[1]).unwrap(),
+        serde_json::to_string(reports[2]).unwrap(),
         "restored run diverged from the live run"
     );
     assert!(reports[0].unique_leader());
@@ -101,6 +111,15 @@ fn smoke_transcript_proves_the_full_lifecycle() {
     assert!(
         reports[0].final_positions.len() < reports[0].n,
         "the RemoveRandom perturbation removed no particles"
+    );
+    // The fault-injected session recovered a unique leader with no reset —
+    // periodic removals plus injected corruption, absorbed in-stride.
+    assert_eq!(reports[1].algorithm, "self-stab-max");
+    assert!(reports[1].unique_leader());
+    assert_eq!(reports[1].undecided, 0);
+    assert!(
+        reports[1].final_positions.len() < reports[1].n,
+        "the periodic removal process removed no particles"
     );
     assert!(matches!(parsed.last(), Some(Response::Bye)));
 }
@@ -130,7 +149,7 @@ fn tcp_transport_serves_the_same_protocol() {
     }
     let addr = addr.expect("server announced its address");
 
-    let spec = r#"{"Submit":{"spec":{"name":"tcp","tags":[],"generator":{"Hexagon":{"radius":3}},"algorithm":"Pipeline","scheduler":{"SeededRandom":7},"options":{"assume_outer_boundary_known":false,"reconnect":true,"track_connectivity":false,"round_budget":null,"seed":7,"occupancy":"Dense"},"perturbations":[]}}}"#;
+    let spec = r#"{"Submit":{"spec":{"name":"tcp","tags":[],"generator":{"Hexagon":{"radius":3}},"algorithm":"Pipeline","scheduler":{"SeededRandom":7},"options":{"assume_outer_boundary_known":false,"reconnect":true,"track_connectivity":false,"round_budget":null,"seed":7,"occupancy":"Dense"},"perturbations":[],"faults":{"seed":0,"reset":"None","processes":[]}}}}"#;
 
     // First connection: submit, then drop the connection mid-session.
     let mut first = TcpStream::connect(&addr).expect("connect");

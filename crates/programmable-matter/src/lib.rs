@@ -85,6 +85,7 @@ pub use pm_amoebot as amoebot;
 pub use pm_analysis as analysis;
 pub use pm_baselines as baselines;
 pub use pm_core as leader_election;
+pub use pm_faults as faults;
 pub use pm_grid as grid;
 pub use pm_scenarios as scenarios;
 

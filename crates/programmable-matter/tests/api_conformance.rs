@@ -11,7 +11,7 @@ use programmable_matter::amoebot::scheduler::{
     DoubleActivation, ReverseRoundRobin, RoundRobin, Scheduler, SeededRandom,
 };
 use programmable_matter::baselines::{
-    ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary,
+    ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary, SelfStabMaxElection,
 };
 use programmable_matter::grid::builder::{annulus, comb, hexagon, line, swiss_cheese};
 use programmable_matter::grid::Shape;
@@ -52,12 +52,13 @@ fn schedulers() -> [SchedulerFactory; 4] {
 }
 
 /// Every algorithm behind the unified API.
-fn algorithms() -> [&'static dyn LeaderElection; 4] {
+fn algorithms() -> [&'static dyn LeaderElection; 5] {
     [
         &PaperPipeline,
         &ErosionLeaderElection,
         &RandomizedBoundary,
         &QuadraticBoundary,
+        &SelfStabMaxElection,
     ]
 }
 

@@ -10,18 +10,21 @@
 //! statistics, final positions, connectivity observations.
 
 use pm_amoebot::system::OccupancyBackend;
-use pm_baselines::{ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary};
+use pm_baselines::{
+    ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary, SelfStabMaxElection,
+};
 use pm_core::api::{ElectionError, LeaderElection, PaperPipeline, RunOptions, RunReport};
 use pm_core::batch::SchedulerSpec;
 use pm_grid::random::{random_blob, random_holey_hexagon};
 use pm_grid::Shape;
 use proptest::prelude::*;
 
-const ALGORITHMS: [(&str, &(dyn LeaderElection + Sync)); 4] = [
+const ALGORITHMS: [(&str, &(dyn LeaderElection + Sync)); 5] = [
     ("dle+collect", &PaperPipeline),
     ("erosion-le", &ErosionLeaderElection),
     ("randomized-boundary", &RandomizedBoundary),
     ("quadratic-boundary", &QuadraticBoundary),
+    ("self-stab-max", &SelfStabMaxElection),
 ];
 
 fn scheduler_specs(seed: u64) -> [SchedulerSpec; 4] {
@@ -103,6 +106,52 @@ proptest! {
     fn backends_agree_on_holey_hexagons(radius in 3u32..6, seed in 0u64..1_000) {
         let shape = random_holey_hexagon(radius, 0.1, seed);
         assert_backends_agree(&shape, seed)?;
+    }
+}
+
+/// Satellite: mid-run particle *additions*. The dense occupancy backend
+/// resizes/overflows on points outside its initial `GridRect`, so regrow
+/// events exercise a code path removals never touch; both backends must
+/// still agree byte-for-byte on runs whose shape grows between rounds.
+#[test]
+fn backends_agree_under_midrun_regrow_additions() {
+    use pm_faults::{FaultKind, FaultPlan, FaultProcess, RecoveryDriver};
+    use pm_grid::builder::hexagon;
+
+    // Periodic regrow: two fresh particles every other round over the fault
+    // window, with a removal process mixed in so additions land on a shape
+    // that has also shrunk.
+    let plan = FaultPlan::new(29)
+        .process(FaultProcess::periodic(FaultKind::Regrow, 1, 2, 9, 2))
+        .process(FaultProcess::once(FaultKind::Removals, 4, 2));
+    let run = |backend: OccupancyBackend, seed: u64| {
+        let opts = RunOptions {
+            occupancy: backend,
+            track_connectivity: true,
+            ..RunOptions::default()
+        };
+        RecoveryDriver::new(plan.clone())
+            .run(
+                &SelfStabMaxElection,
+                &hexagon(3),
+                &mut *SchedulerSpec::SeededRandom(seed).build(),
+                &opts,
+            )
+            .unwrap()
+    };
+    for seed in [1, 7, 23] {
+        let (dense_recovery, dense_report) = run(OccupancyBackend::Dense, seed);
+        let (hashed_recovery, hashed_report) = run(OccupancyBackend::Hashed, seed);
+        assert_eq!(
+            dense_report, hashed_report,
+            "regrow run diverged between backends at seed {seed}"
+        );
+        assert_eq!(dense_recovery, hashed_recovery);
+        assert!(
+            dense_recovery.added > 0,
+            "regrow never fired at seed {seed}"
+        );
+        assert!(dense_recovery.recovered, "{dense_recovery:?}");
     }
 }
 

@@ -9,7 +9,7 @@ use programmable_matter::amoebot::scheduler::{
     DoubleActivation, ReverseRoundRobin, RoundRobin, Scheduler, SeededRandom,
 };
 use programmable_matter::baselines::{
-    ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary,
+    ErosionLeaderElection, QuadraticBoundary, RandomizedBoundary, SelfStabMaxElection,
 };
 use programmable_matter::grid::builder::{annulus, hexagon, line, swiss_cheese};
 use programmable_matter::grid::Shape;
@@ -30,12 +30,13 @@ fn schedulers() -> [SchedulerFactory; 4] {
     ]
 }
 
-fn algorithms() -> [&'static dyn LeaderElection; 4] {
+fn algorithms() -> [&'static dyn LeaderElection; 5] {
     [
         &PaperPipeline,
         &ErosionLeaderElection,
         &RandomizedBoundary,
         &QuadraticBoundary,
+        &SelfStabMaxElection,
     ]
 }
 
@@ -131,7 +132,7 @@ fn stepping_equals_eager_across_the_smoke_corpus() {
     let smoke = select(&corpus, "smoke");
     let mut compared = 0;
     for spec in smoke {
-        if !spec.perturbations.is_empty() {
+        if spec.is_adversarial() {
             continue;
         }
         let shape = spec.build_shape();
