@@ -652,9 +652,38 @@ impl<'a> Execution<'a> {
         };
         let started = std::time::Instant::now();
         let mut outcome = self.driver.step()?;
-        let wall_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let ended = std::time::Instant::now();
+        let wall_nanos =
+            u64::try_from(ended.duration_since(started).as_nanos()).unwrap_or(u64::MAX);
         profiler.record(&mut outcome, wall_nanos);
+        // Tracing rides the same opt-in gate as profiling (the unprofiled
+        // path above stays one `Option` check) and reuses the step's two
+        // clock reads; with no recorder installed this is one atomic load.
+        if pm_telemetry::trace::enabled() {
+            Execution::trace_step(&outcome, started, ended);
+        }
         Ok(outcome)
+    }
+
+    /// Records one profiled step on the trace timeline: rounds and the
+    /// closed-form/finalize steps as spans (timestamped from the step's own
+    /// profiling clock reads, so tracing adds no extra timing), phase
+    /// starts as instant markers. Span names stay `&'static str` on the
+    /// per-round path — no allocation per step.
+    fn trace_step(outcome: &StepOutcome, started: std::time::Instant, ended: std::time::Instant) {
+        use pm_telemetry::trace;
+        match outcome {
+            StepOutcome::PhaseStarted { phase } => trace::instant("phase", *phase),
+            StepOutcome::RoundCompleted { phase, .. } => {
+                trace::span_at("round", *phase, started, ended);
+            }
+            StepOutcome::PhaseEnded { report } => {
+                // The step that ended the phase: a closed-form phase's whole
+                // body, or a round-driven phase's finalize step.
+                trace::span_at("phase-step", report.name.clone(), started, ended);
+            }
+            StepOutcome::Finished(_) => trace::span_at("phase-step", "finish", started, ended),
+        }
     }
 
     /// The current status snapshot: phase, round counters, decided and

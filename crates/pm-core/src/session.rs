@@ -38,6 +38,7 @@
 //! baselines) fall back to the full replay path.
 
 use crate::api::{ElectionError, Execution, ExecutionStatus, RunReport, StepOutcome};
+use pm_telemetry::trace;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -313,6 +314,15 @@ pub type StepHook<'h, P> = &'h (dyn Fn(&mut P, &mut Execution<'static>) + Sync);
 /// The no-op hook for sessions without fault injection.
 pub fn no_hook<P>(_: &mut P, _: &mut Execution<'static>) {}
 
+/// The trace span for one session's sweep slice, `None` (and
+/// allocation-free) while no recorder is active. Sharded sweeps open these
+/// on their worker threads, so each slice nests under whatever that thread
+/// has open — the round spans an execution records during the slice nest
+/// under it in turn.
+fn slice_span(id: SessionId) -> Option<trace::SpanGuard> {
+    trace::enabled().then(|| trace::span("scheduler", format!("session:{id}")))
+}
+
 impl<P: Send> SessionScheduler<P> {
     /// A sequential scheduler giving each runnable session at most
     /// `slice_steps` steps per sweep.
@@ -478,18 +488,26 @@ impl<P: Send> SessionScheduler<P> {
     /// Returns the total steps executed (0 = nothing runnable; pump loops
     /// use this as their progress signal).
     pub fn sweep(&mut self, hook: StepHook<'_, P>) -> u64 {
+        // Tracing is out-of-band: the sweep span and the per-session slice
+        // spans below time the sweep without influencing it, and with no
+        // recorder installed each gate is one relaxed atomic load.
+        let _sweep = trace::span("scheduler", "sweep");
         let slice = self.slice_steps;
-        let mut runnable: Vec<&mut Slot<P>> = self
+        let mut runnable: Vec<(SessionId, &mut Slot<P>)> = self
             .slots
-            .values_mut()
-            .filter(|slot| slot.runnable())
+            .iter_mut()
+            .filter(|(_, slot)| slot.runnable())
+            .map(|(id, slot)| (*id, slot))
             .collect();
         let granted = runnable.len() as u64;
         let workers = self.threads.min(runnable.len());
         let steps = if workers <= 1 {
             runnable
                 .iter_mut()
-                .map(|slot| slot.advance(slice, hook))
+                .map(|(id, slot)| {
+                    let _slice = slice_span(*id);
+                    slot.advance(slice, hook)
+                })
                 .sum()
         } else {
             // Contiguous shards: any partition yields identical results
@@ -503,7 +521,10 @@ impl<P: Send> SessionScheduler<P> {
                         scope.spawn(move || {
                             chunk
                                 .iter_mut()
-                                .map(|slot| slot.advance(slice, hook))
+                                .map(|(id, slot)| {
+                                    let _slice = slice_span(*id);
+                                    slot.advance(slice, hook)
+                                })
                                 .sum::<u64>()
                         })
                     })

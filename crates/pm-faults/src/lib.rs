@@ -31,6 +31,7 @@ use pm_amoebot::system::SystemControl;
 use pm_core::api::{phase, ElectionError, Execution, LeaderElection, RunOptions, RunReport};
 use pm_core::batch::SchedulerSpec;
 use pm_grid::{Point, Shape};
+use pm_telemetry::trace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore, SeedableRng};
@@ -388,6 +389,12 @@ impl FaultScript {
                 self.apply_process(&process, &mut *system, &mut rng);
                 self.fired += 1;
                 self.last_fault_round = Some(round);
+                // Firings land on the trace timeline so a drained trace
+                // shows recovery rounds in causal order after their cause;
+                // out-of-band, like all telemetry.
+                if trace::enabled() {
+                    trace::instant("fault", format!("fault:{}@r{round}", process.kind));
+                }
             }
             if self.plan.reset == ResetPolicy::Reinitialize {
                 system.reinitialize();

@@ -26,6 +26,7 @@ use pm_amoebot::system::SystemControl;
 use pm_core::api::{phase, ElectionError, Execution, RunReport, StepOutcome};
 use pm_faults::prune_to_largest_component;
 use pm_grid::Point;
+use pm_telemetry::trace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -194,6 +195,12 @@ impl PerturbationScript {
                 self.removed += spec.apply(&mut *system);
                 self.fired += 1;
                 fired_now += 1;
+                // Out-of-band, like all telemetry: the firing lands on the
+                // trace timeline so drained traces show the recovery rounds
+                // in causal order after their cause.
+                if trace::enabled() {
+                    trace::instant("perturb", format!("perturb:{spec}"));
+                }
             }
         }
         fired_now

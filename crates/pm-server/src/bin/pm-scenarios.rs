@@ -6,9 +6,10 @@
 //! pm-scenarios render <name>  [--corpus FILE]
 //! pm-scenarios run <suite>    [--corpus FILE] [--threads N] [--out FILE]
 //! pm-scenarios trace <name>   [--corpus FILE] [--json] [--profile]
-//! pm-scenarios serve  [--stdio | --tcp ADDR] [--slice N] [--threads N]
-//!                     [--persist-dir DIR] [--autosave-ms N] [--ttl-ms N]
-//!                     [--max-sessions N]
+//! pm-scenarios profile <name> [--corpus FILE] [--out FILE] [--folded FILE]
+//! pm-scenarios serve  [--stdio | --tcp ADDR] [--http ADDR] [--slice N]
+//!                     [--threads N] [--persist-dir DIR] [--autosave-ms N]
+//!                     [--ttl-ms N] [--max-sessions N]
 //! pm-scenarios client --script FILE [--threads N] [--persist-dir DIR] ...
 //! pm-scenarios load   [--sessions N] [--clients N] [--max-sessions N]
 //! pm-scenarios regen
@@ -40,9 +41,15 @@
 //! log records on stderr instead of human text). `trace --profile` times
 //! each phase through the execution's profiler and prints a per-phase
 //! table (with `--json`, one extra JSON line holding the `PhaseProfile`
-//! array). A running server exposes the full metric registry via the
-//! protocol's `metrics` verb — JSON and Prometheus text exposition from
-//! one snapshot; see PROTOCOL.md.
+//! array). `profile` runs one scenario under the span recorder and writes
+//! a Chrome trace-event file (`--out`, default `<name>.trace.json`; load
+//! in Perfetto or `chrome://tracing`) plus optional folded-stack lines for
+//! flamegraph tooling (`--folded FILE`), and prints per-phase and
+//! per-round summary tables. A running server exposes the full metric
+//! registry via the protocol's `metrics` verb — JSON and Prometheus text
+//! exposition from one snapshot; with `serve --http ADDR` the same
+//! snapshot (plus `/healthz`, `/stats`, and the live trace as `/trace`) is
+//! scrapeable over plain HTTP; see PROTOCOL.md.
 
 use pm_amoebot::ascii::render_shape;
 use pm_core::api::StepOutcome;
@@ -50,8 +57,8 @@ use pm_scenarios::corpus::{self, FAULTS, SMOKE};
 use pm_scenarios::{
     report_json, run_suite, select, suite_tags, GeneratorSpec, ScenarioScript, ScenarioSpec,
 };
-use pm_server::{Request, Response, ServerCore, ServerLimits};
-use pm_telemetry::{info, logging, Level};
+use pm_server::{Request, Response, ServeOptions, ServerCore, ServerLimits};
+use pm_telemetry::{info, logging, trace, Level};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -64,7 +71,9 @@ struct Args {
     corpus: Option<PathBuf>,
     out: Option<PathBuf>,
     script: Option<PathBuf>,
+    folded: Option<PathBuf>,
     tcp: Option<String>,
+    http: Option<String>,
     threads: usize,
     slice: u64,
     json: bool,
@@ -80,9 +89,11 @@ struct Args {
 }
 
 const USAGE: &str =
-    "usage: pm-scenarios <list|suites|render <name>|run <suite>|trace <name>|serve|client|load|regen> \
+    "usage: pm-scenarios <list|suites|render <name>|run <suite>|trace <name>|profile <name>\
+|serve|client|load|regen> \
                      [--corpus FILE] [--threads N] [--out FILE] [--json] [--profile] \
-                     [--stdio] [--tcp ADDR] [--slice N] [--script FILE] \
+                     [--folded FILE] [--stdio] [--tcp ADDR] [--http ADDR] [--slice N] \
+                     [--script FILE] \
                      [--persist-dir DIR] [--autosave-ms N] [--ttl-ms N] [--max-sessions N] \
                      [--sessions N] [--clients N] \
                      [--log-level error|warn|info|debug] [--log-json]";
@@ -96,7 +107,9 @@ fn parse_args() -> Result<Args, String> {
         corpus: None,
         out: None,
         script: None,
+        folded: None,
         tcp: None,
+        http: None,
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         slice: 64,
         json: false,
@@ -133,7 +146,13 @@ fn parse_args() -> Result<Args, String> {
                     args.next().ok_or("--script needs a file argument")?,
                 ))
             }
+            "--folded" => {
+                parsed.folded = Some(PathBuf::from(
+                    args.next().ok_or("--folded needs a file argument")?,
+                ))
+            }
             "--tcp" => parsed.tcp = Some(args.next().ok_or("--tcp needs an address")?),
+            "--http" => parsed.http = Some(args.next().ok_or("--http needs an address")?),
             // The default transport; accepted so invocations can be
             // explicit about it.
             "--stdio" => parsed.tcp = None,
@@ -428,8 +447,151 @@ fn cmd_trace(specs: &[ScenarioSpec], name: &str, json: bool, profile: bool) -> R
     Ok(())
 }
 
+/// Runs one scenario under the span recorder and the phase profiler,
+/// writes the drained trace as a Chrome trace-event file (plus optional
+/// folded stacks), and prints per-phase and per-round summary tables. The
+/// run is single-threaded and caller-driven, so the trace shows the full
+/// session → phase → round hierarchy with adversarial firings as instant
+/// events inside the phase that absorbed them.
+fn cmd_profile(specs: &[ScenarioSpec], name: &str, args: &Args) -> Result<(), String> {
+    let spec = specs
+        .iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("no scenario named `{name}` (try `pm-scenarios list`)"))?;
+    if spec.is_adversarial() && !spec.algorithm.supports_perturbations() {
+        return Err(format!(
+            "scenario `{name}` attaches an adversarial script to `{}`, which runs no \
+             round-driven phase",
+            spec.algorithm.name()
+        ));
+    }
+    if !trace::install(trace::DEFAULT_CAPACITY) {
+        return Err("a trace recorder is already installed".to_string());
+    }
+    // Uninstall even on error — a stray recorder must not outlive the run.
+    let result = profile_run(spec);
+    let traced = trace::uninstall().unwrap_or_default();
+    let report = result?;
+
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("{name}.trace.json")));
+    std::fs::write(&out, traced.to_chrome_json())
+        .map_err(|e| format!("write {}: {e}", out.display()))?;
+    eprintln!(
+        "wrote {} ({} event(s), {} dropped) — load in Perfetto or chrome://tracing",
+        out.display(),
+        traced.events.len(),
+        traced.dropped
+    );
+    if let Some(folded) = &args.folded {
+        std::fs::write(folded, traced.to_folded())
+            .map_err(|e| format!("write {}: {e}", folded.display()))?;
+        eprintln!(
+            "wrote {} (folded stacks for flamegraph tooling)",
+            folded.display()
+        );
+    }
+
+    println!(
+        "{:<12} {:>8} {:>8} {:>12} {:>8} {:>12}",
+        "phase", "steps", "rounds", "activations", "moves", "wall µs"
+    );
+    for phase in &report.profile {
+        println!(
+            "{:<12} {:>8} {:>8} {:>12} {:>8} {:>12}",
+            phase.name,
+            phase.steps,
+            phase.rounds,
+            phase.activations,
+            phase.moves,
+            phase.wall_nanos / 1_000
+        );
+    }
+
+    // Per-round critical path, from the trace's `round` spans (span_at
+    // pushes Begin and End with one id, so pair them by id).
+    let mut begun: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut rounds: std::collections::BTreeMap<String, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for event in traced.events.iter().filter(|e| e.cat == "round") {
+        match event.kind {
+            trace::EventKind::Begin => {
+                begun.insert(event.id, event.ts_us);
+            }
+            trace::EventKind::End => {
+                let Some(start) = begun.remove(&event.id) else {
+                    continue;
+                };
+                let duration = event.ts_us.saturating_sub(start);
+                let (count, total, max) = rounds.entry(event.name.to_string()).or_insert((0, 0, 0));
+                *count += 1;
+                *total += duration;
+                *max = (*max).max(duration);
+            }
+            trace::EventKind::Instant => {}
+        }
+    }
+    let grand_total: u64 = rounds.values().map(|(_, total, _)| *total).sum();
+    println!(
+        "{:<12} {:>8} {:>12} {:>10} {:>10} {:>8}",
+        "rounds", "count", "total µs", "mean µs", "max µs", "share %"
+    );
+    for (phase, (count, total, max)) in &rounds {
+        println!(
+            "{:<12} {:>8} {:>12} {:>10} {:>10} {:>7.1}%",
+            phase,
+            count,
+            total,
+            total / count.max(&1),
+            max,
+            100.0 * *total as f64 / grand_total.max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+/// The instrumented drive loop behind [`cmd_profile`]: session and phase
+/// guard spans from the caller's side, round spans and phase-boundary
+/// instants from `Execution::step_round` itself, adversarial firings from
+/// the script.
+fn profile_run(spec: &ScenarioSpec) -> Result<pm_core::api::RunReport, String> {
+    let shape = spec.build_shape();
+    let mut scheduler = spec.scheduler.build();
+    let mut execution = spec
+        .algorithm
+        .instance()
+        .start(&shape, &mut *scheduler, &spec.options)
+        .map_err(|e| format!("start: {e}"))?;
+    execution.enable_profiling();
+    let mut script = ScenarioScript::for_spec(spec);
+    let _session = trace::span("session", format!("session:{}", spec.name));
+    let mut phase_span: Option<pm_telemetry::SpanGuard> = None;
+    loop {
+        script.apply_due(&mut execution);
+        match execution
+            .step_round()
+            .map_err(|e| format!("execution failed: {e}"))?
+        {
+            StepOutcome::PhaseStarted { phase } => {
+                // take() first: the previous guard must End before the new
+                // phase Begins, or the spans would nest instead of chain.
+                drop(phase_span.take());
+                phase_span = Some(trace::span("phase", format!("phase:{phase}")));
+            }
+            StepOutcome::RoundCompleted { .. } => {}
+            StepOutcome::PhaseEnded { .. } => drop(phase_span.take()),
+            StepOutcome::Finished(report) => return Ok(report),
+        }
+    }
+}
+
 /// Serves the session protocol over stdin/stdout (default) or TCP, with
-/// the durability and resource-bound knobs applied.
+/// the durability and resource-bound knobs applied. With `--http`, the
+/// observability listener rides alongside and the trace recorder, the
+/// core's uptime clock and the scrape surfaces all share one epoch
+/// `Instant`, so `/stats` uptime and `/trace` timestamps agree.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let mut core = ServerCore::new(args.slice.max(1), args.threads.max(1));
     core.set_limits(ServerLimits {
@@ -437,6 +599,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         idle_ttl: args.ttl_ms.map(Duration::from_millis),
     });
     core.set_autosave_interval(Duration::from_millis(args.autosave_ms.max(1)));
+    if args.http.is_some() {
+        let epoch = std::time::Instant::now();
+        if !trace::install_at(trace::DEFAULT_CAPACITY, epoch) {
+            return Err("a trace recorder is already installed".to_string());
+        }
+        core.set_epoch(epoch);
+    }
     if let Some(dir) = &args.persist_dir {
         let (restored, rejected) = core.attach_persistence(dir.clone())?;
         info!(
@@ -445,12 +614,19 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             dir.display()
         );
     }
-    match &args.tcp {
-        Some(addr) => pm_server::serve_tcp(core, addr)
+    let options = ServeOptions {
+        http: args.http.as_deref(),
+    };
+    let served = match &args.tcp {
+        Some(addr) => pm_server::serve_tcp_with(core, addr, options)
             .map(|_| ())
             .map_err(|e| format!("serve --tcp {addr}: {e}")),
-        None => pm_server::serve_stdio(core).map_err(|e| format!("serve --stdio: {e}")),
-    }
+        None => {
+            pm_server::serve_stdio_with(core, options).map_err(|e| format!("serve --stdio: {e}"))
+        }
+    };
+    let _ = trace::uninstall();
+    served
 }
 
 /// The `serve --stdio` command line matching this invocation's knobs —
@@ -764,6 +940,8 @@ fn main() -> ExitCode {
                 ("run", None) => Err("run needs a suite name (try `smoke` or `all`)".to_string()),
                 ("trace", Some(name)) => cmd_trace(&specs, name, args.json, args.profile),
                 ("trace", None) => Err("trace needs a scenario name".to_string()),
+                ("profile", Some(name)) => cmd_profile(&specs, name, &args),
+                ("profile", None) => Err("profile needs a scenario name".to_string()),
                 (other, _) => Err(format!("unknown command `{other}`\n{USAGE}")),
             },
         },

@@ -24,6 +24,9 @@
 //! * [`transport`] — the stdio and TCP servers (std-only, fully offline).
 //!   TCP serves every connection on its own thread over the shared core,
 //!   with read timeouts, accept-error backoff, and graceful shutdown.
+//! * [`http`] — an optional hand-rolled HTTP/1.1 GET-only sidecar
+//!   ([`ServeOptions`]) so `curl` and Prometheus can scrape `/healthz`,
+//!   `/metrics`, `/stats` and `/trace` without speaking the line protocol.
 //! * [`telemetry`] — the shared [`pm_telemetry`] registry and its
 //!   hot-path handles: per-verb latency histograms, sweep and checkpoint
 //!   timings, byte and connection counters, and harvested per-phase
@@ -38,6 +41,7 @@
 //! tooling.
 
 pub mod client;
+pub mod http;
 pub mod persist;
 pub mod protocol;
 pub mod server;
@@ -49,4 +53,6 @@ pub use persist::{PersistDir, PersistError};
 pub use protocol::{Request, Response, ServerStats, SessionCheckpoint, SessionSummary};
 pub use server::{ServerCore, ServerLimits};
 pub use telemetry::ServerTelemetry;
-pub use transport::{serve, serve_stdio, serve_tcp};
+pub use transport::{
+    serve, serve_stdio, serve_stdio_with, serve_tcp, serve_tcp_with, ServeOptions,
+};

@@ -16,7 +16,7 @@ use pm_core::api::Execution;
 use pm_core::session::{Goal, SessionId, SessionScheduler};
 use pm_faults::FaultProcess;
 use pm_scenarios::{PerturbationSpec, ScenarioScript, ScenarioSpec};
-use pm_telemetry::warn;
+use pm_telemetry::{trace, warn};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -106,6 +106,14 @@ impl ServerCore {
         Arc::clone(&self.telemetry)
     }
 
+    /// Rebases the core's uptime clock onto an external epoch — the
+    /// `--http` path installs the trace recorder and the core on one shared
+    /// `Instant`, so `/stats` uptime, `/metrics` scrape ages and trace
+    /// timestamps all count from the same origin.
+    pub fn set_epoch(&mut self, epoch: Instant) {
+        self.started = epoch;
+    }
+
     /// Number of live sessions.
     pub fn sessions(&self) -> usize {
         self.scheduler.len()
@@ -191,6 +199,7 @@ impl ServerCore {
     /// and the transport should stop reading.
     pub fn handle(&mut self, request: Request, out: &mut Vec<Response>) -> bool {
         let verb = ServerCore::verb_name(&request);
+        let _span = trace::span("verb", verb);
         let served = Instant::now();
         if let Some(session) = ServerCore::named_session(&request) {
             self.touch(session);
@@ -373,6 +382,7 @@ impl ServerCore {
     /// the [`ServerCore::autosave_interval`] cadence and once more right
     /// before exiting. Returns `(evicted, files_written)`.
     pub fn housekeeping(&mut self) -> (usize, usize) {
+        let _pass_span = trace::span("server", "housekeeping");
         let now = Instant::now();
         let pass = Instant::now();
         let mut evicted = 0;
@@ -386,6 +396,9 @@ impl ServerCore {
                     self.forget(id);
                     self.evictions += 1;
                     evicted += 1;
+                    if trace::enabled() {
+                        trace::instant("server", format!("evict:session-{id}"));
+                    }
                 }
             }
         }
@@ -417,6 +430,9 @@ impl ServerCore {
                     self.saved.insert(id, cursor);
                     self.checkpoints_written += 1;
                     written += 1;
+                    if trace::enabled() {
+                        trace::instant("server", format!("checkpoint:session-{id}"));
+                    }
                 }
                 Some(Err(error)) => {
                     self.telemetry.checkpoint_errors.inc();
@@ -472,7 +488,10 @@ impl ServerCore {
         }
     }
 
-    fn stats(&self) -> Response {
+    /// The live operational snapshot behind the `stats` verb and the HTTP
+    /// `/stats` route — both surfaces serve exactly this struct, so they
+    /// can never drift apart.
+    pub fn server_stats(&self) -> ServerStats {
         let mut running = 0;
         let mut paused = 0;
         let mut done = 0;
@@ -486,31 +505,43 @@ impl ServerCore {
                 running += 1;
             }
         }
-        Response::Stats {
-            stats: ServerStats {
-                uptime_ms: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
-                sessions: self.scheduler.len(),
-                running,
-                paused,
-                done,
-                sweeps: self.sweeps,
-                checkpoints_written: self.checkpoints_written,
-                evictions: self.evictions,
-                restores: self.restores,
-                bytes_read: self.telemetry.bytes_read.get(),
-                bytes_written: self.telemetry.bytes_written.get(),
-                active_connections: self.telemetry.active_connections.get(),
-            },
+        ServerStats {
+            uptime_ms: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            sessions: self.scheduler.len(),
+            running,
+            paused,
+            done,
+            sweeps: self.sweeps,
+            checkpoints_written: self.checkpoints_written,
+            evictions: self.evictions,
+            restores: self.restores,
+            bytes_read: self.telemetry.bytes_read.get(),
+            bytes_written: self.telemetry.bytes_written.get(),
+            active_connections: self.telemetry.active_connections.get(),
         }
     }
 
-    /// One registry snapshot, rendered as both structured JSON and
-    /// Prometheus text exposition. Harvests any sessions that finished
-    /// since the last pumping request first, so a scrape never misses a
-    /// completed election's phase profile.
-    fn metrics(&mut self) -> Response {
+    fn stats(&self) -> Response {
+        Response::Stats {
+            stats: self.server_stats(),
+        }
+    }
+
+    /// One registry snapshot — the shared path behind the `metrics` verb
+    /// and the HTTP `/metrics` route, so both scrape surfaces expose the
+    /// identical series set. Harvests any sessions that finished since the
+    /// last pumping request first (a scrape never misses a completed
+    /// election's phase profile) and mirrors the trace recorder's ring-drop
+    /// counter into the registry.
+    pub fn metrics_snapshot(&mut self) -> pm_telemetry::MetricsSnapshot {
         self.harvest_finished();
-        let metrics = self.telemetry.snapshot();
+        let dropped = i64::try_from(trace::dropped()).unwrap_or(i64::MAX);
+        self.telemetry.trace_dropped_events.set(dropped);
+        self.telemetry.snapshot()
+    }
+
+    fn metrics(&mut self) -> Response {
+        let metrics = self.metrics_snapshot();
         let prometheus = metrics.to_prometheus();
         Response::Metrics {
             metrics,
@@ -755,6 +786,9 @@ impl ServerCore {
                 self.specs.insert(session, checkpoint.spec);
                 self.touch(session);
                 self.restores += 1;
+                if trace::enabled() {
+                    trace::instant("server", format!("restore:session-{session}"));
+                }
                 let view = self.scheduler.view(session).expect("just restored");
                 Response::Restored {
                     session,

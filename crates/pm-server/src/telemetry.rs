@@ -98,6 +98,10 @@ pub struct ServerTelemetry {
     pub recoveries_total: Counter,
     /// Fault-injected sessions that finished without a unique leader.
     pub recovery_failures_total: Counter,
+    /// Trace events lost to full recorder rings — mirrored from the trace
+    /// recorder's drop counter at snapshot time, so a `/metrics` scrape
+    /// reveals when `/trace` is truncating.
+    pub trace_dropped_events: Gauge,
 }
 
 impl ServerTelemetry {
@@ -132,6 +136,7 @@ impl ServerTelemetry {
             recovery_rounds: registry.histogram("pm_election_recovery_rounds", ROUNDS_BOUNDS),
             recoveries_total: registry.counter("pm_election_recoveries_total"),
             recovery_failures_total: registry.counter("pm_election_recovery_failures_total"),
+            trace_dropped_events: registry.gauge("pm_trace_dropped_events"),
             registry,
         };
         Arc::new(telemetry)

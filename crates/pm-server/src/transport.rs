@@ -20,7 +20,7 @@
 
 use crate::protocol::{Request, Response};
 use crate::server::ServerCore;
-use pm_telemetry::{error, info, warn};
+use pm_telemetry::{error, info, trace, warn};
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -98,10 +98,11 @@ fn handle_line(
     Ok(shutdown)
 }
 
-/// The state every connection thread shares.
-struct Shared {
-    core: Mutex<ServerCore>,
-    shutdown: AtomicBool,
+/// The state every connection thread shares — protocol connections and the
+/// HTTP observability listener alike.
+pub(crate) struct Shared {
+    pub(crate) core: Mutex<ServerCore>,
+    pub(crate) shutdown: AtomicBool,
 }
 
 impl Shared {
@@ -112,7 +113,7 @@ impl Shared {
         })
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, ServerCore> {
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, ServerCore> {
         // A poisoned mutex means a handler panicked; the core's state is
         // still a valid set of sessions (handlers don't leave partial
         // state), so keep serving the remaining clients.
@@ -151,6 +152,15 @@ impl Shared {
     }
 }
 
+/// Transport options beyond the protocol listener itself. The default
+/// serves the protocol alone, exactly as before the options existed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeOptions<'a> {
+    /// Bind the HTTP observability listener (`/healthz`, `/metrics`,
+    /// `/stats`, `/trace`) on this address alongside the transport.
+    pub http: Option<&'a str>,
+}
+
 /// Serves the core over stdin/stdout until EOF or `shutdown`, running
 /// housekeeping (autosave, eviction) on the core's cadence in the
 /// background and once more before returning.
@@ -159,13 +169,29 @@ impl Shared {
 ///
 /// Propagates I/O errors from the standard streams.
 pub fn serve_stdio(core: ServerCore) -> io::Result<()> {
+    serve_stdio_with(core, ServeOptions::default())
+}
+
+/// [`serve_stdio`] with transport options (the HTTP observability
+/// listener).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the standard streams, and bind errors from
+/// the HTTP listener.
+pub fn serve_stdio_with(core: ServerCore, options: ServeOptions<'_>) -> io::Result<()> {
     let telemetry = core.telemetry();
     let shared = Shared::new(core);
+    let http = options
+        .http
+        .map(|addr| crate::http::spawn(Arc::clone(&shared), addr))
+        .transpose()?;
     let housekeeper = shared.spawn_housekeeping();
     // The stdio pipe counts as one connection for its whole lifetime, so
     // the same dashboards cover both transports.
     telemetry.connections_total.inc();
     telemetry.active_connections.add(1);
+    let conn_span = trace::span("transport", "connection");
     let stdin = io::stdin();
     let stdout = io::stdout();
     let mut output = stdout.lock();
@@ -188,10 +214,14 @@ pub fn serve_stdio(core: ServerCore) -> io::Result<()> {
             }
         }
     }
+    drop(conn_span);
     telemetry.active_connections.add(-1);
     shared.shutdown.store(true, Ordering::SeqCst);
     if let Some(housekeeper) = housekeeper {
         let _ = housekeeper.join();
+    }
+    if let Some(http) = http {
+        let _ = http.join();
     }
     shared.final_sweep();
     result
@@ -215,6 +245,22 @@ pub fn serve_stdio(core: ServerCore) -> io::Result<()> {
 ///
 /// Propagates bind errors and listener configuration failures.
 pub fn serve_tcp(core: ServerCore, addr: &str) -> io::Result<SocketAddr> {
+    serve_tcp_with(core, addr, ServeOptions::default())
+}
+
+/// [`serve_tcp`] with transport options (the HTTP observability listener).
+/// The HTTP listener announces its own bound address the same way, as an
+/// info log line containing `http listening on ADDR`.
+///
+/// # Errors
+///
+/// Propagates bind errors (protocol or HTTP) and listener configuration
+/// failures.
+pub fn serve_tcp_with(
+    core: ServerCore,
+    addr: &str,
+    options: ServeOptions<'_>,
+) -> io::Result<SocketAddr> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -222,6 +268,10 @@ pub fn serve_tcp(core: ServerCore, addr: &str) -> io::Result<SocketAddr> {
 
     let telemetry = core.telemetry();
     let shared = Shared::new(core);
+    let http = options
+        .http
+        .map(|addr| crate::http::spawn(Arc::clone(&shared), addr))
+        .transpose()?;
     let housekeeper = shared.spawn_housekeeping();
     let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
     let mut backoff = BACKOFF_FLOOR;
@@ -260,6 +310,9 @@ pub fn serve_tcp(core: ServerCore, addr: &str) -> io::Result<SocketAddr> {
     if let Some(housekeeper) = housekeeper {
         let _ = housekeeper.join();
     }
+    if let Some(http) = http {
+        let _ = http.join();
+    }
     shared.final_sweep();
     Ok(local)
 }
@@ -269,6 +322,7 @@ pub fn serve_tcp(core: ServerCore, addr: &str) -> io::Result<SocketAddr> {
 /// and the thread notices shutdown raised elsewhere; a partial line
 /// survives across polls until its newline arrives.
 fn serve_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    let _conn = trace::span("transport", "connection");
     stream.set_read_timeout(Some(READ_POLL))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;

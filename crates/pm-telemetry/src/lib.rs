@@ -17,7 +17,15 @@
 //!   (`{"ts_ms":…,"level":"warn","target":…,"msg":…}`). The [`error!`],
 //!   [`warn!`], [`info!`] and [`debug!`] macros check the level with one
 //!   relaxed atomic load before doing any formatting, so disabled levels
-//!   cost nothing measurable.
+//!   cost nothing measurable. While a trace recorder is installed,
+//!   `warn!`/`error!` lines additionally land on the trace timeline as
+//!   instant events — one place to see logs *and* spans.
+//! * [`trace`] — a span/event recorder over per-thread bounded ring
+//!   buffers: scoped spans ([`trace::span`]), after-the-fact spans
+//!   ([`trace::span_at`]) and instant events ([`trace::instant`]), drained
+//!   ([`trace::drain`]) into Chrome trace-event JSON (Perfetto /
+//!   `chrome://tracing`) or folded-stack lines for flamegraphs. Disabled,
+//!   every call site costs one relaxed atomic load.
 //!
 //! The serialized snapshot types intentionally derive the full protocol
 //! bundle (`Clone`/`Debug`/`PartialEq`/`Serialize`/`Deserialize`) so a
@@ -27,9 +35,11 @@
 
 pub mod logging;
 pub mod metrics;
+pub mod trace;
 
 pub use logging::Level;
 pub use metrics::{
     Counter, CounterSample, Gauge, GaugeSample, Histogram, HistogramSample, LabelPair,
     MetricsSnapshot, Registry,
 };
+pub use trace::{EventKind, SpanGuard, Trace, TraceEvent};

@@ -105,13 +105,25 @@ fn escape_json(s: &str, out: &mut String) {
     }
 }
 
-/// Emits one log line (the macros' slow path; call those instead). The
-/// level re-check makes direct calls safe too.
+/// Emits one log line (the macros' slow path; call those instead), and —
+/// for `warn`/`error` while a trace recorder is active — mirrors the
+/// message onto the trace timeline as an instant event, so a drained trace
+/// shows degradations in causal order with the surrounding spans. The
+/// gate re-checks make direct calls safe too; when both the level and the
+/// recorder are off, nothing is formatted.
 pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
-    if !enabled(level) {
+    let to_stderr = enabled(level);
+    let to_trace = level <= Level::Warn && crate::trace::enabled();
+    if !to_stderr && !to_trace {
         return;
     }
     let msg = args.to_string();
+    if to_trace {
+        crate::trace::log_event(level, target, &msg);
+    }
+    if !to_stderr {
+        return;
+    }
     let line = if JSON.load(Ordering::Relaxed) {
         let ts_ms = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -134,10 +146,12 @@ pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
 }
 
 /// Logs at [`Level::Error`]: `error!("pm-server::x", "failed: {e}")`.
+/// Also recorded as an instant trace event while a recorder is active,
+/// even when the stderr level filters it out.
 #[macro_export]
 macro_rules! error {
     ($target:expr, $($arg:tt)+) => {
-        if $crate::logging::enabled($crate::logging::Level::Error) {
+        if $crate::logging::enabled($crate::logging::Level::Error) || $crate::trace::enabled() {
             $crate::logging::log(
                 $crate::logging::Level::Error,
                 $target,
@@ -148,10 +162,12 @@ macro_rules! error {
 }
 
 /// Logs at [`Level::Warn`]: `warn!("pm-server::x", "degraded: {e}")`.
+/// Also recorded as an instant trace event while a recorder is active,
+/// even when the stderr level filters it out.
 #[macro_export]
 macro_rules! warn {
     ($target:expr, $($arg:tt)+) => {
-        if $crate::logging::enabled($crate::logging::Level::Warn) {
+        if $crate::logging::enabled($crate::logging::Level::Warn) || $crate::trace::enabled() {
             $crate::logging::log(
                 $crate::logging::Level::Warn,
                 $target,

@@ -1,0 +1,234 @@
+//! Integration tests for the live trace recorder: the process-wide
+//! install/drain lifecycle, ring wraparound accounting, exporter structural
+//! validity, and the logging-facade bridge.
+//!
+//! The recorder is process-global, so every test serializes through
+//! [`recorder_lock`] and uninstalls via a drop guard — a panicking test
+//! must not leave a recorder behind for its neighbours.
+
+use pm_telemetry::trace;
+use pm_telemetry::warn;
+use serde_json::Value;
+use std::sync::Mutex;
+use std::time::Instant;
+
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes recorder tests and guarantees uninstallation afterwards.
+struct Installed<'a> {
+    _lock: std::sync::MutexGuard<'a, ()>,
+}
+
+impl<'a> Installed<'a> {
+    fn new(capacity: usize) -> Installed<'a> {
+        let lock = RECORDER_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // A previous panicking test may have leaked a recorder.
+        let _ = trace::uninstall();
+        assert!(trace::install(capacity), "no recorder should be installed");
+        Installed { _lock: lock }
+    }
+}
+
+impl Drop for Installed<'_> {
+    fn drop(&mut self) {
+        let _ = trace::uninstall();
+    }
+}
+
+#[test]
+fn empty_recorder_drains_to_an_empty_valid_trace() {
+    let _recorder = Installed::new(64);
+    let trace = trace::drain();
+    assert!(trace.is_empty());
+    assert_eq!(trace.dropped, 0);
+    let json = trace.to_chrome_json();
+    let parsed: Value = serde_json::from_str(&json).expect("chrome JSON parses");
+    assert_eq!(
+        parsed.get("traceEvents").and_then(Value::as_array),
+        Some(&[][..])
+    );
+    assert_eq!(trace.to_folded(), "");
+}
+
+#[test]
+fn wraparound_drops_oldest_and_counts_every_drop() {
+    let _recorder = Installed::new(4);
+    for i in 0..10 {
+        trace::instant("test", format!("event-{i}"));
+    }
+    let trace = trace::drain();
+    assert_eq!(trace.events.len(), 4, "ring keeps only the newest capacity");
+    assert_eq!(trace.dropped, 6, "drop counter matches the events lost");
+    let names: Vec<&str> = trace.events.iter().map(|e| e.name.as_ref()).collect();
+    assert_eq!(
+        names,
+        ["event-6", "event-7", "event-8", "event-9"],
+        "oldest events were the ones dropped"
+    );
+}
+
+#[test]
+fn spans_nest_and_parent_ids_form_the_hierarchy() {
+    let _recorder = Installed::new(1024);
+    {
+        let _session = trace::span("session", "session:test");
+        let _phase = trace::span("phase", "phase:dle");
+        let before = Instant::now();
+        trace::span_at("round", "dle", before, Instant::now());
+        trace::instant("fault", "fault:removals@r3");
+    }
+    let trace = trace::drain();
+    let begin = |name: &str| {
+        trace
+            .events
+            .iter()
+            .find(|e| e.kind == trace::EventKind::Begin && e.name == name)
+            .unwrap_or_else(|| panic!("no begin event `{name}`"))
+    };
+    let session = begin("session:test");
+    let phase = begin("phase:dle");
+    let round = begin("dle");
+    assert_eq!(session.parent, 0, "session is a root span");
+    assert_eq!(phase.parent, session.id, "phase nests under session");
+    assert_eq!(round.parent, phase.id, "round nests under phase");
+    let fault = trace
+        .events
+        .iter()
+        .find(|e| e.kind == trace::EventKind::Instant && e.cat == "fault")
+        .expect("fault instant recorded");
+    assert_eq!(
+        fault.parent, phase.id,
+        "instants parent under the open span"
+    );
+}
+
+#[test]
+fn chrome_export_is_balanced_with_monotone_timestamps() {
+    let _recorder = Installed::new(1024);
+    {
+        let _outer = trace::span("test", "outer");
+        let _inner = trace::span("test", "inner");
+        trace::instant("test", "mark");
+    }
+    // `inner` and `outer` guards dropped in reverse creation order above;
+    // leave one span open across the drain to exercise synthesis.
+    let _open = trace::span("test", "left-open");
+    let json = trace::drain().to_chrome_json();
+    let parsed: Value = serde_json::from_str(&json).expect("chrome JSON parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    // Per-tid: B/E balanced, LIFO, timestamps monotone.
+    let mut stacks: std::collections::BTreeMap<i64, Vec<String>> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<i64, f64> = Default::default();
+    for event in events {
+        let ph = match event.get("ph") {
+            Some(Value::Str(ph)) => ph.clone(),
+            other => panic!("event without ph: {other:?}"),
+        };
+        let tid = match event.get("tid") {
+            Some(Value::Int(t)) => *t,
+            Some(Value::UInt(t)) => *t as i64,
+            other => panic!("event without tid: {other:?}"),
+        };
+        let ts = match event.get("ts") {
+            Some(Value::Int(t)) => *t as f64,
+            Some(Value::UInt(t)) => *t as f64,
+            Some(Value::Float(t)) => *t,
+            other => panic!("event without ts: {other:?}"),
+        };
+        let name = match event.get("name") {
+            Some(Value::Str(name)) => name.clone(),
+            other => panic!("event without name: {other:?}"),
+        };
+        let prev = last_ts.insert(tid, ts).unwrap_or(0.0);
+        assert!(
+            ts >= prev,
+            "timestamps monotone per tid ({name}: {ts} < {prev})"
+        );
+        let stack = stacks.entry(tid).or_default();
+        match ph.as_str() {
+            "B" => stack.push(name),
+            "E" => {
+                let top = stack
+                    .pop()
+                    .unwrap_or_else(|| panic!("E `{name}` with empty stack"));
+                assert_eq!(top, name, "E closes the innermost open B");
+            }
+            "i" => {}
+            other => panic!("unexpected ph `{other}`"),
+        }
+    }
+    for (tid, stack) in stacks {
+        assert!(stack.is_empty(), "tid {tid} left unbalanced: {stack:?}");
+    }
+}
+
+#[test]
+fn folded_export_reflects_live_guard_nesting() {
+    let _recorder = Installed::new(1024);
+    {
+        let _session = trace::span("session", "session");
+        let _phase = trace::span("phase", "phase");
+        let before = Instant::now();
+        trace::span_at("round", "round", before, Instant::now());
+    }
+    let folded = trace::drain().to_folded();
+    let paths: Vec<&str> = folded
+        .lines()
+        .map(|line| line.rsplit_once(' ').expect("`path value` line").0)
+        .collect();
+    assert!(paths.contains(&"session"), "folded: {folded:?}");
+    assert!(paths.contains(&"session;phase"), "folded: {folded:?}");
+    assert!(paths.contains(&"session;phase;round"), "folded: {folded:?}");
+}
+
+#[test]
+fn set_enabled_pauses_recording_without_losing_the_recorder() {
+    let _recorder = Installed::new(64);
+    trace::instant("test", "before");
+    assert!(trace::set_enabled(false));
+    assert!(!trace::enabled());
+    trace::instant("test", "while-paused");
+    assert!(trace::set_enabled(true));
+    trace::instant("test", "after");
+    let names: Vec<String> = trace::drain()
+        .events
+        .iter()
+        .map(|e| e.name.to_string())
+        .collect();
+    assert_eq!(names, ["before", "after"], "paused events are not recorded");
+}
+
+#[test]
+fn warn_macro_mirrors_onto_the_trace_timeline() {
+    let _recorder = Installed::new(64);
+    warn!("trace::test", "disk on fire ({}%)", 98);
+    let trace = trace::drain();
+    let log = trace
+        .events
+        .iter()
+        .find(|e| e.cat == "log")
+        .expect("warn! recorded an instant event");
+    assert_eq!(log.kind, trace::EventKind::Instant);
+    assert_eq!(log.name, "WARN trace::test: disk on fire (98%)");
+}
+
+#[test]
+fn no_recorder_means_inert_calls_and_empty_drains() {
+    let _lock = RECORDER_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _ = trace::uninstall();
+    assert!(!trace::enabled());
+    assert!(!trace::set_enabled(true), "nothing to enable");
+    trace::instant("test", "nowhere");
+    let _span = trace::span("test", "nowhere");
+    drop(_span);
+    assert!(trace::drain().is_empty());
+    assert_eq!(trace::dropped(), 0);
+    assert!(trace::uninstall().is_none());
+}
